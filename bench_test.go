@@ -1,0 +1,290 @@
+// Benchmarks regenerating, at reduced scale, every table and figure of the
+// paper (see DESIGN.md's experiment index) plus micro-benchmarks of the hot
+// substrates. Each figure bench runs one representative experiment point per
+// iteration and reports the headline metric alongside the timing, so
+// `go test -bench=. -benchmem` doubles as a miniature reproduction run:
+//
+//	BenchmarkFig9ChainLength ... 3.02 chain-rvps
+//
+// The full-sweep reproduction lives in cmd/nylon-figs.
+package nylon
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/ident"
+	"repro/internal/traversal"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// benchCfg is the shared reduced-scale configuration: large enough to show
+// the paper's effects, small enough for -bench runs.
+func benchCfg(proto exp.Protocol, natPct float64) exp.Config {
+	return exp.Config{
+		N: 250, Rounds: 80, NATRatio: natPct / 100, Protocol: proto,
+		Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
+		EvictUnanswered: proto != exp.ProtoGeneric,
+	}
+}
+
+func runPoint(b *testing.B, cfg exp.Config, seed int64) exp.Result {
+	b.Helper()
+	cfg.Seed = seed
+	res, err := exp.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTableT1Traversal regenerates the §2.2 traversal decision table
+// (experiment T1): all 25 class pairs per iteration.
+func BenchmarkTableT1Traversal(b *testing.B) {
+	classes := []ident.NATClass{ident.Public, ident.FullCone, ident.RestrictedCone, ident.PortRestrictedCone, ident.Symmetric}
+	var sink traversal.Method
+	for i := 0; i < b.N; i++ {
+		for _, src := range classes {
+			for _, dst := range classes {
+				sink = traversal.Decide(src, dst)
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkFig2BiggestCluster runs the Fig. 2 point that shows partitioning:
+// the (rand, healer) baseline at 100% PRC NATs.
+func BenchmarkFig2BiggestCluster(b *testing.B) {
+	cfg := benchCfg(exp.ProtoGeneric, 100)
+	cfg.Mix = exp.NATMix{PRC: 1}
+	cfg.Rounds = 150
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, cfg, int64(i+1))
+	}
+	b.ReportMetric(last.BiggestCluster*100, "cluster-%")
+}
+
+// BenchmarkFig3StaleRefs runs the Fig. 3 point at 80% PRC NATs, view 15.
+func BenchmarkFig3StaleRefs(b *testing.B) {
+	cfg := benchCfg(exp.ProtoGeneric, 80)
+	cfg.Mix = exp.NATMix{PRC: 1}
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, cfg, int64(i+1))
+	}
+	b.ReportMetric(last.StaleFraction*100, "stale-%")
+}
+
+// BenchmarkFig4Randomness runs the Fig. 4 point at 40% PRC NATs: the natted
+// share of usable references (paper: ≈10% despite 40% natted population).
+func BenchmarkFig4Randomness(b *testing.B) {
+	cfg := benchCfg(exp.ProtoGeneric, 40)
+	cfg.Mix = exp.NATMix{PRC: 1}
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, cfg, int64(i+1))
+	}
+	b.ReportMetric(last.NattedNonStale*100, "natted-nonstale-%")
+}
+
+// BenchmarkCorrectness runs the §5 correctness point: Nylon at 90% NATs must
+// keep the overlay whole and the sample representative.
+func BenchmarkCorrectness(b *testing.B) {
+	cfg := benchCfg(exp.ProtoNylon, 90)
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, cfg, int64(i+1))
+	}
+	b.ReportMetric(last.BiggestCluster*100, "cluster-%")
+	b.ReportMetric(last.NattedNonStale*100, "natted-nonstale-%")
+	b.ReportMetric(last.ChiSquareStat, "chi2-per-dof")
+}
+
+// BenchmarkFig7Bandwidth measures Nylon's traffic at 80% NATs (paper: below
+// 350 B/s per peer).
+func BenchmarkFig7Bandwidth(b *testing.B) {
+	var nylon, ref exp.Result
+	for i := 0; i < b.N; i++ {
+		nylon = runPoint(b, benchCfg(exp.ProtoNylon, 80), int64(i+1))
+		ref = runPoint(b, benchCfg(exp.ProtoGeneric, 80), int64(i+1))
+	}
+	b.ReportMetric(nylon.BytesPerSecAll, "nylon-B/s")
+	b.ReportMetric(ref.BytesPerSecAll, "reference-B/s")
+}
+
+// BenchmarkFig8LoadBalance measures the public/natted load split under Nylon
+// (paper: within 10-20% of each other).
+func BenchmarkFig8LoadBalance(b *testing.B) {
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, benchCfg(exp.ProtoNylon, 80), int64(i+1))
+	}
+	b.ReportMetric(last.BytesPerSecPublic, "public-B/s")
+	b.ReportMetric(last.BytesPerSecNatted, "natted-B/s")
+}
+
+// BenchmarkFig9ChainLength measures the average RVP chain length at 90% NATs
+// (paper: below 4).
+func BenchmarkFig9ChainLength(b *testing.B) {
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, benchCfg(exp.ProtoNylon, 90), int64(i+1))
+	}
+	b.ReportMetric(last.AvgChainLen, "chain-rvps")
+}
+
+// BenchmarkFig10Churn removes 50% of the peers mid-run (paper: no partition).
+func BenchmarkFig10Churn(b *testing.B) {
+	cfg := benchCfg(exp.ProtoNylon, 60)
+	cfg.Rounds = 120
+	cfg.ChurnAtRound = 30
+	cfg.ChurnFraction = 0.5
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, cfg, int64(i+1))
+	}
+	b.ReportMetric(last.BiggestCluster*100, "cluster-%")
+}
+
+// BenchmarkAblationStaticRVP measures the load imbalance of the §4 strawman.
+func BenchmarkAblationStaticRVP(b *testing.B) {
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, benchCfg(exp.ProtoStaticRVP, 80), int64(i+1))
+	}
+	b.ReportMetric(last.BytesPerSecPublic, "public-B/s")
+	b.ReportMetric(last.BytesPerSecNatted, "natted-B/s")
+}
+
+// BenchmarkAblationARRG measures the cache baseline at 90% PRC NATs.
+func BenchmarkAblationARRG(b *testing.B) {
+	cfg := benchCfg(exp.ProtoARRG, 90)
+	cfg.Mix = exp.NATMix{PRC: 1}
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, cfg, int64(i+1))
+	}
+	b.ReportMetric(last.BiggestCluster*100, "cluster-%")
+	b.ReportMetric(last.NattedNonStale*100, "natted-nonstale-%")
+}
+
+// BenchmarkAblationHoleTimeout runs Nylon with an aggressive 15 s rule
+// lifetime.
+func BenchmarkAblationHoleTimeout(b *testing.B) {
+	cfg := benchCfg(exp.ProtoNylon, 80)
+	cfg.HoleTimeoutMs = 15_000
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, cfg, int64(i+1))
+	}
+	b.ReportMetric(last.CompletionRate*100, "completion-%")
+}
+
+// BenchmarkAblationPush runs the push-only baseline at 70% PRC NATs.
+func BenchmarkAblationPush(b *testing.B) {
+	cfg := benchCfg(exp.ProtoGeneric, 70)
+	cfg.Mix = exp.NATMix{PRC: 1}
+	cfg.PushPull = false
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, cfg, int64(i+1))
+	}
+	b.ReportMetric(last.BiggestCluster*100, "cluster-%")
+}
+
+// BenchmarkAblationEviction runs the A5 churn-recovery point with eviction
+// disabled.
+func BenchmarkAblationEviction(b *testing.B) {
+	cfg := benchCfg(exp.ProtoNylon, 60)
+	cfg.EvictUnanswered = false
+	cfg.Rounds = 120
+	cfg.ChurnAtRound = 30
+	cfg.ChurnFraction = 0.8
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, cfg, int64(i+1))
+	}
+	b.ReportMetric(last.BiggestCluster*100, "cluster-%")
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func BenchmarkWireMarshal(b *testing.B) {
+	msg := &wire.Message{
+		Kind: wire.KindRequest,
+		Src:  view.Descriptor{ID: 1, Class: ident.Public},
+		Dst:  view.Descriptor{ID: 2, Class: ident.RestrictedCone},
+		Via:  view.Descriptor{ID: 1},
+	}
+	for i := 0; i < 8; i++ {
+		msg.Entries = append(msg.Entries, wire.ViewEntry{
+			Desc: view.Descriptor{ID: ident.NodeID(i + 10), Class: ident.PortRestrictedCone}, RouteTTL: 90_000,
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := msg.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViewExchange(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := view.New(1, 15)
+	for i := 2; i < 17; i++ {
+		v.Add(view.Descriptor{ID: ident.NodeID(i), Age: uint32(i)})
+	}
+	recv := make([]view.Descriptor, 8)
+	for i := range recv {
+		recv[i] = view.Descriptor{ID: ident.NodeID(100 + i), Age: uint32(i)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sent := v.PrepareExchange(view.MergeHealer, rng)
+		v.ApplyExchange(view.MergeHealer, recv, sent, rng)
+	}
+}
+
+func BenchmarkNylonTick(b *testing.B) {
+	eng := core.NewNylon(core.Config{
+		Self:        view.Descriptor{ID: 1, Addr: ident.Endpoint{IP: 1, Port: 1}, Class: ident.PortRestrictedCone},
+		ViewSize:    15,
+		Merge:       view.MergeHealer,
+		PushPull:    true,
+		HoleTimeout: 90_000,
+		RNG:         rand.New(rand.NewSource(1)),
+	})
+	var seeds []view.Descriptor
+	for i := 2; i < 17; i++ {
+		seeds = append(seeds, view.Descriptor{
+			ID: ident.NodeID(i), Addr: ident.Endpoint{IP: ident.IP(i), Port: 1}, Class: ident.RestrictedCone,
+		})
+	}
+	eng.Bootstrap(0, seeds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Keep routes warm so ticks exercise the full path.
+		if i%1000 == 0 {
+			eng.Bootstrap(int64(i), seeds)
+		}
+		eng.Tick(int64(i))
+	}
+}
+
+func BenchmarkSimulation1kPeers(b *testing.B) {
+	cfg := benchCfg(exp.ProtoNylon, 80)
+	cfg.N, cfg.Rounds = 1000, 40
+	for i := 0; i < b.N; i++ {
+		runPoint(b, cfg, int64(i+1))
+	}
+}

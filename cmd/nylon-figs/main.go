@@ -1,0 +1,67 @@
+// Command nylon-figs regenerates every table and figure of the paper's
+// evaluation (Figures 2-4, 7-10, the §5 correctness checks) plus the
+// ablations documented in DESIGN.md.
+//
+// Laptop-scale defaults finish in minutes; pass -n 10000 -rounds 2000
+// -seeds 30 to match the paper's setup exactly (hours of CPU).
+//
+// Usage:
+//
+//	nylon-figs                 # all figures, default scale
+//	nylon-figs -fig 9          # just Figure 9
+//	nylon-figs -fig 2 -csv     # CSV instead of aligned text
+//	nylon-figs -n 10000 -rounds 2000 -seeds 30 -fig 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: "+strings.Join(exp.FigureOrder, ", ")+" or 'all'")
+		n      = flag.Int("n", 600, "number of peers (paper: 10000)")
+		rounds = flag.Int("rounds", 210, "shuffling rounds to simulate (paper: ~2000 for churn)")
+		seeds  = flag.Int("seeds", 3, "number of seeds to average (paper: 30)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	params := exp.Params{N: *n, Rounds: *rounds, Seeds: seedList(*seeds)}
+
+	ids := exp.FigureOrder
+	if *fig != "all" {
+		if _, ok := exp.Figures[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "nylon-figs: unknown figure %q (have %s)\n", *fig, strings.Join(exp.FigureOrder, ", "))
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	}
+	for _, id := range ids {
+		tables, err := exp.Figures[id](params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nylon-figs: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+}
+
+func seedList(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}

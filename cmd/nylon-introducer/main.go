@@ -1,0 +1,84 @@
+// Command nylon-introducer runs the bootstrap service live nodes join
+// through: it tells joiners their public mapping and NAT class (STUN-style
+// probes), hands them seed peers, and coordinates the first hole punches.
+//
+//	nylon-introducer -listen :3478 -alt-port :3479
+//
+// Full NAT classification additionally needs a second IP:
+//
+//	nylon-introducer -listen 192.0.2.10:3478 -alt-port 192.0.2.10:3479 \
+//	                 -alt-ip 192.0.2.11:3478
+//
+// Then join from a node:
+//
+//	nylon-node -id 7 -listen :9000 -join 192.0.2.10:3478
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	nylon "repro"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":3478", "primary UDP listen address")
+		altPort = flag.String("alt-port", "", "alternate-port UDP address (same IP; enables RC/PRC discrimination)")
+		altIP   = flag.String("alt-ip", "", "alternate-IP UDP address (enables FC detection)")
+		seeds   = flag.Int("seeds", 8, "seeds handed to each joiner")
+		ttl     = flag.Duration("member-ttl", 90*time.Second, "member seed eligibility window")
+	)
+	flag.Parse()
+
+	cfg := nylon.IntroducerConfig{MaxSeeds: *seeds, MemberTTL: *ttl}
+	primary, err := nylon.ListenUDP(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer primary.Close()
+	cfg.Primary = primary
+	if *altPort != "" {
+		tr, err := nylon.ListenUDP(*altPort)
+		if err != nil {
+			fatal(err)
+		}
+		defer tr.Close()
+		cfg.AltPort = tr
+	}
+	if *altIP != "" {
+		tr, err := nylon.ListenUDP(*altIP)
+		if err != nil {
+			fatal(err)
+		}
+		defer tr.Close()
+		cfg.AltIP = tr
+	}
+
+	in := nylon.NewIntroducer(cfg)
+	defer in.Close()
+	fmt.Printf("nylon-introducer listening on %v (alt-port %q, alt-ip %q)\n", primary.LocalAddr(), *altPort, *altIP)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(30 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			fmt.Printf("[%s] %d registered members\n", time.Now().Format(time.TimeOnly), in.Members())
+		case <-sig:
+			fmt.Println("shutting down")
+			return
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nylon-introducer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command nylon-node runs a live Nylon peer over UDP and periodically prints
+// its view — a minimal deployable peer-sampling service.
+//
+// Start a first (public) node:
+//
+//	nylon-node -id 1 -listen :9001
+//
+// Join from elsewhere (the bootstrap string is id@ip:port/class):
+//
+//	nylon-node -id 2 -listen :9002 -bootstrap 1@192.0.2.10:9001/public
+//
+// Natted peers pass their STUN-discovered mapping and class:
+//
+//	nylon-node -id 3 -listen :9003 -advertise 198.51.100.7:41002 -nat prc \
+//	           -bootstrap 1@192.0.2.10:9001/public
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	nylon "repro"
+)
+
+func main() {
+	var (
+		id        = flag.Uint64("id", 0, "node ID (required, unique)")
+		listen    = flag.String("listen", ":9000", "UDP listen address")
+		advertise = flag.String("advertise", "", "advertised endpoint (default: the listen address)")
+		natClass  = flag.String("nat", "public", "own NAT class: public, fc, rc, prc, sym")
+		bootstrap = flag.String("bootstrap", "", "comma-separated seeds: id@ip:port/class")
+		join      = flag.String("join", "", "introducer address; replaces -advertise/-nat/-bootstrap")
+		period    = flag.Duration("period", 5*time.Second, "shuffling period")
+		viewSize  = flag.Int("view", 15, "view size")
+		report    = flag.Duration("report", 10*time.Second, "view report interval")
+	)
+	flag.Parse()
+	if *id == 0 {
+		fatal(fmt.Errorf("-id is required"))
+	}
+
+	tr, err := nylon.ListenUDP(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	adv := tr.LocalAddr()
+	if *advertise != "" {
+		if adv, err = nylon.ParseEndpoint(*advertise); err != nil {
+			fatal(err)
+		}
+	}
+	class, err := nylon.ParseNATClass(*natClass)
+	if err != nil {
+		fatal(err)
+	}
+	seeds, err := parseBootstrap(*bootstrap)
+	if err != nil {
+		fatal(err)
+	}
+	if *join != "" {
+		introducer, err := nylon.ParseEndpoint(*join)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := nylon.Join(tr, introducer, nylon.NodeID(*id), 2*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		adv, class, seeds = res.Mapped, res.Class, res.Seeds
+		fmt.Printf("joined via %v: mapped %v, class %v, %d seeds\n", introducer, adv, class, len(seeds))
+	}
+
+	node, err := nylon.NewNode(nylon.Config{
+		ID:        nylon.NodeID(*id),
+		Transport: tr,
+		Advertise: adv,
+		NAT:       class,
+		Bootstrap: seeds,
+		ViewSize:  *viewSize,
+		Period:    *period,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	node.Start()
+	defer node.Close()
+	fmt.Printf("nylon-node %v listening on %v, advertising %v (%v), %d seeds\n",
+		node.Self().ID, tr.LocalAddr(), adv, class, len(seeds))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*report)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			st := node.Stats()
+			fmt.Printf("[%s] shuffles=%d completed=%d punches=%d view:\n",
+				time.Now().Format(time.TimeOnly), st.ShufflesInitiated, st.ShufflesCompleted, st.HolePunchesCompleted)
+			for _, d := range node.View() {
+				fmt.Printf("  %v\n", d)
+			}
+		case <-sig:
+			fmt.Println("shutting down")
+			return
+		}
+	}
+}
+
+// parseBootstrap parses "id@ip:port/class" entries separated by commas.
+func parseBootstrap(s string) ([]nylon.Descriptor, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []nylon.Descriptor
+	for _, part := range strings.Split(s, ",") {
+		at := strings.IndexByte(part, '@')
+		slash := strings.LastIndexByte(part, '/')
+		if at < 0 || slash < at {
+			return nil, fmt.Errorf("bootstrap entry %q not of form id@ip:port/class", part)
+		}
+		id, err := strconv.ParseUint(part[:at], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bootstrap entry %q: bad id: %v", part, err)
+		}
+		ep, err := nylon.ParseEndpoint(part[at+1 : slash])
+		if err != nil {
+			return nil, fmt.Errorf("bootstrap entry %q: %v", part, err)
+		}
+		class, err := nylon.ParseNATClass(part[slash+1:])
+		if err != nil {
+			return nil, fmt.Errorf("bootstrap entry %q: %v", part, err)
+		}
+		out = append(out, nylon.Descriptor{ID: nylon.NodeID(id), Addr: ep, Class: class})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nylon-node:", err)
+	os.Exit(1)
+}

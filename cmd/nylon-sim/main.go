@@ -1,0 +1,106 @@
+// Command nylon-sim runs a single simulation point and prints every metric
+// the harness measures. It is the exploratory companion to nylon-figs.
+//
+// Example — the paper's headline setting (10,000 peers, 90% natted):
+//
+//	nylon-sim -n 10000 -nat 90 -rounds 600 -protocol nylon
+//
+// Compare with the NAT-oblivious baseline:
+//
+//	nylon-sim -n 10000 -nat 90 -rounds 600 -protocol generic -mix prc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/view"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 1000, "number of peers")
+		natPct    = flag.Float64("nat", 80, "percentage of natted peers")
+		viewSize  = flag.Int("view", 15, "view size")
+		rounds    = flag.Int("rounds", 300, "shuffling rounds")
+		seed      = flag.Int64("seed", 1, "random seed")
+		protocol  = flag.String("protocol", "nylon", "protocol: nylon, generic, arrg, static-rvp")
+		selection = flag.String("selection", "rand", "target selection: rand, tail")
+		merge     = flag.String("merge", "healer", "view merge: blind, healer, swapper")
+		push      = flag.Bool("push", false, "push-only propagation (default push/pull)")
+		mix       = flag.String("mix", "paper", "NAT mix: paper (50/40/10 rc/prc/sym) or prc")
+		churnAt   = flag.Int("churn-at", 0, "round at which churn strikes (0 = none)")
+		churnPct  = flag.Float64("churn", 0, "percentage of peers departing at churn-at")
+		traceN    = flag.Int("trace", 0, "print the last N network events (sends, deliveries, drops)")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{
+		N:             *n,
+		ViewSize:      *viewSize,
+		NATRatio:      *natPct / 100,
+		Rounds:        *rounds,
+		Seed:          *seed,
+		PushPull:      !*push,
+		ChurnAtRound:  *churnAt,
+		ChurnFraction: *churnPct / 100,
+		TraceCapacity: *traceN,
+	}
+	var err error
+	if cfg.Selection, err = view.ParseSelection(*selection); err != nil {
+		fatal(err)
+	}
+	if cfg.Merge, err = view.ParseMerge(*merge); err != nil {
+		fatal(err)
+	}
+	switch *protocol {
+	case "nylon":
+		cfg.Protocol = exp.ProtoNylon
+	case "generic":
+		cfg.Protocol = exp.ProtoGeneric
+	case "arrg":
+		cfg.Protocol = exp.ProtoARRG
+	case "static-rvp":
+		cfg.Protocol = exp.ProtoStaticRVP
+	default:
+		fatal(fmt.Errorf("unknown protocol %q", *protocol))
+	}
+	switch *mix {
+	case "paper":
+		cfg.Mix = exp.DefaultMix
+	case "prc":
+		cfg.Mix = exp.NATMix{PRC: 1}
+	default:
+		fatal(fmt.Errorf("unknown mix %q", *mix))
+	}
+
+	res, err := exp.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("protocol            %v (%v, %v, push/pull=%v)\n", cfg.Protocol, cfg.Selection, cfg.Merge, cfg.PushPull)
+	fmt.Printf("peers               %d (%.0f%% natted), view %d, %d rounds, seed %d\n",
+		cfg.N, *natPct, cfg.ViewSize, cfg.Rounds, cfg.Seed)
+	fmt.Printf("biggest cluster     %.1f%%\n", res.BiggestCluster*100)
+	fmt.Printf("stale references    %.1f%%\n", res.StaleFraction*100)
+	fmt.Printf("natted non-stale    %.1f%% (population share %.1f%%)\n", res.NattedNonStale*100, *natPct)
+	fmt.Printf("bytes/s per peer    %.0f (public %.0f, natted %.0f)\n", res.BytesPerSecAll, res.BytesPerSecPublic, res.BytesPerSecNatted)
+	fmt.Printf("avg RVP chain       %.2f\n", res.AvgChainLen)
+	fmt.Printf("shuffle completion  %.1f%% (no-route %.1f%%)\n", res.CompletionRate*100, res.NoRouteRate*100)
+	fmt.Printf("chi2/dof (stream)   %.2f (uniform at 1%%: %v)\n", res.ChiSquareStat, res.ChiSquareOK)
+	fmt.Printf("in-degree           mean %.1f, sd %.1f, p50 %d, p99 %d\n",
+		res.InDegree.Mean, res.InDegree.StdDev, res.InDegree.P50, res.InDegree.P99)
+	fmt.Printf("alive peers         %d\n", res.AlivePeers)
+	fmt.Printf("network drops       nat-filtered %d, no-addr %d, dead %d\n",
+		res.Drops.NATFiltered, res.Drops.NoSuchAddr, res.Drops.DeadPeer)
+	if res.TraceDump != "" {
+		fmt.Printf("--- last %d network events ---\n%s", *traceN, res.TraceDump)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nylon-sim:", err)
+	os.Exit(1)
+}

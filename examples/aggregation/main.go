@@ -1,0 +1,113 @@
+// Aggregation: push-pull gossip averaging (Jelasity, Montresor, Babaoglu —
+// TOCS 2005, the paper's reference [10]) running on top of the peer sampling
+// service. Every node starts with a distinct value; each round it averages
+// with one peer drawn from its Nylon sample. With a uniform sampling service
+// the variance of the estimates decays exponentially — which makes this a
+// live check of sample quality under NATs.
+//
+// Run with: go run ./examples/aggregation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	nylon "repro"
+)
+
+const (
+	numNodes = 24
+	viewSize = 8
+	period   = 25 * time.Millisecond
+)
+
+func main() {
+	sw := nylon.NewSwitch(time.Millisecond)
+	nodes := make(map[nylon.NodeID]*nylon.Node, numNodes)
+	values := make(map[nylon.NodeID]float64, numNodes)
+	var seeds []nylon.Descriptor
+
+	for i := 1; i <= numNodes; i++ {
+		var (
+			tr    nylon.Transport
+			adv   nylon.Endpoint
+			class nylon.NATClass
+		)
+		if i > 1 && i%3 == 0 { // a third of the overlay behind PRC NATs
+			memTr, mapped := sw.AttachNAT(nylon.PortRestrictedCone, 90*time.Second)
+			tr, adv, class = memTr, mapped, nylon.PortRestrictedCone
+		} else {
+			memTr := sw.Attach()
+			tr, adv, class = memTr, memTr.LocalAddr(), nylon.Public
+		}
+		boot := seeds
+		if len(boot) > viewSize {
+			boot = boot[len(boot)-viewSize:]
+		}
+		node, err := nylon.NewNode(nylon.Config{
+			ID:        nylon.NodeID(i),
+			Transport: tr,
+			Advertise: adv,
+			NAT:       class,
+			Bootstrap: append([]nylon.Descriptor(nil), boot...),
+			ViewSize:  viewSize,
+			Period:    period,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[node.Self().ID] = node
+		seeds = append(seeds, node.Self())
+		// Node i contributes the value i, so the true mean is known.
+		values[node.Self().ID] = float64(i)
+		node.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	trueMean := float64(numNodes+1) / 2
+	fmt.Printf("true mean: %.3f\n", trueMean)
+	time.Sleep(40 * period) // let the sampling service mix
+
+	fmt.Println("round  max-error   std-dev")
+	for round := 1; round <= 24; round++ {
+		// One aggregation step: every node averages with one sampled peer.
+		for id, node := range nodes {
+			sample := node.Sample(1)
+			if len(sample) == 0 {
+				continue
+			}
+			peer := sample[0].ID
+			avg := (values[id] + values[peer]) / 2
+			values[id], values[peer] = avg, avg
+		}
+		maxErr, sd := errorStats(values, trueMean)
+		if round%4 == 0 || maxErr < 1e-3 {
+			fmt.Printf("%5d  %9.5f  %8.5f\n", round, maxErr, sd)
+		}
+		if maxErr < 1e-3 {
+			fmt.Println("converged: every node holds the global mean")
+			return
+		}
+		time.Sleep(period)
+	}
+	maxErr, _ := errorStats(values, trueMean)
+	fmt.Printf("stopped with max error %.5f\n", maxErr)
+}
+
+func errorStats(values map[nylon.NodeID]float64, mean float64) (maxErr, stdDev float64) {
+	var sq float64
+	for _, v := range values {
+		d := math.Abs(v - mean)
+		if d > maxErr {
+			maxErr = d
+		}
+		sq += d * d
+	}
+	return maxErr, math.Sqrt(sq / float64(len(values)))
+}

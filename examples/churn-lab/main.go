@@ -1,0 +1,73 @@
+// Churn-lab: the paper's Figure 10 experiment in miniature — remove half the
+// overlay at once and watch Nylon re-knit itself, while the NAT-oblivious
+// baseline falls apart.
+//
+// Run with: go run ./examples/churn-lab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+	"repro/internal/view"
+)
+
+func main() {
+	const (
+		peers  = 600
+		rounds = 200
+		natPct = 60
+	)
+	fmt.Printf("%d peers, %d%% natted, removing varying fractions at round %d\n\n",
+		peers, natPct, rounds/4)
+	fmt.Println("departed%   nylon-cluster%   baseline-cluster%")
+	for _, dep := range []float64{0.3, 0.5, 0.7, 0.8} {
+		var clusters [2]float64
+		for i, proto := range []exp.Protocol{exp.ProtoNylon, exp.ProtoGeneric} {
+			res, err := exp.Run(exp.Config{
+				N:               peers,
+				Rounds:          rounds,
+				NATRatio:        natPct / 100.0,
+				Protocol:        proto,
+				Selection:       view.SelectRand,
+				Merge:           view.MergeHealer,
+				PushPull:        true,
+				ChurnAtRound:    rounds / 4,
+				ChurnFraction:   dep,
+				Seed:            7,
+				EvictUnanswered: proto == exp.ProtoNylon,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			clusters[i] = res.BiggestCluster * 100
+		}
+		fmt.Printf("%8.0f%%   %13.1f%%   %16.1f%%\n", dep*100, clusters[0], clusters[1])
+	}
+
+	// Healing curve: how Nylon's overlay knits itself back together after
+	// losing 70% of its peers at once.
+	fmt.Println("\nnylon healing curve after 70% departures (cluster% / stale% per round):")
+	res, err := exp.Run(exp.Config{
+		N:                 peers,
+		Rounds:            rounds,
+		NATRatio:          natPct / 100.0,
+		Protocol:          exp.ProtoNylon,
+		Selection:         view.SelectRand,
+		Merge:             view.MergeHealer,
+		PushPull:          true,
+		ChurnAtRound:      rounds / 4,
+		ChurnFraction:     0.7,
+		Seed:              7,
+		EvictUnanswered:   true,
+		SampleEveryRounds: rounds / 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range res.Series {
+		fmt.Printf("  round %4d: cluster %6.1f%%  stale %5.1f%%  alive %d\n",
+			pt.Round, pt.BiggestCluster*100, pt.StaleFraction*100, pt.AlivePeers)
+	}
+}

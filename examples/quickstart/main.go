@@ -1,0 +1,102 @@
+// Quickstart: a 20-node overlay on the in-memory switch — half of it behind
+// simulated NATs — gossiping until every node holds a healthy random sample.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	nylon "repro"
+	"repro/internal/transport"
+)
+
+func main() {
+	const (
+		numNodes = 20
+		viewSize = 8
+		period   = 25 * time.Millisecond
+	)
+	sw := nylon.NewSwitch(time.Millisecond)
+
+	type attachment struct {
+		tr  *transport.MemTransport
+		adv nylon.Endpoint
+	}
+	var (
+		nodes   []*nylon.Node
+		seeds   []nylon.Descriptor
+		attachs []attachment
+	)
+	for i := 1; i <= numNodes; i++ {
+		var (
+			att   attachment
+			class nylon.NATClass
+		)
+		if i%2 == 0 {
+			// Even nodes sit behind port-restricted cone NATs.
+			memTr, mapped := sw.AttachNAT(nylon.PortRestrictedCone, 90*time.Second)
+			att, class = attachment{memTr, mapped}, nylon.PortRestrictedCone
+		} else {
+			memTr := sw.Attach()
+			att, class = attachment{memTr, memTr.LocalAddr()}, nylon.Public
+		}
+		boot := lastN(seeds, viewSize)
+		// Open join-time NAT holes toward the seeds, as an introducer
+		// service would.
+		for _, s := range boot {
+			for j, prev := range attachs {
+				if seeds[j].ID == s.ID {
+					sw.OpenHole(att.tr, prev.tr, att.adv, prev.adv)
+				}
+			}
+		}
+		node, err := nylon.NewNode(nylon.Config{
+			ID:        nylon.NodeID(i),
+			Transport: att.tr,
+			Advertise: att.adv,
+			NAT:       class,
+			Bootstrap: boot,
+			ViewSize:  viewSize,
+			Period:    period,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, node)
+		seeds = append(seeds, node.Self())
+		attachs = append(attachs, att)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	// Let the overlay mix for a while.
+	time.Sleep(60 * period)
+
+	fmt.Println("== views after mixing ==")
+	for _, n := range nodes {
+		st := n.Stats()
+		fmt.Printf("%-4v %-6v shuffles=%-3d punches=%-3d sample:", n.Self().ID, n.Self().Class, st.ShufflesCompleted, st.HolePunchesCompleted)
+		for _, d := range n.Sample(5) {
+			fmt.Printf(" %v", d.ID)
+		}
+		fmt.Println()
+	}
+}
+
+func lastN(ds []nylon.Descriptor, n int) []nylon.Descriptor {
+	if len(ds) > n {
+		ds = ds[len(ds)-n:]
+	}
+	out := make([]nylon.Descriptor, len(ds))
+	copy(out, ds)
+	return out
+}

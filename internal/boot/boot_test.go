@@ -1,0 +1,265 @@
+package boot
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+	"repro/internal/view"
+)
+
+func fastJoin() JoinConfig {
+	return JoinConfig{Timeout: 150 * time.Millisecond, Probes: 1}
+}
+
+// newIntroducer stands up a fully-equipped introducer (primary + alternate
+// port + alternate IP) on the given switch.
+func newIntroducer(t *testing.T, sw *transport.Switch) (*Introducer, ident.Endpoint) {
+	t.Helper()
+	primary := sw.Attach()
+	altPort := sw.AttachSibling(primary, 9001)
+	altIP := sw.Attach()
+	in := NewIntroducer(IntroducerConfig{Primary: primary, AltPort: altPort, AltIP: altIP})
+	t.Cleanup(func() {
+		in.Close()
+		primary.Close()
+		altPort.Close()
+		altIP.Close()
+	})
+	return in, primary.LocalAddr()
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Kind: KindBindingReq, Seq: 7, Via: ViaAltIP},
+		{
+			Kind: KindBindingResp, Seq: 7,
+			Mapped:  ident.Endpoint{IP: 1, Port: 2},
+			AltPort: ident.Endpoint{IP: 3, Port: 4},
+			AltIP:   ident.Endpoint{IP: 5, Port: 6},
+		},
+		{Kind: KindJoinReq, Self: view.Descriptor{ID: 9, Addr: ident.Endpoint{IP: 9, Port: 9}, Class: ident.Symmetric}},
+		{Kind: KindJoinResp, Seeds: []view.Descriptor{
+			{ID: 1, Addr: ident.Endpoint{IP: 1, Port: 1}, Class: ident.Public},
+			{ID: 2, Addr: ident.Endpoint{IP: 2, Port: 2}, Class: ident.RestrictedCone},
+		}},
+		{Kind: KindPunch, Self: view.Descriptor{ID: 3, Class: ident.PortRestrictedCone}},
+	}
+	for _, m := range msgs {
+		data, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("%v: %v", m.Kind, err)
+		}
+		if !IsBoot(data) {
+			t.Errorf("%v: IsBoot = false", m.Kind)
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%v: Unmarshal: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, m)
+		}
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	good, err := (&Message{Kind: KindJoinResp, Seeds: []view.Descriptor{{ID: 1}}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		good[:5],
+		append(append([]byte{}, good...), 1), // trailing byte
+		func() []byte { b := append([]byte{}, good...); b[0] = 0x7f; return b }(), // bad magic
+		func() []byte { b := append([]byte{}, good...); b[1] = 99; return b }(),   // bad kind
+		func() []byte { b := append([]byte{}, good...); b[2] = 99; return b }(),   // bad via
+	}
+	for i, data := range cases {
+		if _, err := Unmarshal(data); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: err = %v, want ErrMalformed", i, err)
+		}
+	}
+	if _, err := (&Message{Kind: 0}).Marshal(); err == nil {
+		t.Error("bad kind marshalled")
+	}
+	if _, err := (&Message{Kind: KindJoinResp, Seeds: make([]view.Descriptor, MaxSeeds+1)}).Marshal(); err == nil {
+		t.Error("oversized seed list marshalled")
+	}
+}
+
+func TestIsBootDistinguishesGossip(t *testing.T) {
+	if IsBoot([]byte{1, 2, 3}) {
+		t.Error("gossip wire version byte mistaken for boot magic")
+	}
+	if IsBoot(nil) {
+		t.Error("empty datagram is boot")
+	}
+}
+
+// TestClassification joins through every NAT class and checks the inferred
+// class — the live RFC 3489 decision tree over simulated devices.
+func TestClassification(t *testing.T) {
+	cases := []ident.NATClass{
+		ident.Public,
+		ident.FullCone,
+		ident.RestrictedCone,
+		ident.PortRestrictedCone,
+		ident.Symmetric,
+	}
+	for _, class := range cases {
+		t.Run(class.String(), func(t *testing.T) {
+			sw := transport.NewSwitch(time.Millisecond)
+			defer sw.Close()
+			_, introducer := newIntroducer(t, sw)
+
+			var tr transport.Transport
+			if class == ident.Public {
+				p := sw.Attach()
+				defer p.Close()
+				tr = p
+			} else {
+				p, _ := sw.AttachNAT(class, time.Minute)
+				defer p.Close()
+				tr = p
+			}
+			res, err := Join(tr, introducer, 42, fastJoin())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Class != class {
+				t.Errorf("classified as %v, want %v", res.Class, class)
+			}
+			if res.Mapped.IsZero() {
+				t.Error("no mapped endpoint")
+			}
+		})
+	}
+}
+
+func TestJoinHandsOutSeeds(t *testing.T) {
+	sw := transport.NewSwitch(time.Millisecond)
+	defer sw.Close()
+	in, introducer := newIntroducer(t, sw)
+
+	var members []*transport.MemTransport
+	for i := 1; i <= 5; i++ {
+		tr, _ := sw.AttachNAT(ident.PortRestrictedCone, time.Minute)
+		members = append(members, tr)
+		res, err := Join(tr, introducer, ident.NodeID(i), fastJoin())
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		if want := i - 1; len(res.Seeds) != min(want, 8) {
+			t.Errorf("join %d got %d seeds, want %d", i, len(res.Seeds), want)
+		}
+		// Seeds must never include the joiner.
+		for _, s := range res.Seeds {
+			if s.ID == ident.NodeID(i) {
+				t.Errorf("join %d was handed itself as a seed", i)
+			}
+		}
+	}
+	defer func() {
+		for _, m := range members {
+			m.Close()
+		}
+	}()
+	if in.Members() != 5 {
+		t.Errorf("Members = %d, want 5", in.Members())
+	}
+}
+
+// TestJoinOpensUsableHoles verifies the whole point: after two natted peers
+// join, the second can message the first directly even though both sit
+// behind port-restricted NATs.
+func TestJoinOpensUsableHoles(t *testing.T) {
+	sw := transport.NewSwitch(time.Millisecond)
+	defer sw.Close()
+	_, introducer := newIntroducer(t, sw)
+
+	trA, _ := sw.AttachNAT(ident.PortRestrictedCone, time.Minute)
+	defer trA.Close()
+	resA, err := Join(trA, introducer, 1, fastJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trB, _ := sw.AttachNAT(ident.PortRestrictedCone, time.Minute)
+	defer trB.Close()
+	resB, err := Join(trB, introducer, 2, fastJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resB.Seeds) != 1 || resB.Seeds[0].ID != 1 {
+		t.Fatalf("B's seeds = %v, want [n1]", resB.Seeds)
+	}
+
+	// Give the punch datagrams a moment to cross the switch.
+	time.Sleep(50 * time.Millisecond)
+
+	// B sends directly to A's advertised mapping; A's NAT must admit it
+	// thanks to the punch A sent after the introducer's request.
+	probe, err := (&Message{Kind: KindPunch, Self: view.Descriptor{ID: 2, Addr: resB.Mapped, Class: resB.Class}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trB.Send(resA.Mapped, probe); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pkt := <-trA.Packets():
+		m, err := Unmarshal(pkt.Data)
+		if err != nil || m.Kind != KindPunch || m.Self.ID != 2 {
+			t.Errorf("A received %v, %v", m, err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("hole not open: B's datagram never reached A")
+	}
+}
+
+func TestJoinTimeout(t *testing.T) {
+	sw := transport.NewSwitch(0)
+	defer sw.Close()
+	tr := sw.Attach()
+	defer tr.Close()
+	// Nobody listening at the target endpoint.
+	_, err := Join(tr, ident.Endpoint{IP: 0x7e000001, Port: 1}, 1, fastJoin())
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestIntroducerWithoutAlternates(t *testing.T) {
+	sw := transport.NewSwitch(time.Millisecond)
+	defer sw.Close()
+	primary := sw.Attach()
+	defer primary.Close()
+	in := NewIntroducer(IntroducerConfig{Primary: primary})
+	defer in.Close()
+
+	tr, _ := sw.AttachNAT(ident.RestrictedCone, time.Minute)
+	defer tr.Close()
+	res, err := Join(tr, primary.LocalAddr(), 1, fastJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without alternate sockets RC degrades to the conservative PRC.
+	if res.Class != ident.PortRestrictedCone {
+		t.Errorf("degraded classification = %v, want prc", res.Class)
+	}
+}
+
+func TestIntroducerCloseIdempotent(t *testing.T) {
+	sw := transport.NewSwitch(0)
+	defer sw.Close()
+	primary := sw.Attach()
+	defer primary.Close()
+	in := NewIntroducer(IntroducerConfig{Primary: primary})
+	in.Close()
+	in.Close()
+}

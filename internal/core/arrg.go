@@ -1,0 +1,160 @@
+package core
+
+import (
+	"repro/internal/ident"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// ARRG is the reachable-peer-cache baseline after Drost et al., "ARRG:
+// real-world gossiping" (HPDC 2007) — the only prior gossip work addressing
+// NATs that the paper cites [6]. It behaves like the Generic engine but keeps
+// a bounded cache of peers it recently exchanged datagrams with (whose NAT
+// rules toward it are therefore likely still alive). When a shuffle gets no
+// answer, the next round retries against a random cache member instead of
+// only trusting the view.
+//
+// The paper's §1 argues this "cannot ensure that the network will remain
+// connected"; the A2 ablation benchmark quantifies that claim.
+type ARRG struct {
+	cfg       Config
+	cacheSize int
+	view      *view.View
+	// cache holds recently-responsive peers with their observed endpoints,
+	// most recent last.
+	cache []view.Descriptor
+	// pending is the target of the not-yet-answered REQUEST, if any;
+	// pendingSent is the buffer shipped with it (swapper bookkeeping).
+	pending     ident.NodeID
+	pendingSent []view.Descriptor
+	stats       Stats
+}
+
+var _ Engine = (*ARRG)(nil)
+
+// NewARRG builds the engine. cacheSize bounds the reachable-peer cache; it
+// panics if not positive.
+func NewARRG(cfg Config, cacheSize int) *ARRG {
+	cfg.validate()
+	if cacheSize <= 0 {
+		panic("core: ARRG cacheSize must be positive")
+	}
+	return &ARRG{cfg: cfg, cacheSize: cacheSize, view: view.New(cfg.Self.ID, cfg.ViewSize)}
+}
+
+// Self implements Engine.
+func (a *ARRG) Self() view.Descriptor { return a.cfg.Self.Fresh() }
+
+// View implements Engine.
+func (a *ARRG) View() *view.View { return a.view }
+
+// Stats implements Engine.
+func (a *ARRG) Stats() *Stats { return &a.stats }
+
+// Bootstrap seeds the view.
+func (a *ARRG) Bootstrap(ds []view.Descriptor) {
+	for _, d := range ds {
+		a.view.Add(d)
+	}
+}
+
+// CacheLen reports the current cache occupancy, for tests and metrics.
+func (a *ARRG) CacheLen() int { return len(a.cache) }
+
+func (a *ARRG) cacheAdd(d view.Descriptor) {
+	if d.ID == a.cfg.Self.ID || d.ID.IsNil() {
+		return
+	}
+	for i := range a.cache {
+		if a.cache[i].ID == d.ID {
+			a.cache = append(a.cache[:i], a.cache[i+1:]...)
+			break
+		}
+	}
+	a.cache = append(a.cache, d)
+	if len(a.cache) > a.cacheSize {
+		a.cache = a.cache[1:]
+	}
+}
+
+func (a *ARRG) buffer() ([]wire.ViewEntry, []view.Descriptor) {
+	sent := a.view.PrepareExchange(a.cfg.Merge, a.cfg.RNG)
+	entries := make([]wire.ViewEntry, 0, len(sent)+1)
+	entries = append(entries, wire.ViewEntry{Desc: a.Self()})
+	for _, d := range sent {
+		entries = append(entries, wire.ViewEntry{Desc: d})
+	}
+	return entries, sent
+}
+
+func (a *ARRG) request(target view.Descriptor) Send {
+	entries, sent := a.buffer()
+	a.pendingSent = sent
+	return Send{To: target.Addr, ToID: target.ID, Msg: &wire.Message{
+		Kind: wire.KindRequest, Src: a.Self(), Dst: target, Via: a.Self(),
+		Entries: entries,
+	}}
+}
+
+// Tick implements Engine. If the previous round's shuffle went unanswered,
+// this round additionally retries against a random cache member.
+func (a *ARRG) Tick(now int64) []Send {
+	defer a.view.IncreaseAge()
+	var out []Send
+	if !a.pending.IsNil() {
+		// Last round's target never answered: evict it (ARRG always
+		// does — detecting unreachable peers is its point) and retry
+		// against a random cache member.
+		a.view.Remove(a.pending)
+		if len(a.cache) > 0 {
+			a.stats.CacheFallbacks++
+			fallback := a.cache[a.cfg.RNG.Intn(len(a.cache))]
+			out = append(out, a.request(fallback))
+		}
+	}
+	a.pending = ident.Nil
+	target, ok := a.view.Select(a.cfg.Selection, a.cfg.RNG)
+	if !ok {
+		return out
+	}
+	a.stats.ShufflesInitiated++
+	a.pending = target.ID
+	return append(out, a.request(target))
+}
+
+// Receive implements Engine.
+func (a *ARRG) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send {
+	// Every datagram proves its sender currently reachable: remember the
+	// observed endpoint, which its NAT will keep admitting for a while.
+	observed := msg.Src
+	observed.Addr = from
+	switch msg.Kind {
+	case wire.KindRequest:
+		a.cacheAdd(observed)
+		var out []Send
+		var sentResp []view.Descriptor
+		if a.cfg.PushPull {
+			var entries []wire.ViewEntry
+			entries, sentResp = a.buffer()
+			out = append(out, Send{To: from, ToID: msg.Src.ID, Msg: &wire.Message{
+				Kind: wire.KindResponse, Src: a.Self(), Dst: msg.Src, Via: a.Self(),
+				Entries: entries,
+			}})
+		}
+		a.view.ApplyExchange(a.cfg.Merge, msg.Descriptors(), sentResp, a.cfg.RNG)
+		a.view.IncreaseAge()
+		a.stats.ShufflesAnswered++
+		return out
+	case wire.KindResponse:
+		a.cacheAdd(observed)
+		if msg.Src.ID == a.pending {
+			a.pending = ident.Nil
+		}
+		a.view.ApplyExchange(a.cfg.Merge, msg.Descriptors(), a.pendingSent, a.cfg.RNG)
+		a.pendingSent = nil
+		a.stats.ShufflesCompleted++
+		return nil
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,144 @@
+// Package core implements the gossip peer-sampling protocol engines of the
+// Nylon paper as sans-IO state machines:
+//
+//   - Generic: the baseline protocol of Fig. 1, configurable along the three
+//     dimensions of Section 3 (target selection, view propagation, view
+//     merging). It is NAT-oblivious: its messages get dropped by NAT devices,
+//     which is exactly the pathology Figures 2-4 of the paper measure.
+//   - Nylon: the NAT-resilient protocol of Fig. 6, with reactive hole
+//     punching over chains of rendez-vous peers (RVPs).
+//   - ARRG: the reachable-peer-cache baseline of Drost et al. [6], the only
+//     prior gossip work handling NATs the paper cites.
+//   - StaticRVP: the strawman dismissed in Section 4's introduction, where
+//     every natted peer is bound to one fixed public rendez-vous peer.
+//
+// Engines are driven by a host (the discrete-event simulator or the
+// real-time runtime): the host calls Tick once per shuffling period and
+// Receive for each delivered datagram; engines return Send commands and never
+// perform IO, so the same code runs under virtual and real time.
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/ident"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// Send instructs the host to transmit one datagram to a transport endpoint.
+type Send struct {
+	// To is the transport-level destination of the datagram. It may be a
+	// relay rather than Msg.Dst.
+	To ident.Endpoint
+	// ToID identifies the intended transport-level recipient, for tracing
+	// and metrics; the network delivers by endpoint only.
+	ToID ident.NodeID
+	// Msg is the datagram. The engine relinquishes ownership.
+	Msg *wire.Message
+}
+
+// Engine is a peer-sampling protocol instance for one peer.
+type Engine interface {
+	// Self returns the peer's own current descriptor (age zero).
+	Self() view.Descriptor
+	// View returns the peer's partial view. Callers must treat it as
+	// read-only; the engine owns it.
+	View() *view.View
+	// Tick runs one shuffling period: select a gossip target, emit the
+	// messages that start the exchange, age the view.
+	Tick(now int64) []Send
+	// Receive processes one datagram delivered at the given time from the
+	// given transport endpoint.
+	Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send
+	// Stats exposes the engine's monotonic counters.
+	Stats() *Stats
+}
+
+// Stats counts protocol events. All counters are monotonic; hosts snapshot
+// and diff them. The fields deliberately mirror the metrics of the paper's
+// evaluation section.
+type Stats struct {
+	// ShufflesInitiated counts Tick calls that selected a target.
+	ShufflesInitiated uint64
+	// ShufflesCompleted counts merged RESPONSEs (push/pull) at the
+	// initiator.
+	ShufflesCompleted uint64
+	// ShufflesAnswered counts REQUESTs merged at the responder.
+	ShufflesAnswered uint64
+	// NoRoute counts initiations or forwards abandoned because no live RVP
+	// route existed.
+	NoRoute uint64
+	// Forwarded counts datagrams relayed for other peers (RVP load).
+	Forwarded uint64
+	// HolePunchesStarted counts OPEN_HOLE messages originated.
+	HolePunchesStarted uint64
+	// HolePunchesCompleted counts PONGs received in response.
+	HolePunchesCompleted uint64
+	// Relayed counts REQUEST/RESPONSE exchanges that had to be relayed
+	// end-to-end (symmetric NAT cases).
+	Relayed uint64
+	// ChainHopsTotal and ChainSamples accumulate the RVP chain length
+	// observed at the destination of OPEN_HOLE and relayed REQUEST
+	// messages (Fig. 9: "average number of RVPs towards a natted
+	// destination").
+	ChainHopsTotal uint64
+	ChainSamples   uint64
+	// CacheFallbacks counts ARRG shuffle retries served from the cache.
+	CacheFallbacks uint64
+}
+
+// Config carries the parameters shared by all engines. The zero value is not
+// usable; fill every field.
+type Config struct {
+	// Self is the peer's own descriptor: identity, advertised contact
+	// endpoint (the NAT mapping for natted peers), NAT class.
+	Self view.Descriptor
+	// ViewSize is the maximum partial view size (paper default: 15).
+	ViewSize int
+	// Selection is the gossip target selection policy.
+	Selection view.Selection
+	// Merge is the view merging policy.
+	Merge view.Merge
+	// PushPull selects push/pull view propagation; false means push only.
+	PushPull bool
+	// HoleTimeout is the NAT filtering rule lifetime in milliseconds
+	// (paper: 90 s). Nylon uses it as the TTL of fresh routing entries.
+	HoleTimeout int64
+	// LatencyBound is the assumed upper bound on one-way message latency
+	// in milliseconds; Nylon discounts relayed route TTLs by it (paper §4:
+	// "the TTL mechanism assumes a known upper bound on the latency").
+	LatencyBound int64
+	// RNG drives every random choice of the engine. Each engine must get
+	// its own instance; engines never fall back to global randomness.
+	RNG *rand.Rand
+	// EvictUnanswered removes a shuffle target from the view when it has
+	// not answered by the next period, as the reference implementation of
+	// Jelasity et al. (TOCS 2007) does on timeout. The paper's Fig. 1 and
+	// Fig. 6 pseudocode omit it, so it defaults off for fidelity; turning
+	// it on sharply accelerates recovery from churn (ablation A5).
+	EvictUnanswered bool
+	// RefreshRoutesOnTraffic makes Nylon extend the TTL of every route
+	// through an RVP whenever a datagram from that RVP arrives (one
+	// possible reading of §4's TTL-update rule). Off by default: it keeps
+	// routes alive whose onward legs are dead (see ablation A3).
+	RefreshRoutesOnTraffic bool
+}
+
+func (c Config) validate() {
+	if c.Self.ID.IsNil() {
+		panic("core: Config.Self.ID is nil")
+	}
+	if c.ViewSize <= 0 {
+		panic("core: Config.ViewSize must be positive")
+	}
+	if c.RNG == nil {
+		panic("core: Config.RNG is nil")
+	}
+}
+
+// maxForwardHops bounds RVP chain forwarding so that routing loops (possible
+// transiently with stale tables) cannot circulate messages forever. The
+// paper observes chains of fewer than 4 relays on average; 32 is far beyond
+// any useful chain.
+const maxForwardHops = 32

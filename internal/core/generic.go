@@ -1,0 +1,132 @@
+package core
+
+import (
+	"repro/internal/ident"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// Generic is the NAT-oblivious gossip peer-sampling protocol of Fig. 1 of the
+// paper, configurable along the selection, propagation and merging
+// dimensions. It addresses every message to the target's advertised endpoint
+// and has no traversal machinery: NAT devices silently eat its datagrams,
+// wasting the round and leaving stale references behind.
+type Generic struct {
+	cfg  Config
+	view *view.View
+	// pendingSent remembers the buffer shipped with the round's REQUEST so
+	// the swapper policy can discard exactly those entries when the
+	// RESPONSE arrives; pendingTarget is who it went to. A target that has
+	// not answered by the next period is evicted from the view, as in the
+	// reference framework of Jelasity et al. (TOCS 2007) — with NATs in
+	// the way this is the only thing that ever clears stale entries, and
+	// the resulting view shrinkage is precisely what partitions the
+	// overlay in the paper's Fig. 2.
+	pendingSent   []view.Descriptor
+	pendingTarget ident.NodeID
+	stats         Stats
+}
+
+var _ Engine = (*Generic)(nil)
+
+// NewGeneric builds a baseline engine. It panics on an invalid Config.
+func NewGeneric(cfg Config) *Generic {
+	cfg.validate()
+	return &Generic{cfg: cfg, view: view.New(cfg.Self.ID, cfg.ViewSize)}
+}
+
+// Self implements Engine.
+func (g *Generic) Self() view.Descriptor { return g.cfg.Self.Fresh() }
+
+// View implements Engine.
+func (g *Generic) View() *view.View { return g.view }
+
+// Stats implements Engine.
+func (g *Generic) Stats() *Stats { return &g.stats }
+
+// Bootstrap seeds the view with initial descriptors (at most ViewSize).
+func (g *Generic) Bootstrap(ds []view.Descriptor) {
+	for _, d := range ds {
+		g.view.Add(d)
+	}
+}
+
+// buffer builds the shuffle buffer: the peer's fresh descriptor plus the
+// exchange half of its view. It returns both the wire entries and the raw
+// descriptors shipped (for the swapper bookkeeping).
+func (g *Generic) buffer() ([]wire.ViewEntry, []view.Descriptor) {
+	sent := g.view.PrepareExchange(g.cfg.Merge, g.cfg.RNG)
+	entries := make([]wire.ViewEntry, 0, len(sent)+1)
+	entries = append(entries, wire.ViewEntry{Desc: g.Self()})
+	for _, d := range sent {
+		entries = append(entries, wire.ViewEntry{Desc: d})
+	}
+	return entries, sent
+}
+
+// Tick implements Engine: one shuffling period (Fig. 1, lines 1-7).
+func (g *Generic) Tick(now int64) []Send {
+	if g.cfg.EvictUnanswered && g.cfg.PushPull && !g.pendingTarget.IsNil() {
+		// Last round's target never answered: evict it.
+		g.view.Remove(g.pendingTarget)
+		g.pendingTarget = ident.Nil
+	}
+	target, ok := g.view.Select(g.cfg.Selection, g.cfg.RNG)
+	// Ages increase once per period whether or not a target exists, so
+	// isolated peers do not freeze their view's age structure.
+	defer g.view.IncreaseAge()
+	if !ok {
+		return nil
+	}
+	g.stats.ShufflesInitiated++
+	entries, sent := g.buffer()
+	g.pendingSent = sent
+	g.pendingTarget = target.ID
+	msg := &wire.Message{
+		Kind:    wire.KindRequest,
+		Src:     g.Self(),
+		Dst:     target,
+		Via:     g.Self(),
+		Entries: entries,
+	}
+	return []Send{{To: target.Addr, ToID: target.ID, Msg: msg}}
+}
+
+// Receive implements Engine (Fig. 1, lines 8-12).
+func (g *Generic) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send {
+	switch msg.Kind {
+	case wire.KindRequest:
+		var out []Send
+		var sent []view.Descriptor
+		if g.cfg.PushPull {
+			var entries []wire.ViewEntry
+			entries, sent = g.buffer()
+			resp := &wire.Message{
+				Kind:    wire.KindResponse,
+				Src:     g.Self(),
+				Dst:     msg.Src,
+				Via:     g.Self(),
+				Entries: entries,
+			}
+			// Reply to the observed transport endpoint: the
+			// requester's NAT session toward us admits exactly this
+			// return path.
+			out = append(out, Send{To: from, ToID: msg.Src.ID, Msg: resp})
+		}
+		g.view.ApplyExchange(g.cfg.Merge, msg.Descriptors(), sent, g.cfg.RNG)
+		g.view.IncreaseAge()
+		g.stats.ShufflesAnswered++
+		return out
+	case wire.KindResponse:
+		if msg.Src.ID == g.pendingTarget {
+			g.pendingTarget = ident.Nil
+		}
+		g.view.ApplyExchange(g.cfg.Merge, msg.Descriptors(), g.pendingSent, g.cfg.RNG)
+		g.pendingSent = nil
+		g.stats.ShufflesCompleted++
+		return nil
+	default:
+		// The baseline protocol has no other message kinds; ignore.
+		return nil
+	}
+}

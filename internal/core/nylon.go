@@ -1,0 +1,403 @@
+package core
+
+import (
+	"repro/internal/ident"
+	"repro/internal/rt"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// Nylon is the NAT-resilient gossip peer-sampling engine of Fig. 6 of the
+// paper. On top of the (push/pull, rand, healer) baseline it adds:
+//
+//   - a routing table mapping natted view entries to the rendez-vous peer
+//     (RVP) that provided them, with TTLs that travel along with view entries
+//     during shuffles;
+//   - reactive hole punching: OPEN_HOLE messages routed hop-by-hop along RVP
+//     chains, a PING that opens the initiator's own NAT, and a PONG that
+//     confirms the hole, after which the REQUEST flows directly;
+//   - full relaying of exchanges that hole punching cannot serve (symmetric
+//     NAT combinations, Fig. 6 lines 5-7 and 20-22).
+//
+// Two engineering choices go slightly beyond the pseudocode and are
+// documented in DESIGN.md: (1) endpoint learning — the engine records the
+// observed transport endpoint of every datagram's Via peer, which is what
+// makes replies to symmetric-NAT mappings work; (2) routes for received view
+// entries are installed toward the transport-level sender (Via) rather than
+// the logical shuffle partner, and relays snoop forwarded shuffles the same
+// way. For every exchange that completes directly (all non-symmetric
+// combinations) Via equals the shuffle partner, so this matches the paper
+// exactly; for relayed exchanges it is what keeps the RVP chain invariant —
+// "every hop can route the message onward" — actually true.
+type Nylon struct {
+	cfg    Config
+	view   *view.View
+	routes *rt.Table
+	// pending tracks hole punches started this period, so a PONG triggers
+	// exactly one REQUEST (the pseudocode would answer every PONG).
+	pending map[ident.NodeID]bool
+	// pendingSent remembers the buffer shipped with the round's REQUEST
+	// for the swapper policy; pendingTarget is the shuffle partner that
+	// must answer before the next period or be evicted from the view
+	// (Jelasity et al.'s no-reply eviction — the mechanism that lets the
+	// overlay shed departed peers after churn).
+	pendingSent   []view.Descriptor
+	pendingTarget ident.NodeID
+	stats         Stats
+}
+
+var _ Engine = (*Nylon)(nil)
+
+// NewNylon builds a Nylon engine. It panics on an invalid Config.
+func NewNylon(cfg Config) *Nylon {
+	cfg.validate()
+	if cfg.HoleTimeout <= 0 {
+		panic("core: Nylon requires a positive HoleTimeout")
+	}
+	return &Nylon{
+		cfg:     cfg,
+		view:    view.New(cfg.Self.ID, cfg.ViewSize),
+		routes:  rt.New(cfg.Self.ID),
+		pending: make(map[ident.NodeID]bool),
+	}
+}
+
+// Self implements Engine.
+func (n *Nylon) Self() view.Descriptor { return n.cfg.Self.Fresh() }
+
+// View implements Engine.
+func (n *Nylon) View() *view.View { return n.view }
+
+// Stats implements Engine.
+func (n *Nylon) Stats() *Stats { return &n.stats }
+
+// Routes exposes the routing table for metrics and tests (read-only use).
+func (n *Nylon) Routes() *rt.Table { return n.routes }
+
+// Bootstrap seeds the view and installs direct routes to the seeds, modelling
+// the join handshake performed through an introducer. The host must install
+// the matching NAT state (see the simulator's bootstrap).
+func (n *Nylon) Bootstrap(now int64, ds []view.Descriptor) {
+	for _, d := range ds {
+		if n.view.Add(d) {
+			n.routes.SetDirect(d, now+n.cfg.HoleTimeout)
+		}
+	}
+}
+
+// reachableDirect reports whether dest accepts our datagrams without any
+// traversal, and returns the endpoint to use.
+func (n *Nylon) reachableDirect(dest view.Descriptor, now int64) (ident.Endpoint, bool) {
+	if !dest.Class.Natted() || dest.Class == ident.FullCone {
+		return dest.Addr, true
+	}
+	if e, ok := n.routes.Get(dest.ID, now); ok && e.RVP.ID == dest.ID {
+		// Use the learned endpoint: for symmetric peers it is the only
+		// mapping that admits us.
+		return e.RVP.Addr, true
+	}
+	return ident.Zero, false
+}
+
+// resolveHop walks the routing table from dest to the first peer that can be
+// reached directly, which is where the datagram must be transmitted. The
+// second result is false when no live chain exists.
+func (n *Nylon) resolveHop(dest view.Descriptor, now int64) (view.Descriptor, bool) {
+	cur := dest
+	for depth := 0; depth < 8; depth++ {
+		rvp, ok := n.routes.Next(cur.ID, now)
+		if !ok {
+			return view.Descriptor{}, false
+		}
+		if rvp.ID == cur.ID && cur.ID == dest.ID {
+			// Direct hole to the destination itself.
+			return rvp, true
+		}
+		if addr, ok := n.reachableDirect(rvp, now); ok {
+			rvp.Addr = addr
+			return rvp, true
+		}
+		if rvp.ID == cur.ID {
+			return view.Descriptor{}, false
+		}
+		cur = rvp
+	}
+	return view.Descriptor{}, false
+}
+
+// buffer encodes the peer's fresh self-descriptor plus the exchange half of
+// its view, each natted entry annotated with the remaining route TTL toward
+// it ("TTLs are exchanged by peers together with their views", §4). The raw
+// sent descriptors are returned for the swapper bookkeeping.
+func (n *Nylon) buffer(now int64) ([]wire.ViewEntry, []view.Descriptor) {
+	sent := n.view.PrepareExchange(n.cfg.Merge, n.cfg.RNG)
+	entries := make([]wire.ViewEntry, 0, len(sent)+1)
+	entries = append(entries, wire.ViewEntry{Desc: n.Self()})
+	for _, d := range sent {
+		e := wire.ViewEntry{Desc: d}
+		if d.Class.Natted() {
+			ttl := n.routes.TTL(d.ID, now)
+			if ttl > 0 {
+				e.RouteTTL = uint32(ttl)
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries, sent
+}
+
+// installRoutes records RVP routes for received (or snooped) natted view
+// entries: the next hop toward each of them is the peer that physically
+// handed us the message, and the TTL is the advertised remainder capped by
+// the hole lifetime and discounted by the latency bound.
+func (n *Nylon) installRoutes(now int64, entries []wire.ViewEntry, via view.Descriptor) {
+	for _, e := range entries {
+		if !e.Desc.Class.Natted() || e.RouteTTL == 0 || e.Desc.ID == n.cfg.Self.ID {
+			continue
+		}
+		ttl := int64(e.RouteTTL)
+		if ttl > n.cfg.HoleTimeout {
+			ttl = n.cfg.HoleTimeout
+		}
+		ttl -= n.cfg.LatencyBound
+		if ttl <= 0 {
+			continue
+		}
+		n.routes.Set(e.Desc.ID, via, now+ttl)
+	}
+}
+
+// relayInitiate is the condition of Fig. 6 line 5: the initiator must relay
+// the REQUEST when the target is symmetric and it is port-restricted, or when
+// it is itself symmetric — hole punching cannot serve those combinations.
+func relayInitiate(self, target view.Descriptor) bool {
+	return (target.Class == ident.Symmetric && self.Class == ident.PortRestrictedCone) ||
+		self.Class == ident.Symmetric
+}
+
+// relayRespond is the condition of Fig. 6 line 20: the responder sends the
+// RESPONSE back along the RVP chain when either side is symmetric and the
+// other is not public.
+func relayRespond(self, src view.Descriptor) bool {
+	return (src.Class == ident.Symmetric && self.Class != ident.Public) ||
+		(self.Class == ident.Symmetric && src.Class != ident.Public)
+}
+
+// Tick implements Engine: Fig. 6 lines 1-14.
+func (n *Nylon) Tick(now int64) []Send {
+	n.routes.Purge(now)
+	// Hole punches from previous periods are void: each PONG must map to a
+	// punch from the current round.
+	clear(n.pending)
+	if n.cfg.EvictUnanswered && !n.pendingTarget.IsNil() {
+		// Last round's target never answered — dead peer or broken
+		// chain. Evict it so churn cannot freeze the view.
+		n.view.Remove(n.pendingTarget)
+	}
+	n.pendingTarget = ident.Nil
+	defer n.view.IncreaseAge()
+
+	target, ok := n.view.Select(n.cfg.Selection, n.cfg.RNG)
+	if !ok {
+		return nil
+	}
+	n.stats.ShufflesInitiated++
+	n.pendingTarget = target.ID
+	self := n.Self()
+
+	if addr, ok := n.reachableDirect(target, now); ok {
+		// Fig. 6 line 3: target public or next_RVP(target) = target.
+		entries, sent := n.buffer(now)
+		n.pendingSent = sent
+		msg := &wire.Message{
+			Kind: wire.KindRequest, Src: self, Dst: target, Via: self,
+			Entries: entries,
+		}
+		return []Send{{To: addr, ToID: target.ID, Msg: msg}}
+	}
+	hop, ok := n.resolveHop(target, now)
+	if !ok {
+		n.stats.NoRoute++
+		return nil
+	}
+	if relayInitiate(self, target) {
+		// Fig. 6 lines 5-7: relay the REQUEST itself along the chain.
+		n.stats.Relayed++
+		entries, sent := n.buffer(now)
+		n.pendingSent = sent
+		msg := &wire.Message{
+			Kind: wire.KindRequest, Src: self, Dst: target, Via: self,
+			Entries: entries,
+		}
+		return []Send{{To: hop.Addr, ToID: hop.ID, Msg: msg}}
+	}
+	// Fig. 6 lines 8-12: reactive hole punching.
+	n.stats.HolePunchesStarted++
+	n.pending[target.ID] = true
+	out := []Send{{
+		To: hop.Addr, ToID: hop.ID,
+		Msg: &wire.Message{Kind: wire.KindOpenHole, Src: self, Dst: target, Via: self},
+	}}
+	if self.Class.Natted() {
+		// The PING opens our own NAT toward the target; the target's NAT
+		// will normally drop it, which is fine.
+		out = append(out, Send{
+			To: target.Addr, ToID: target.ID,
+			Msg: &wire.Message{Kind: wire.KindPing, Src: self, Dst: target, Via: self},
+		})
+	}
+	return out
+}
+
+// Receive implements Engine: Fig. 6 lines 15-46.
+func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send {
+	// update_next_RVP(p, p, HOLE_TIMEOUT): the transport sender reached us,
+	// so a direct return path exists. Record its observed endpoint.
+	via := msg.Via
+	via.Addr = from
+	if via.ID != n.cfg.Self.ID && !via.ID.IsNil() {
+		n.routes.SetDirect(via, now+n.cfg.HoleTimeout)
+		if n.cfg.RefreshRoutesOnTraffic {
+			// §4 offers this reading — TTLs updated "every time a
+			// message from one RVP stored in the routing table is
+			// received" — but refreshing a route only proves its local
+			// leg alive, not the RVP's onward legs; the A3 ablation
+			// shows it breaks chains, which is why it defaults off.
+			n.routes.RefreshVia(via.ID, now+n.cfg.HoleTimeout-n.cfg.LatencyBound)
+		}
+	}
+	// Reverse-path learning: the originator is reachable back through the
+	// peer that handed us this datagram.
+	if msg.Src.ID != via.ID && msg.Src.ID != n.cfg.Self.ID && !msg.Src.ID.IsNil() {
+		n.routes.Set(msg.Src.ID, via, now+n.cfg.HoleTimeout-n.cfg.LatencyBound)
+	}
+
+	switch msg.Kind {
+	case wire.KindRequest:
+		if msg.Dst.ID != n.cfg.Self.ID {
+			return n.forward(now, msg, via)
+		}
+		return n.handleRequest(now, from, msg, via)
+	case wire.KindResponse:
+		if msg.Dst.ID != n.cfg.Self.ID {
+			return n.forward(now, msg, via)
+		}
+		if via.ID != msg.Src.ID {
+			n.stats.ChainHopsTotal += uint64(msg.Hops)
+			n.stats.ChainSamples++
+		}
+		if msg.Src.ID == n.pendingTarget {
+			n.pendingTarget = ident.Nil
+		}
+		n.view.ApplyExchange(n.cfg.Merge, msg.Descriptors(), n.pendingSent, n.cfg.RNG)
+		n.pendingSent = nil
+		n.installRoutes(now, msg.Entries, via)
+		n.stats.ShufflesCompleted++
+		return nil
+	case wire.KindOpenHole:
+		if msg.Dst.ID != n.cfg.Self.ID {
+			return n.forward(now, msg, via)
+		}
+		// Fig. 6 lines 37-38: we are the hole-punch target; answer the
+		// originator directly so both NATs now hold matching rules.
+		n.stats.ChainHopsTotal += uint64(msg.Hops) + 1
+		n.stats.ChainSamples++
+		pong := &wire.Message{Kind: wire.KindPong, Src: n.Self(), Dst: msg.Src, Via: n.Self()}
+		return []Send{{To: msg.Src.Addr, ToID: msg.Src.ID, Msg: pong}}
+	case wire.KindPing:
+		// Fig. 6 lines 41-43: reply to the observed endpoint.
+		pong := &wire.Message{Kind: wire.KindPong, Src: n.Self(), Dst: msg.Src, Via: n.Self()}
+		return []Send{{To: from, ToID: msg.Src.ID, Msg: pong}}
+	case wire.KindPong:
+		// Fig. 6 lines 44-46: the hole is open; gossip through it. Only
+		// punches from the current period are honoured.
+		if !n.pending[msg.Src.ID] {
+			return nil
+		}
+		delete(n.pending, msg.Src.ID)
+		n.stats.HolePunchesCompleted++
+		entries, sent := n.buffer(now)
+		n.pendingSent = sent
+		req := &wire.Message{
+			Kind: wire.KindRequest, Src: n.Self(), Dst: msg.Src, Via: n.Self(),
+			Entries: entries,
+		}
+		return []Send{{To: from, ToID: msg.Src.ID, Msg: req}}
+	default:
+		return nil
+	}
+}
+
+// handleRequest processes a shuffle REQUEST addressed to this peer
+// (Fig. 6 lines 15-26).
+func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message, via view.Descriptor) []Send {
+	if via.ID != msg.Src.ID {
+		n.stats.ChainHopsTotal += uint64(msg.Hops)
+		n.stats.ChainSamples++
+	}
+	var out []Send
+	var sentResp []view.Descriptor
+	if n.cfg.PushPull {
+		self := n.Self()
+		var entries []wire.ViewEntry
+		entries, sentResp = n.buffer(now)
+		resp := &wire.Message{
+			Kind: wire.KindResponse, Src: self, Dst: msg.Src, Via: self,
+			Entries: entries,
+		}
+		if relayRespond(self, msg.Src) {
+			// Fig. 6 lines 20-22: the response must travel back along
+			// the chain.
+			if hop, ok := n.resolveHop(msg.Src, now); ok {
+				if hop.ID != msg.Src.ID {
+					n.stats.Relayed++
+				}
+				out = append(out, Send{To: hop.Addr, ToID: hop.ID, Msg: resp})
+			} else {
+				n.stats.NoRoute++
+			}
+		} else {
+			// Fig. 6 lines 23-24. When the request arrived directly the
+			// observed endpoint is the right return path; otherwise the
+			// initiator punched a hole toward us and awaits us at its
+			// advertised address.
+			addr := msg.Src.Addr
+			if via.ID == msg.Src.ID {
+				addr = from
+			}
+			out = append(out, Send{To: addr, ToID: msg.Src.ID, Msg: resp})
+		}
+	}
+	n.view.ApplyExchange(n.cfg.Merge, msg.Descriptors(), sentResp, n.cfg.RNG)
+	n.view.IncreaseAge()
+	n.installRoutes(now, msg.Entries, via)
+	n.stats.ShufflesAnswered++
+	return out
+}
+
+// forward relays a datagram one hop along the RVP chain (Fig. 6 lines 17-19,
+// 29-31, 39-40), snooping carried view entries so the chain invariant holds
+// for routes learned through relayed shuffles.
+func (n *Nylon) forward(now int64, msg *wire.Message, via view.Descriptor) []Send {
+	if msg.Hops >= maxForwardHops {
+		n.stats.NoRoute++
+		return nil
+	}
+	n.installRoutes(now, msg.Entries, via)
+	hop, ok := n.resolveHop(msg.Dst, now)
+	if !ok || hop.ID == via.ID {
+		// No live chain — or our best route points straight back where
+		// the datagram came from, which would only bounce it between
+		// the two of us until the hop limit (routes learned from
+		// entries circulating in both directions can form such
+		// two-cycles). Dropping wastes one gossip round; looping
+		// wastes maxForwardHops datagrams.
+		n.stats.NoRoute++
+		return nil
+	}
+	n.stats.Forwarded++
+	fwd := msg.Clone()
+	fwd.Hops++
+	fwd.Via = n.Self()
+	return []Send{{To: hop.Addr, ToID: hop.ID, Msg: fwd}}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ident"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// randMsg builds an arbitrary — possibly nonsensical — protocol message.
+func randMsg(rng *rand.Rand, selfID ident.NodeID) *wire.Message {
+	randDesc := func() view.Descriptor {
+		id := ident.NodeID(rng.Intn(12)) // includes 0 (nil) and selfID
+		return view.Descriptor{
+			ID:    id,
+			Addr:  ident.Endpoint{IP: ident.IP(rng.Uint32()), Port: uint16(rng.Intn(1 << 16))},
+			Class: ident.NATClass(rng.Intn(ident.NumClasses + 2)), // includes invalid
+			Age:   rng.Uint32() % 100,
+		}
+	}
+	m := &wire.Message{
+		Kind: wire.Kind(rng.Intn(8)), // includes invalid kinds
+		Hops: uint8(rng.Intn(64)),
+		Src:  randDesc(),
+		Dst:  randDesc(),
+		Via:  randDesc(),
+	}
+	if rng.Intn(2) == 0 {
+		m.Dst.ID = selfID // half the storm is addressed to the engine
+	}
+	for i := rng.Intn(6); i > 0; i-- {
+		m.Entries = append(m.Entries, wire.ViewEntry{Desc: randDesc(), RouteTTL: rng.Uint32() % 200_000})
+	}
+	return m
+}
+
+// stormEngine drives an engine with interleaved random messages and ticks,
+// checking that it never panics, never corrupts its view, and never emits a
+// send without a destination.
+func stormEngine(t *testing.T, build func(seed int64) Engine) {
+	t.Helper()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := build(seed)
+		selfID := eng.Self().ID
+		now := int64(0)
+		for step := 0; step < 200; step++ {
+			var outs []Send
+			if rng.Intn(5) == 0 {
+				outs = eng.Tick(now)
+				now += 5000
+			} else {
+				from := ident.Endpoint{IP: ident.IP(rng.Uint32()), Port: uint16(rng.Intn(1 << 16))}
+				outs = eng.Receive(now, from, randMsg(rng, selfID))
+				now += int64(rng.Intn(100))
+			}
+			for _, s := range outs {
+				if s.Msg == nil {
+					t.Fatalf("seed %d: nil message emitted", seed)
+				}
+				if s.To.IsZero() {
+					t.Fatalf("seed %d: send without destination: %+v", seed, s)
+				}
+			}
+			if err := eng.View().Validate(); err != nil {
+				t.Fatalf("seed %d: view corrupt after step %d: %v", seed, step, err)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func stormCfg(seed int64) Config {
+	classes := []ident.NATClass{ident.Public, ident.RestrictedCone, ident.PortRestrictedCone, ident.Symmetric}
+	rng := rand.New(rand.NewSource(seed))
+	cfg := gcfg(1, classes[rng.Intn(len(classes))], true)
+	cfg.Merge = view.Merge(rng.Intn(3))
+	cfg.Selection = view.Selection(rng.Intn(2))
+	cfg.EvictUnanswered = rng.Intn(2) == 0
+	cfg.RNG = rng
+	return cfg
+}
+
+func TestGenericSurvivesMessageStorm(t *testing.T) {
+	stormEngine(t, func(seed int64) Engine {
+		g := NewGeneric(stormCfg(seed))
+		g.Bootstrap([]view.Descriptor{pubDesc(2), nattedDesc(3, ident.RestrictedCone)})
+		return g
+	})
+}
+
+func TestNylonSurvivesMessageStorm(t *testing.T) {
+	stormEngine(t, func(seed int64) Engine {
+		n := NewNylon(stormCfg(seed))
+		n.Bootstrap(0, []view.Descriptor{pubDesc(2), nattedDesc(3, ident.RestrictedCone)})
+		return n
+	})
+}
+
+func TestARRGSurvivesMessageStorm(t *testing.T) {
+	stormEngine(t, func(seed int64) Engine {
+		a := NewARRG(stormCfg(seed), 4)
+		a.Bootstrap([]view.Descriptor{pubDesc(2), nattedDesc(3, ident.RestrictedCone)})
+		return a
+	})
+}
+
+func TestStaticRVPSurvivesMessageStorm(t *testing.T) {
+	stormEngine(t, func(seed int64) Engine {
+		cfg := stormCfg(seed)
+		rvp := pubDesc(100)
+		var own view.Descriptor
+		if cfg.Self.Class.Natted() {
+			own = rvp
+		}
+		s := NewStaticRVP(cfg, own, func(id ident.NodeID) (view.Descriptor, bool) {
+			return rvp, id%2 == 0
+		})
+		s.Bootstrap([]view.Descriptor{pubDesc(2), nattedDesc(3, ident.RestrictedCone)})
+		return s
+	})
+}
+
+// TestNylonStormNeverLoopsToSender: even under storms, forwarded messages
+// never go straight back to their transport-level sender.
+func TestNylonStormNeverLoopsToSender(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := NewNylon(stormCfg(seed))
+		n.Bootstrap(0, []view.Descriptor{nattedDesc(3, ident.RestrictedCone), nattedDesc(4, ident.PortRestrictedCone)})
+		for step := 0; step < 100; step++ {
+			msg := randMsg(rng, n.Self().ID)
+			msg.Dst.ID = 99 // force the forwarding path
+			from := ident.Endpoint{IP: ident.IP(rng.Uint32()), Port: 1}
+			for _, s := range n.Receive(int64(step), from, msg) {
+				forwarded := s.Msg.Kind == msg.Kind && s.Msg.Hops == msg.Hops+1
+				if forwarded && s.ToID == msg.Via.ID {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"repro/internal/ident"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// RVPResolver reports the fixed public rendez-vous peer assigned to a natted
+// peer. The second result is false for public peers and unknown IDs.
+type RVPResolver func(ident.NodeID) (view.Descriptor, bool)
+
+// StaticRVP is the strawman the paper's Section 4 introduction dismisses:
+// every natted peer is bound at join time to one fixed public rendez-vous
+// peer (RVP), keeps a hole toward it alive with periodic PINGs, and all hole
+// punching toward a natted peer goes through that single RVP.
+//
+// The paper's two criticisms are observable in this implementation's
+// measurements: the relay/keepalive load concentrates on public peers
+// (ablation A1), and an RVP's failure orphans every natted peer bound to it.
+type StaticRVP struct {
+	cfg     Config
+	view    *view.View
+	ownRVP  view.Descriptor // zero for public peers
+	resolve RVPResolver
+	// clients maps peer IDs to their observed endpoints, learned from
+	// keepalive PINGs and forwarded traffic. An RVP uses it to reach the
+	// natted peers bound to it.
+	clients       map[ident.NodeID]ident.Endpoint
+	pending       map[ident.NodeID]bool
+	pendingSent   []view.Descriptor
+	pendingTarget ident.NodeID
+	stats         Stats
+}
+
+var _ Engine = (*StaticRVP)(nil)
+
+// NewStaticRVP builds the engine. ownRVP must be the zero Descriptor for
+// public peers and the assigned public RVP for natted ones; resolve must
+// return the RVP of any natted peer in the system.
+func NewStaticRVP(cfg Config, ownRVP view.Descriptor, resolve RVPResolver) *StaticRVP {
+	cfg.validate()
+	if resolve == nil {
+		panic("core: StaticRVP requires a resolver")
+	}
+	if cfg.Self.Class.Natted() && ownRVP.ID.IsNil() {
+		panic("core: natted StaticRVP peer requires an RVP")
+	}
+	return &StaticRVP{
+		cfg:     cfg,
+		view:    view.New(cfg.Self.ID, cfg.ViewSize),
+		ownRVP:  ownRVP,
+		resolve: resolve,
+		clients: make(map[ident.NodeID]ident.Endpoint),
+		pending: make(map[ident.NodeID]bool),
+	}
+}
+
+// Self implements Engine.
+func (s *StaticRVP) Self() view.Descriptor { return s.cfg.Self.Fresh() }
+
+// OwnRVP returns the fixed rendez-vous peer this peer is bound to (zero for
+// public peers). Metrics code uses it to evaluate reachability.
+func (s *StaticRVP) OwnRVP() view.Descriptor { return s.ownRVP }
+
+// View implements Engine.
+func (s *StaticRVP) View() *view.View { return s.view }
+
+// Stats implements Engine.
+func (s *StaticRVP) Stats() *Stats { return &s.stats }
+
+// Bootstrap seeds the view.
+func (s *StaticRVP) Bootstrap(ds []view.Descriptor) {
+	for _, d := range ds {
+		s.view.Add(d)
+	}
+}
+
+func (s *StaticRVP) buffer() ([]wire.ViewEntry, []view.Descriptor) {
+	sent := s.view.PrepareExchange(s.cfg.Merge, s.cfg.RNG)
+	entries := make([]wire.ViewEntry, 0, len(sent)+1)
+	entries = append(entries, wire.ViewEntry{Desc: s.Self()})
+	for _, d := range sent {
+		entries = append(entries, wire.ViewEntry{Desc: d})
+	}
+	return entries, sent
+}
+
+// endpointOf returns the best-known transport endpoint for a peer.
+func (s *StaticRVP) endpointOf(d view.Descriptor) ident.Endpoint {
+	if ep, ok := s.clients[d.ID]; ok {
+		return ep
+	}
+	return d.Addr
+}
+
+// Tick implements Engine: keepalive toward the own RVP, then one shuffle.
+func (s *StaticRVP) Tick(now int64) []Send {
+	defer s.view.IncreaseAge()
+	clear(s.pending)
+	if s.cfg.EvictUnanswered && !s.pendingTarget.IsNil() {
+		s.view.Remove(s.pendingTarget)
+	}
+	s.pendingTarget = ident.Nil
+	var out []Send
+	self := s.Self()
+	if s.cfg.Self.Class.Natted() {
+		out = append(out, Send{To: s.ownRVP.Addr, ToID: s.ownRVP.ID, Msg: &wire.Message{
+			Kind: wire.KindPing, Src: self, Dst: s.ownRVP, Via: self,
+		}})
+	}
+	target, ok := s.view.Select(s.cfg.Selection, s.cfg.RNG)
+	if !ok {
+		return out
+	}
+	s.stats.ShufflesInitiated++
+	s.pendingTarget = target.ID
+	if !target.Class.Natted() {
+		entries, sent := s.buffer()
+		s.pendingSent = sent
+		return append(out, Send{To: target.Addr, ToID: target.ID, Msg: &wire.Message{
+			Kind: wire.KindRequest, Src: self, Dst: target, Via: self,
+			Entries: entries,
+		}})
+	}
+	rvp, ok := s.resolve(target.ID)
+	if !ok {
+		s.stats.NoRoute++
+		return out
+	}
+	if s.cfg.Self.Class == ident.Symmetric || target.Class == ident.Symmetric {
+		// Hole punching cannot serve symmetric combinations reliably;
+		// relay the whole exchange through the target's RVP.
+		s.stats.Relayed++
+		entries, sent := s.buffer()
+		s.pendingSent = sent
+		return append(out, Send{To: rvp.Addr, ToID: rvp.ID, Msg: &wire.Message{
+			Kind: wire.KindRequest, Src: self, Dst: target, Via: self,
+			Entries: entries,
+		}})
+	}
+	s.stats.HolePunchesStarted++
+	s.pending[target.ID] = true
+	out = append(out, Send{To: rvp.Addr, ToID: rvp.ID, Msg: &wire.Message{
+		Kind: wire.KindOpenHole, Src: self, Dst: target, Via: self,
+	}})
+	if s.cfg.Self.Class.Natted() {
+		out = append(out, Send{To: target.Addr, ToID: target.ID, Msg: &wire.Message{
+			Kind: wire.KindPing, Src: self, Dst: target, Via: self,
+		}})
+	}
+	return out
+}
+
+// Receive implements Engine.
+func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send {
+	s.clients[msg.Via.ID] = from
+	self := s.Self()
+	switch msg.Kind {
+	case wire.KindRequest:
+		if msg.Dst.ID != s.cfg.Self.ID {
+			// We are the target's RVP: hand the request over.
+			s.stats.Forwarded++
+			fwd := msg.Clone()
+			fwd.Hops++
+			fwd.Via = self
+			return []Send{{To: s.endpointOf(msg.Dst), ToID: msg.Dst.ID, Msg: fwd}}
+		}
+		var out []Send
+		var sentResp []view.Descriptor
+		if s.cfg.PushPull {
+			var entries []wire.ViewEntry
+			entries, sentResp = s.buffer()
+			resp := &wire.Message{
+				Kind: wire.KindResponse, Src: self, Dst: msg.Src, Via: self,
+				Entries: entries,
+			}
+			switch {
+			case msg.Via.ID == msg.Src.ID:
+				// Direct request: the observed endpoint is the open
+				// return path.
+				out = append(out, Send{To: from, ToID: msg.Src.ID, Msg: resp})
+			default:
+				// Relayed request: route the response through the
+				// initiator's RVP.
+				if rvp, ok := s.resolve(msg.Src.ID); ok {
+					s.stats.Relayed++
+					out = append(out, Send{To: rvp.Addr, ToID: rvp.ID, Msg: resp})
+				} else if !msg.Src.Class.Natted() {
+					out = append(out, Send{To: msg.Src.Addr, ToID: msg.Src.ID, Msg: resp})
+				} else {
+					s.stats.NoRoute++
+				}
+			}
+		}
+		s.view.ApplyExchange(s.cfg.Merge, msg.Descriptors(), sentResp, s.cfg.RNG)
+		s.view.IncreaseAge()
+		s.stats.ShufflesAnswered++
+		return out
+	case wire.KindResponse:
+		if msg.Dst.ID != s.cfg.Self.ID {
+			s.stats.Forwarded++
+			fwd := msg.Clone()
+			fwd.Hops++
+			fwd.Via = self
+			return []Send{{To: s.endpointOf(msg.Dst), ToID: msg.Dst.ID, Msg: fwd}}
+		}
+		if msg.Src.ID == s.pendingTarget {
+			s.pendingTarget = ident.Nil
+		}
+		s.view.ApplyExchange(s.cfg.Merge, msg.Descriptors(), s.pendingSent, s.cfg.RNG)
+		s.pendingSent = nil
+		s.stats.ShufflesCompleted++
+		return nil
+	case wire.KindOpenHole:
+		if msg.Dst.ID != s.cfg.Self.ID {
+			s.stats.Forwarded++
+			fwd := msg.Clone()
+			fwd.Hops++
+			fwd.Via = self
+			return []Send{{To: s.endpointOf(msg.Dst), ToID: msg.Dst.ID, Msg: fwd}}
+		}
+		s.stats.ChainHopsTotal++ // exactly one RVP by construction
+		s.stats.ChainSamples++
+		return []Send{{To: msg.Src.Addr, ToID: msg.Src.ID, Msg: &wire.Message{
+			Kind: wire.KindPong, Src: self, Dst: msg.Src, Via: self,
+		}}}
+	case wire.KindPing:
+		return []Send{{To: from, ToID: msg.Src.ID, Msg: &wire.Message{
+			Kind: wire.KindPong, Src: self, Dst: msg.Src, Via: self,
+		}}}
+	case wire.KindPong:
+		if !s.pending[msg.Src.ID] {
+			return nil
+		}
+		delete(s.pending, msg.Src.ID)
+		s.stats.HolePunchesCompleted++
+		entries, sent := s.buffer()
+		s.pendingSent = sent
+		return []Send{{To: from, ToID: msg.Src.ID, Msg: &wire.Message{
+			Kind: wire.KindRequest, Src: self, Dst: msg.Src, Via: self,
+			Entries: entries,
+		}}}
+	default:
+		return nil
+	}
+}

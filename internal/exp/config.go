@@ -1,0 +1,196 @@
+// Package exp is the experiment harness of the reproduction: it builds
+// simulated overlays per the paper's setup (§5), runs them on the
+// discrete-event simulator, and measures every quantity the paper plots —
+// biggest cluster, stale references, sampling randomness, bandwidth, RVP
+// chain lengths, and churn resilience.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/ident"
+	"repro/internal/view"
+)
+
+// Protocol selects the engine under test.
+type Protocol int
+
+// Protocols.
+const (
+	// ProtoGeneric is the NAT-oblivious baseline of Fig. 1.
+	ProtoGeneric Protocol = iota
+	// ProtoNylon is the paper's contribution (Fig. 6).
+	ProtoNylon
+	// ProtoARRG is the reachable-peer-cache baseline of Drost et al. [6].
+	ProtoARRG
+	// ProtoStaticRVP is the fixed-public-rendez-vous strawman of §4.
+	ProtoStaticRVP
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoGeneric:
+		return "generic"
+	case ProtoNylon:
+		return "nylon"
+	case ProtoARRG:
+		return "arrg"
+	case ProtoStaticRVP:
+		return "static-rvp"
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// NATMix describes how the natted population splits across NAT classes.
+// Fractions must sum to 1.
+type NATMix struct {
+	RC, PRC, SYM float64
+}
+
+// DefaultMix is the paper's distribution: 50% RC, 40% PRC, 10% SYM (§5).
+var DefaultMix = NATMix{RC: 0.5, PRC: 0.4, SYM: 0.1}
+
+// classes deterministically expands the mix into per-peer classes for n
+// natted peers, preserving exact proportions (largest remainder on the
+// truncation).
+func (m NATMix) classes(n int) []ident.NATClass {
+	if n == 0 {
+		return nil
+	}
+	nRC := int(m.RC * float64(n))
+	nPRC := int(m.PRC * float64(n))
+	nSYM := int(m.SYM * float64(n))
+	out := make([]ident.NATClass, 0, n)
+	for i := 0; i < nRC; i++ {
+		out = append(out, ident.RestrictedCone)
+	}
+	for i := 0; i < nPRC; i++ {
+		out = append(out, ident.PortRestrictedCone)
+	}
+	for i := 0; i < nSYM; i++ {
+		out = append(out, ident.Symmetric)
+	}
+	for len(out) < n {
+		out = append(out, ident.RestrictedCone)
+	}
+	return out
+}
+
+// Config is one experiment point.
+type Config struct {
+	// N is the number of peers (paper: 10,000; defaults here are smaller).
+	N int
+	// ViewSize is the partial view size (paper: 15 unless stated).
+	ViewSize int
+	// NATRatio is the fraction of peers behind NATs, in [0,1].
+	NATRatio float64
+	// Mix splits the natted population across classes.
+	Mix NATMix
+	// Protocol selects the engine.
+	Protocol Protocol
+	// Selection, Merge and PushPull configure the gossip dimensions.
+	Selection view.Selection
+	Merge     view.Merge
+	PushPull  bool
+	// PeriodMs is the shuffling period (paper: 5 s).
+	PeriodMs int64
+	// LatencyMs is the one-way message latency (paper: 50 ms).
+	LatencyMs int64
+	// HoleTimeoutMs is the NAT rule lifetime (paper: 90 s).
+	HoleTimeoutMs int64
+	// Rounds is the number of shuffling periods to simulate.
+	Rounds int
+	// Seed drives all randomness of the run.
+	Seed int64
+
+	// ChurnAtRound, when positive, removes ChurnFraction of the peers
+	// (uniformly, hence proportionally to the public/natted split, as in
+	// the paper) after that many rounds.
+	ChurnAtRound  int
+	ChurnFraction float64
+
+	// CacheSize is the reachable-peer cache size for ProtoARRG (default 8).
+	CacheSize int
+
+	// EvictUnanswered enables Jelasity-style eviction of shuffle targets
+	// that fail to answer within one period. Off by default, matching the
+	// paper's pseudocode; ablation A5 measures its effect on churn
+	// recovery.
+	EvictUnanswered bool
+
+	// SampleEveryRounds, when positive, snapshots the overlay's health
+	// (biggest cluster, stale fraction) every that many rounds into
+	// Result.Series — e.g. for churn recovery curves.
+	SampleEveryRounds int
+
+	// TraceCapacity, when positive, records the last that many network
+	// events (sends, deliveries, drops) into Result.TraceDump.
+	TraceCapacity int
+
+	// UPnPFraction is the fraction of natted peers whose NAT honours an
+	// explicit port-mapping protocol (NAT-PMP / UPnP, the paper's §6
+	// alternative): they keep their device but advertise a permanent
+	// pinhole, making them publicly reachable. Ablation A6 sweeps it.
+	UPnPFraction float64
+}
+
+// Defaults fills unset fields with the paper's parameters scaled to a
+// laptop-sized run and returns the result.
+func (c Config) Defaults() Config {
+	if c.N == 0 {
+		c.N = 1000
+	}
+	if c.ViewSize == 0 {
+		c.ViewSize = 15
+	}
+	if c.Mix == (NATMix{}) {
+		c.Mix = DefaultMix
+	}
+	if c.PeriodMs == 0 {
+		c.PeriodMs = 5000
+	}
+	if c.LatencyMs == 0 {
+		c.LatencyMs = 50
+	}
+	if c.HoleTimeoutMs == 0 {
+		c.HoleTimeoutMs = 90_000
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 300
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 8
+	}
+	// Zero-valued Selection/Merge already mean rand/blind; the paper's
+	// reference configuration is (rand, healer, push/pull), which callers
+	// set explicitly.
+	return c
+}
+
+func (c Config) validate() error {
+	if c.N <= 0 || c.ViewSize <= 0 || c.Rounds <= 0 {
+		return fmt.Errorf("exp: N, ViewSize and Rounds must be positive (got %d, %d, %d)", c.N, c.ViewSize, c.Rounds)
+	}
+	if c.NATRatio < 0 || c.NATRatio > 1 {
+		return fmt.Errorf("exp: NATRatio %v outside [0,1]", c.NATRatio)
+	}
+	if s := c.Mix.RC + c.Mix.PRC + c.Mix.SYM; s < 0.999 || s > 1.001 {
+		return fmt.Errorf("exp: NAT mix fractions sum to %v, want 1", s)
+	}
+	if c.UPnPFraction < 0 || c.UPnPFraction > 1 {
+		return fmt.Errorf("exp: UPnPFraction %v outside [0,1]", c.UPnPFraction)
+	}
+	if c.ChurnFraction < 0 || c.ChurnFraction >= 1 {
+		return fmt.Errorf("exp: ChurnFraction %v outside [0,1)", c.ChurnFraction)
+	}
+	if c.ChurnAtRound < 0 || c.ChurnAtRound >= c.Rounds {
+		if c.ChurnAtRound != 0 {
+			return fmt.Errorf("exp: ChurnAtRound %d outside (0,Rounds)", c.ChurnAtRound)
+		}
+	}
+	return nil
+}

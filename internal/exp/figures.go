@@ -1,0 +1,560 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/view"
+)
+
+// Params scales a figure reproduction. The zero value reproduces the paper's
+// curves at laptop scale; set N=10000, Rounds≈2000 and 30 seeds to match the
+// paper's setup exactly.
+type Params struct {
+	N      int
+	Rounds int
+	Seeds  []int64
+	// NATPcts are the x-axis points (percent of natted peers).
+	NATPcts []int
+	// ViewSizes are the view sizes compared (paper: 15 and 27).
+	ViewSizes []int
+}
+
+func (p Params) defaults() Params {
+	if p.N == 0 {
+		p.N = 600
+	}
+	if p.Rounds == 0 {
+		p.Rounds = 210
+	}
+	if len(p.Seeds) == 0 {
+		p.Seeds = []int64{1, 2, 3}
+	}
+	if len(p.NATPcts) == 0 {
+		p.NATPcts = []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	}
+	if len(p.ViewSizes) == 0 {
+		p.ViewSizes = []int{15, 27}
+	}
+	return p
+}
+
+// runSeeds executes one configuration across all seeds in parallel and
+// returns the per-field mean of the results.
+func runSeeds(cfg Config, seeds []int64) (Result, error) {
+	results := make([]Result, len(seeds))
+	errs := make([]error, len(seeds))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		i, seed := i, seed
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = seed
+			results[i], errs[i] = Run(c)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return meanResult(results), nil
+}
+
+func meanResult(rs []Result) Result {
+	if len(rs) == 0 {
+		return Result{}
+	}
+	out := rs[0]
+	n := float64(len(rs))
+	sum := func(f func(Result) float64) float64 {
+		var s float64
+		for _, r := range rs {
+			s += f(r)
+		}
+		return s / n
+	}
+	out.BiggestCluster = sum(func(r Result) float64 { return r.BiggestCluster })
+	out.StaleFraction = sum(func(r Result) float64 { return r.StaleFraction })
+	out.NattedNonStale = sum(func(r Result) float64 { return r.NattedNonStale })
+	out.BytesPerSecAll = sum(func(r Result) float64 { return r.BytesPerSecAll })
+	out.BytesPerSecPublic = sum(func(r Result) float64 { return r.BytesPerSecPublic })
+	out.BytesPerSecNatted = sum(func(r Result) float64 { return r.BytesPerSecNatted })
+	out.AvgChainLen = sum(func(r Result) float64 { return r.AvgChainLen })
+	out.ChiSquareStat = sum(func(r Result) float64 { return r.ChiSquareStat })
+	out.CompletionRate = sum(func(r Result) float64 { return r.CompletionRate })
+	out.NoRouteRate = sum(func(r Result) float64 { return r.NoRouteRate })
+	ok := true
+	for _, r := range rs {
+		ok = ok && r.ChiSquareOK
+	}
+	out.ChiSquareOK = ok
+	return out
+}
+
+// combo names one baseline configuration of Fig. 2.
+type combo struct {
+	sel view.Selection
+	mrg view.Merge
+}
+
+func (c combo) String() string { return c.sel.String() + "/" + c.mrg.String() }
+
+var fig2Combos = []combo{
+	{view.SelectRand, view.MergeHealer},
+	{view.SelectRand, view.MergeBlind},
+	{view.SelectRand, view.MergeSwapper},
+	{view.SelectTail, view.MergeHealer},
+	{view.SelectTail, view.MergeBlind},
+	{view.SelectTail, view.MergeSwapper},
+}
+
+// prcOnly is the NAT mix of the paper's Section 3 experiments ("for the sake
+// of simplicity, only PRC NATs are considered").
+var prcOnly = NATMix{PRC: 1.0}
+
+// Fig2 reproduces Figure 2: biggest-cluster size of the six baseline
+// configurations versus NAT percentage, one table per view size.
+func Fig2(p Params) ([]Table, error) {
+	p = p.defaults()
+	nats := filterMin(p.NATPcts, 40) // the paper's x-axis starts at 40%
+	var tables []Table
+	for _, vs := range p.ViewSizes {
+		t := Table{
+			Title:   fmt.Sprintf("Fig. 2 — biggest cluster (%%) vs NAT%%, view size %d", vs),
+			Columns: []string{"nat%"},
+		}
+		for _, c := range fig2Combos {
+			t.Columns = append(t.Columns, c.String())
+		}
+		for _, nat := range nats {
+			row := Row{Label: fmt.Sprintf("%d", nat)}
+			for _, c := range fig2Combos {
+				res, err := runSeeds(Config{
+					N: p.N, Rounds: p.Rounds, ViewSize: vs,
+					NATRatio: float64(nat) / 100, Mix: prcOnly,
+					Protocol: ProtoGeneric, Selection: c.sel, Merge: c.mrg, PushPull: true,
+				}, p.Seeds)
+				if err != nil {
+					return nil, err
+				}
+				row.Values = append(row.Values, res.BiggestCluster*100)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig3 reproduces Figure 3: percentage of stale references of the
+// (push/pull, rand, healer) baseline versus NAT percentage, per view size.
+func Fig3(p Params) ([]Table, error) {
+	return baselineSweep(p, "Fig. 3 — stale references (%) vs NAT%",
+		func(r Result) float64 { return r.StaleFraction * 100 })
+}
+
+// Fig4 reproduces Figure 4: ratio of non-stale references pointing at natted
+// peers versus NAT percentage, per view size.
+func Fig4(p Params) ([]Table, error) {
+	return baselineSweep(p, "Fig. 4 — non-stale natted references (%) vs NAT%",
+		func(r Result) float64 { return r.NattedNonStale * 100 })
+}
+
+func baselineSweep(p Params, title string, metric func(Result) float64) ([]Table, error) {
+	p = p.defaults()
+	t := Table{Title: title, Columns: []string{"nat%"}}
+	for _, vs := range p.ViewSizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("view=%d", vs))
+	}
+	for _, nat := range p.NATPcts {
+		row := Row{Label: fmt.Sprintf("%d", nat)}
+		for _, vs := range p.ViewSizes {
+			res, err := runSeeds(Config{
+				N: p.N, Rounds: p.Rounds, ViewSize: vs,
+				NATRatio: float64(nat) / 100, Mix: prcOnly,
+				Protocol: ProtoGeneric, Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
+			}, p.Seeds)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, metric(res))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// Correctness reproduces the §5 "Correctness" checks for Nylon: no
+// partitions, no stale references, and sampling randomness comparable to the
+// NAT-free baseline, across NAT percentages.
+func Correctness(p Params) ([]Table, error) {
+	p = p.defaults()
+	t := Table{
+		Title:   "§5 Correctness — Nylon: partitions, stale refs, randomness",
+		Columns: []string{"nat%", "cluster%", "stale%", "natted-nonstale%", "chi2/dof", "completion%"},
+	}
+	for _, nat := range p.NATPcts {
+		res, err := runSeeds(nylonCfg(p, nat, 15), p.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%d", nat),
+			Values: []float64{
+				res.BiggestCluster * 100, res.StaleFraction * 100,
+				res.NattedNonStale * 100, res.ChiSquareStat, res.CompletionRate * 100,
+			},
+		})
+	}
+	return []Table{t}, nil
+}
+
+func nylonCfg(p Params, natPct, viewSize int) Config {
+	return Config{
+		N: p.N, Rounds: p.Rounds, ViewSize: viewSize,
+		NATRatio: float64(natPct) / 100, Mix: DefaultMix,
+		Protocol: ProtoNylon, Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
+		// Deployable peer samplers evict unanswered targets (Jelasity et
+		// al.'s reference implementation does); the paper's churn
+		// results are only reachable with it. Ablation A5 isolates the
+		// effect.
+		EvictUnanswered: true,
+	}
+}
+
+// Fig7 reproduces Figure 7: average bytes per second sent+received per peer,
+// Nylon versus the (push/pull, rand, healer) reference, versus NAT
+// percentage.
+func Fig7(p Params) ([]Table, error) {
+	p = p.defaults()
+	t := Table{
+		Title:   "Fig. 7 — bytes/s per peer vs NAT%",
+		Columns: []string{"nat%", "nylon", "reference"},
+	}
+	for _, nat := range p.NATPcts {
+		nylon, err := runSeeds(nylonCfg(p, nat, 15), p.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		refCfg := nylonCfg(p, nat, 15)
+		refCfg.Protocol = ProtoGeneric
+		ref, err := runSeeds(refCfg, p.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("%d", nat),
+			Values: []float64{nylon.BytesPerSecAll, ref.BytesPerSecAll},
+		})
+	}
+	return []Table{t}, nil
+}
+
+// Fig8 reproduces Figure 8: bytes per second of public versus natted peers
+// under Nylon, versus NAT percentage.
+func Fig8(p Params) ([]Table, error) {
+	p = p.defaults()
+	t := Table{
+		Title:   "Fig. 8 — bytes/s public vs natted peers (Nylon)",
+		Columns: []string{"nat%", "public", "natted"},
+	}
+	for _, nat := range p.NATPcts {
+		if nat == 0 || nat == 100 {
+			continue // both populations must exist
+		}
+		res, err := runSeeds(nylonCfg(p, nat, 15), p.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("%d", nat),
+			Values: []float64{res.BytesPerSecPublic, res.BytesPerSecNatted},
+		})
+	}
+	return []Table{t}, nil
+}
+
+// Fig9 reproduces Figure 9: average RVP chain length toward natted
+// destinations versus NAT percentage, per view size.
+func Fig9(p Params) ([]Table, error) {
+	p = p.defaults()
+	t := Table{Title: "Fig. 9 — average number of RVPs vs NAT%", Columns: []string{"nat%"}}
+	for _, vs := range p.ViewSizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("view=%d", vs))
+	}
+	for _, nat := range p.NATPcts {
+		if nat == 0 {
+			continue // no natted destinations to punch toward
+		}
+		row := Row{Label: fmt.Sprintf("%d", nat)}
+		for _, vs := range p.ViewSizes {
+			res, err := runSeeds(nylonCfg(p, nat, vs), p.Seeds)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, res.AvgChainLen)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// Fig10 reproduces Figure 10: biggest-cluster size after massive churn. The
+// paper removes the peers after 500 shuffles and measures 1500 shuffles
+// later; the same 1:3 split is applied to the configured round budget.
+func Fig10(p Params) ([]Table, error) {
+	p = p.defaults()
+	natPcts := []int{40, 50, 60, 70, 80}
+	departures := []int{50, 60, 70, 75, 80}
+	t := Table{Title: "Fig. 10 — biggest cluster (%) after massive churn", Columns: []string{"departed%"}}
+	for _, nat := range natPcts {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d%% NATs", nat))
+	}
+	for _, dep := range departures {
+		row := Row{Label: fmt.Sprintf("%d", dep)}
+		for _, nat := range natPcts {
+			cfg := nylonCfg(p, nat, 15)
+			cfg.ChurnAtRound = p.Rounds / 4
+			cfg.ChurnFraction = float64(dep) / 100
+			res, err := runSeeds(cfg, p.Seeds)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, res.BiggestCluster*100)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// AblationStaticRVP compares the load balance of Nylon against the
+// fixed-public-RVP strawman of §4 (ablation A1): bytes/s for public and
+// natted peers under both schemes.
+func AblationStaticRVP(p Params) ([]Table, error) {
+	p = p.defaults()
+	t := Table{
+		Title:   "A1 — load balance: Nylon vs static public RVPs (bytes/s)",
+		Columns: []string{"nat%", "nylon-public", "nylon-natted", "static-public", "static-natted"},
+	}
+	for _, nat := range p.NATPcts {
+		if nat == 0 || nat == 100 {
+			continue
+		}
+		nylon, err := runSeeds(nylonCfg(p, nat, 15), p.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		cfg := nylonCfg(p, nat, 15)
+		cfg.Protocol = ProtoStaticRVP
+		static, err := runSeeds(cfg, p.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%d", nat),
+			Values: []float64{
+				nylon.BytesPerSecPublic, nylon.BytesPerSecNatted,
+				static.BytesPerSecPublic, static.BytesPerSecNatted,
+			},
+		})
+	}
+	return []Table{t}, nil
+}
+
+// AblationARRG compares Nylon's connectivity and stale-reference rate with
+// the ARRG-style reachable-cache baseline (ablation A2), quantifying the
+// paper's §1 claim that a cache "cannot ensure that the network will remain
+// connected".
+func AblationARRG(p Params) ([]Table, error) {
+	p = p.defaults()
+	t := Table{
+		Title:   "A2 — Nylon vs ARRG cache: cluster% and stale%",
+		Columns: []string{"nat%", "nylon-cluster", "arrg-cluster", "nylon-stale", "arrg-stale"},
+	}
+	for _, nat := range p.NATPcts {
+		nylon, err := runSeeds(nylonCfg(p, nat, 15), p.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		cfg := nylonCfg(p, nat, 15)
+		cfg.Protocol = ProtoARRG
+		cfg.Mix = prcOnly
+		arrg, err := runSeeds(cfg, p.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%d", nat),
+			Values: []float64{
+				nylon.BiggestCluster * 100, arrg.BiggestCluster * 100,
+				nylon.StaleFraction * 100, arrg.StaleFraction * 100,
+			},
+		})
+	}
+	return []Table{t}, nil
+}
+
+// AblationHoleTimeout sweeps the NAT rule lifetime (ablation A3): shorter
+// hole timeouts shrink the window in which relayed route TTLs stay valid,
+// degrading Nylon's completion rate.
+func AblationHoleTimeout(p Params) ([]Table, error) {
+	p = p.defaults()
+	timeouts := []int64{15_000, 30_000, 60_000, 90_000, 180_000}
+	t := Table{
+		Title:   "A3 — Nylon sensitivity to the hole timeout (80% NATs)",
+		Columns: []string{"timeout_s", "cluster%", "stale%", "completion%", "chain"},
+	}
+	for _, timeout := range timeouts {
+		cfg := nylonCfg(p, 80, 15)
+		cfg.HoleTimeoutMs = timeout
+		res, err := runSeeds(cfg, p.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%d", timeout/1000),
+			Values: []float64{
+				res.BiggestCluster * 100, res.StaleFraction * 100,
+				res.CompletionRate * 100, res.AvgChainLen,
+			},
+		})
+	}
+	return []Table{t}, nil
+}
+
+// AblationPush compares push-only against push/pull propagation for the
+// baseline (the paper states push "consistently exhibits significantly worse
+// performances", ablation A4).
+func AblationPush(p Params) ([]Table, error) {
+	p = p.defaults()
+	t := Table{
+		Title: "A4 — push vs push/pull baseline (PRC NATs): cluster% and sampling chi2/dof",
+		Columns: []string{
+			"nat%", "pushpull-cluster", "push-cluster", "pushpull-chi2", "push-chi2",
+		},
+	}
+	for _, nat := range p.NATPcts {
+		var clusters, chis []float64
+		for _, pushPull := range []bool{true, false} {
+			res, err := runSeeds(Config{
+				N: p.N, Rounds: p.Rounds, ViewSize: 15,
+				NATRatio: float64(nat) / 100, Mix: prcOnly,
+				Protocol: ProtoGeneric, Selection: view.SelectRand, Merge: view.MergeHealer,
+				PushPull: pushPull,
+			}, p.Seeds)
+			if err != nil {
+				return nil, err
+			}
+			clusters = append(clusters, res.BiggestCluster*100)
+			chis = append(chis, res.ChiSquareStat)
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("%d", nat),
+			Values: []float64{clusters[0], clusters[1], chis[0], chis[1]},
+		})
+	}
+	return []Table{t}, nil
+}
+
+// AblationEviction measures the effect of no-reply eviction on Nylon's churn
+// recovery (ablation A5): the biggest cluster after 80% of the peers depart,
+// with and without eviction.
+func AblationEviction(p Params) ([]Table, error) {
+	p = p.defaults()
+	t := Table{
+		Title:   "A5 — no-reply eviction vs churn recovery (80% departures, 60% NATs)",
+		Columns: []string{"evict", "cluster%", "stale%", "completion%"},
+	}
+	for _, evict := range []bool{false, true} {
+		cfg := nylonCfg(p, 60, 15)
+		cfg.EvictUnanswered = evict
+		cfg.ChurnAtRound = p.Rounds / 4
+		cfg.ChurnFraction = 0.8
+		res, err := runSeeds(cfg, p.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		label := "off"
+		if evict {
+			label = "on"
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  label,
+			Values: []float64{res.BiggestCluster * 100, res.StaleFraction * 100, res.CompletionRate * 100},
+		})
+	}
+	return []Table{t}, nil
+}
+
+// AblationUPnP sweeps the fraction of natted peers with explicit port
+// mappings (NAT-PMP / UPnP — the alternative the paper's related work
+// discusses and dismisses for coverage and security reasons): how much
+// deployment would it take to rescue the NAT-oblivious baseline at 80 %
+// PRC NATs, compared to Nylon needing none?
+func AblationUPnP(p Params) ([]Table, error) {
+	p = p.defaults()
+	t := Table{
+		Title:   "A6 — baseline rescue by UPnP deployment (80% PRC NATs)",
+		Columns: []string{"upnp%", "cluster%", "stale%", "natted-nonstale%", "completion%"},
+	}
+	for _, pct := range []int{0, 25, 50, 75, 100} {
+		cfg := Config{
+			N: p.N, Rounds: p.Rounds, ViewSize: 15,
+			NATRatio: 0.8, Mix: prcOnly,
+			Protocol: ProtoGeneric, Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
+			UPnPFraction: float64(pct) / 100,
+		}
+		res, err := runSeeds(cfg, p.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%d", pct),
+			Values: []float64{
+				res.BiggestCluster * 100, res.StaleFraction * 100,
+				res.NattedNonStale * 100, res.CompletionRate * 100,
+			},
+		})
+	}
+	return []Table{t}, nil
+}
+
+// Figures maps figure identifiers to their generators, as used by the
+// nylon-figs command.
+var Figures = map[string]func(Params) ([]Table, error){
+	"2":  Fig2,
+	"3":  Fig3,
+	"4":  Fig4,
+	"c":  Correctness,
+	"7":  Fig7,
+	"8":  Fig8,
+	"9":  Fig9,
+	"10": Fig10,
+	"a1": AblationStaticRVP,
+	"a2": AblationARRG,
+	"a3": AblationHoleTimeout,
+	"a4": AblationPush,
+	"a5": AblationEviction,
+	"a6": AblationUPnP,
+}
+
+// FigureOrder lists figure identifiers in presentation order.
+var FigureOrder = []string{"2", "3", "4", "c", "7", "8", "9", "10", "a1", "a2", "a3", "a4", "a5", "a6"}
+
+func filterMin(xs []int, minVal int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		if x >= minVal {
+			out = append(out, x)
+		}
+	}
+	return out
+}

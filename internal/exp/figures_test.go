@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyParams keeps figure generation fast enough for the unit test suite
+// while still running every code path.
+var tinyParams = Params{
+	N:         120,
+	Rounds:    45,
+	Seeds:     []int64{1},
+	NATPcts:   []int{40, 80},
+	ViewSizes: []int{8},
+}
+
+func TestEveryFigureGenerates(t *testing.T) {
+	for _, id := range FigureOrder {
+		id := id
+		t.Run("fig"+id, func(t *testing.T) {
+			t.Parallel()
+			gen, ok := Figures[id]
+			if !ok {
+				t.Fatalf("figure %q missing from Figures", id)
+			}
+			tables, err := gen(tinyParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if tb.Title == "" || len(tb.Columns) < 2 {
+					t.Errorf("malformed table %+v", tb)
+				}
+				if len(tb.Rows) == 0 {
+					t.Error("table has no rows")
+				}
+				for _, r := range tb.Rows {
+					if len(r.Values) != len(tb.Columns)-1 {
+						t.Errorf("row %q has %d values for %d columns", r.Label, len(r.Values), len(tb.Columns))
+					}
+				}
+				// Both renderings must mention every column.
+				text, csv := tb.String(), tb.CSV()
+				for _, c := range tb.Columns {
+					if !strings.Contains(text, c) || !strings.Contains(csv, c) {
+						t.Errorf("column %q missing from output", c)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFigureOrderMatchesMap(t *testing.T) {
+	if len(FigureOrder) != len(Figures) {
+		t.Errorf("FigureOrder has %d entries, Figures %d", len(FigureOrder), len(Figures))
+	}
+	for _, id := range FigureOrder {
+		if _, ok := Figures[id]; !ok {
+			t.Errorf("FigureOrder entry %q missing from Figures", id)
+		}
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.defaults()
+	if p.N == 0 || p.Rounds == 0 || len(p.Seeds) == 0 || len(p.NATPcts) == 0 || len(p.ViewSizes) == 0 {
+		t.Errorf("defaults incomplete: %+v", p)
+	}
+	// Explicit values survive.
+	p = Params{N: 42}.defaults()
+	if p.N != 42 {
+		t.Error("explicit N overwritten")
+	}
+}

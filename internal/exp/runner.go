@@ -1,0 +1,509 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// Result holds every metric measured at the end of a run. Fractions are in
+// [0,1]; the printers convert to percent.
+type Result struct {
+	Cfg Config
+
+	// BiggestCluster is the fraction of alive peers inside the largest
+	// weakly-connected component of usable view edges (Figures 2, 10).
+	BiggestCluster float64
+	// StaleFraction is the average fraction of view entries that cannot be
+	// contacted (Fig. 3).
+	StaleFraction float64
+	// NattedNonStale is the average fraction of non-stale view entries
+	// that point to natted peers (Fig. 4); under uniform sampling it
+	// equals the natted population share.
+	NattedNonStale float64
+
+	// Bandwidth in bytes per second per peer, sent+received, measured
+	// after a warmup of one third of the run (Figures 7, 8).
+	BytesPerSecAll    float64
+	BytesPerSecPublic float64
+	BytesPerSecNatted float64
+
+	// AvgChainLen is the mean number of RVPs traversed to open an exchange
+	// with a natted destination (Fig. 9).
+	AvgChainLen float64
+
+	// ChiSquareOK reports whether in-view representation passes the
+	// chi-square uniformity test (the correctness/randomness check of §5);
+	// ChiSquareStat is the statistic normalized by degrees of freedom.
+	ChiSquareOK   bool
+	ChiSquareStat float64
+	// InDegree summarizes how often each alive peer is referenced.
+	InDegree graph.DegreeSummary
+
+	// CompletionRate is completed/initiated shuffles; NoRouteRate is the
+	// fraction of initiations abandoned without a live RVP route.
+	CompletionRate float64
+	NoRouteRate    float64
+
+	// Drops aggregates datagrams lost in the network.
+	Drops simnet.DropStats
+	// AlivePeers is the population after churn.
+	AlivePeers int
+	// Series holds the periodic snapshots requested by
+	// Config.SampleEveryRounds, in round order.
+	Series []SamplePoint
+	// TraceDump holds the tail of the network event trace when
+	// Config.TraceCapacity is set (one event per line).
+	TraceDump string
+}
+
+// runState carries the wiring of one simulation run.
+type runState struct {
+	cfg   Config
+	rng   *rand.Rand
+	sched *sim.Scheduler
+	net   *simnet.Network
+	peers []*simnet.Peer // index i holds NodeID i+1
+
+	// selections counts, per peer, how often it was chosen as a gossip
+	// target during the measurement window — the sample stream whose
+	// uniformity stands in for the paper's diehard check.
+	selections   []int
+	measureAfter int64
+}
+
+// Run executes one experiment point and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	st := &runState{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sched: &sim.Scheduler{},
+	}
+	st.net = simnet.New(st.sched, cfg.LatencyMs)
+	if cfg.TraceCapacity > 0 {
+		st.net.Trace = trace.New(cfg.TraceCapacity)
+	}
+	st.measureAfter = int64(cfg.Rounds) / 3 * cfg.PeriodMs
+	st.build()
+	st.bootstrap()
+	st.schedule()
+
+	warmupBytes := st.snapshotBytesAt(int64(cfg.Rounds) / 3 * cfg.PeriodMs)
+	series := st.scheduleSeries()
+
+	if cfg.ChurnAtRound > 0 {
+		churnAt := int64(cfg.ChurnAtRound) * cfg.PeriodMs
+		st.sched.At(churnAt, func() { st.applyChurn() })
+	}
+
+	end := int64(cfg.Rounds) * cfg.PeriodMs
+	st.sched.RunUntil(end)
+
+	res := st.measure(end, warmupBytes)
+	res.Series = *series
+	if st.net.Trace != nil {
+		res.TraceDump = st.net.Trace.Dump()
+	}
+	return res, nil
+}
+
+// build creates the peers: classes assigned by NATRatio and Mix, shuffled
+// deterministically so classes and IDs are uncorrelated.
+func (st *runState) build() {
+	cfg := st.cfg
+	nNat := int(cfg.NATRatio*float64(cfg.N) + 0.5)
+	classes := make([]ident.NATClass, 0, cfg.N)
+	for i := 0; i < cfg.N-nNat; i++ {
+		classes = append(classes, ident.Public)
+	}
+	classes = append(classes, cfg.Mix.classes(nNat)...)
+	st.rng.Shuffle(len(classes), func(i, j int) { classes[i], classes[j] = classes[j], classes[i] })
+
+	// Static-RVP needs a global assignment natted peer -> public RVP. The
+	// descriptors do not exist yet, so resolve lazily against the network.
+	var rvpOf map[ident.NodeID]ident.NodeID
+	var publicIDs []ident.NodeID
+	if cfg.Protocol == ProtoStaticRVP {
+		rvpOf = make(map[ident.NodeID]ident.NodeID)
+		for i, c := range classes {
+			if c == ident.Public {
+				publicIDs = append(publicIDs, ident.NodeID(i+1))
+			}
+		}
+		if len(publicIDs) == 0 {
+			// Degenerate but allowed: nobody can be assigned an RVP;
+			// natted peers will fail construction, so refuse earlier.
+			panic("exp: static-rvp requires at least one public peer")
+		}
+		for i, c := range classes {
+			if c != ident.Public {
+				rvpOf[ident.NodeID(i+1)] = publicIDs[st.rng.Intn(len(publicIDs))]
+			}
+		}
+	}
+	resolver := func(id ident.NodeID) (view.Descriptor, bool) {
+		rid, ok := rvpOf[id]
+		if !ok {
+			return view.Descriptor{}, false
+		}
+		return st.net.Peer(rid).Descriptor(), true
+	}
+
+	st.peers = make([]*simnet.Peer, cfg.N)
+	// Two passes: public peers first, so the static-RVP resolver can hand
+	// natted peers their already-constructed rendez-vous descriptors.
+	// Engine RNG seeds and UPnP capabilities are drawn per ID up front to
+	// keep runs reproducible regardless of construction order.
+	seeds := make([]int64, cfg.N)
+	upnp := make([]bool, cfg.N)
+	for i := range seeds {
+		seeds[i] = st.rng.Int63()
+		upnp[i] = classes[i].Natted() && st.rng.Float64() < cfg.UPnPFraction
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < cfg.N; i++ {
+			if (classes[i] == ident.Public) != (pass == 0) {
+				continue
+			}
+			st.addPeer(ident.NodeID(i+1), classes[i], seeds[i], upnp[i], resolver)
+		}
+	}
+}
+
+func (st *runState) addPeer(id ident.NodeID, class ident.NATClass, seed int64, upnp bool, resolver core.RVPResolver) {
+	cfg := st.cfg
+	factory := func(self view.Descriptor) core.Engine {
+		ecfg := core.Config{
+			Self:            self,
+			ViewSize:        cfg.ViewSize,
+			Selection:       cfg.Selection,
+			Merge:           cfg.Merge,
+			PushPull:        cfg.PushPull,
+			HoleTimeout:     cfg.HoleTimeoutMs,
+			LatencyBound:    2 * cfg.LatencyMs,
+			RNG:             rand.New(rand.NewSource(seed)),
+			EvictUnanswered: cfg.EvictUnanswered,
+		}
+		switch cfg.Protocol {
+		case ProtoNylon:
+			return core.NewNylon(ecfg)
+		case ProtoARRG:
+			return core.NewARRG(ecfg, cfg.CacheSize)
+		case ProtoStaticRVP:
+			var own view.Descriptor
+			if self.Class.Natted() {
+				own, _ = resolver(self.ID)
+			}
+			return core.NewStaticRVP(ecfg, own, resolver)
+		default:
+			return core.NewGeneric(ecfg)
+		}
+	}
+	if upnp {
+		st.peers[id-1] = st.net.AddPeerUPnP(id, class, cfg.HoleTimeoutMs, factory)
+	} else {
+		st.peers[id-1] = st.net.AddPeer(id, class, cfg.HoleTimeoutMs, factory)
+	}
+}
+
+// bootstrap fills every view with random public peers (the paper's §5 setup)
+// and installs the join-time NAT holes that make those initial references
+// usable. When no public peers exist (100% NAT), random natted peers are
+// used instead, with holes installed through the simulated introducer.
+func (st *runState) bootstrap() {
+	var publics []*simnet.Peer
+	for _, p := range st.peers {
+		if p.Class == ident.Public {
+			publics = append(publics, p)
+		}
+	}
+	pool := publics
+	if len(pool) == 0 {
+		pool = st.peers
+	}
+	for _, p := range st.peers {
+		seeds := make([]view.Descriptor, 0, st.cfg.ViewSize)
+		seen := map[ident.NodeID]bool{p.ID: true}
+		// Cap attempts so tiny pools terminate.
+		for attempts := 0; len(seeds) < st.cfg.ViewSize && attempts < 20*st.cfg.ViewSize; attempts++ {
+			cand := pool[st.rng.Intn(len(pool))]
+			if seen[cand.ID] {
+				continue
+			}
+			seen[cand.ID] = true
+			seeds = append(seeds, cand.Descriptor())
+			st.net.InstallHole(p, cand)
+		}
+		switch e := p.Engine.(type) {
+		case *core.Nylon:
+			e.Bootstrap(st.sched.Now(), seeds)
+		case *core.Generic:
+			e.Bootstrap(seeds)
+		case *core.ARRG:
+			e.Bootstrap(seeds)
+		case *core.StaticRVP:
+			e.Bootstrap(seeds)
+		default:
+			panic(fmt.Sprintf("exp: unknown engine %T", p.Engine))
+		}
+	}
+}
+
+// schedule arms the periodic shuffle of every peer with a random phase, so
+// ticks interleave rather than firing in lockstep. The runner drives engines
+// itself (rather than through Network.Tick) to observe the selected targets.
+func (st *runState) schedule() {
+	st.selections = make([]int, st.cfg.N+1)
+	for _, p := range st.peers {
+		p := p
+		phase := st.rng.Int63n(st.cfg.PeriodMs)
+		var tick func()
+		tick = func() {
+			if p.Alive {
+				outs := p.Engine.Tick(st.sched.Now())
+				st.recordSelection(outs)
+				for _, s := range outs {
+					st.net.Send(p, s)
+				}
+			}
+			st.sched.After(st.cfg.PeriodMs, tick)
+		}
+		st.sched.At(phase, tick)
+	}
+}
+
+// recordSelection extracts the gossip target of a Tick's output: the final
+// destination of its REQUEST or OPEN_HOLE, whichever appears first.
+func (st *runState) recordSelection(outs []core.Send) {
+	if st.sched.Now() < st.measureAfter {
+		return
+	}
+	for _, s := range outs {
+		k := s.Msg.Kind
+		if k != wire.KindRequest && k != wire.KindOpenHole {
+			continue
+		}
+		id := int(s.Msg.Dst.ID)
+		if id >= 1 && id < len(st.selections) {
+			st.selections[id]++
+		}
+		return
+	}
+}
+
+// applyChurn removes ChurnFraction of the alive peers uniformly at random,
+// which removes public and natted peers proportionally to their numbers, as
+// in the paper's Fig. 10 setup.
+func (st *runState) applyChurn() {
+	n := len(st.peers)
+	perm := st.rng.Perm(n)
+	kill := int(st.cfg.ChurnFraction * float64(n))
+	for _, idx := range perm[:kill] {
+		st.net.Kill(st.peers[idx].ID)
+	}
+}
+
+// snapshotBytesAt schedules a per-peer byte-counter snapshot at the given
+// time and returns the slice that will hold it (filled when the time comes).
+func (st *runState) snapshotBytesAt(at int64) []uint64 {
+	snap := make([]uint64, len(st.peers))
+	st.sched.At(at, func() {
+		for i, p := range st.peers {
+			snap[i] = p.BytesSent + p.BytesRecv
+		}
+	})
+	return snap
+}
+
+// usableEdge reports whether q could, right now, open an exchange with the
+// view entry d — the negation of the paper's "stale reference".
+func (st *runState) usableEdge(now int64, q *simnet.Peer, d view.Descriptor) bool {
+	target := st.net.Peer(d.ID)
+	if target == nil || !target.Alive {
+		return false
+	}
+	switch st.cfg.Protocol {
+	case ProtoNylon:
+		return st.nylonUsable(now, q, d)
+	case ProtoStaticRVP:
+		if !d.Class.Natted() {
+			return true
+		}
+		// Usable iff the target's fixed RVP is alive: the target keeps
+		// its hole toward it alive with keepalive PINGs for as long as
+		// it lives, so the RVP is the single point of failure.
+		if rvpID, ok := st.staticRVPOf(d.ID); ok {
+			rvp := st.net.Peer(rvpID)
+			return rvp != nil && rvp.Alive
+		}
+		return false
+	default: // Generic, ARRG: plain reachability
+		return st.net.Reachable(now, q, d)
+	}
+}
+
+// staticRVPOf recovers the RVP assignment for static-RVP runs by asking the
+// target's own engine.
+func (st *runState) staticRVPOf(id ident.NodeID) (ident.NodeID, bool) {
+	p := st.net.Peer(id)
+	if p == nil {
+		return 0, false
+	}
+	e, ok := p.Engine.(*core.StaticRVP)
+	if !ok {
+		return 0, false
+	}
+	d := e.OwnRVP()
+	if d.ID.IsNil() {
+		return 0, false
+	}
+	return d.ID, true
+}
+
+// nylonUsable walks the RVP chain from q toward d, checking at every hop
+// that the datagram would actually be admitted by the hop's NAT, mirroring
+// how an OPEN_HOLE (or relayed REQUEST) would travel.
+func (st *runState) nylonUsable(now int64, q *simnet.Peer, d view.Descriptor) bool {
+	if !d.Class.Natted() {
+		return true
+	}
+	cur := q
+	for depth := 0; depth < 16; depth++ {
+		eng, ok := cur.Engine.(*core.Nylon)
+		if !ok {
+			return false
+		}
+		rvp, ok := eng.Routes().Next(d.ID, now)
+		if !ok {
+			return false
+		}
+		hop := st.net.Peer(rvp.ID)
+		if hop == nil || !hop.Alive {
+			return false
+		}
+		if !st.net.ReachableEndpoint(now, cur, rvp.Addr) {
+			return false
+		}
+		if rvp.ID == d.ID {
+			return true
+		}
+		cur = hop
+	}
+	return false
+}
+
+// measure computes the Result at simulation end.
+func (st *runState) measure(end int64, warmupBytes []uint64) Result {
+	now := st.sched.Now()
+	res := Result{Cfg: st.cfg, Drops: st.net.Drops}
+
+	var aliveIDs []ident.NodeID
+	var edges []graph.Edge
+	var staleSum, staleCount float64
+	var nattedRatios []float64
+	var initiated, completed, noroute, chainHops, chainSamples uint64
+
+	var alive, alivePublic, aliveNatted int
+	var bytesAll, bytesPublic, bytesNatted float64
+	warmupAt := int64(st.cfg.Rounds) / 3 * st.cfg.PeriodMs
+	seconds := float64(end-warmupAt) / 1000
+
+	for i, p := range st.peers {
+		if !p.Alive {
+			continue
+		}
+		alive++
+		aliveIDs = append(aliveIDs, p.ID)
+		delta := float64(p.BytesSent + p.BytesRecv - warmupBytes[i])
+		bytesAll += delta
+		if p.Class == ident.Public {
+			alivePublic++
+			bytesPublic += delta
+		} else {
+			aliveNatted++
+			bytesNatted += delta
+		}
+
+		s := p.Engine.Stats()
+		initiated += s.ShufflesInitiated
+		completed += s.ShufflesCompleted
+		noroute += s.NoRoute
+		chainHops += s.ChainHopsTotal
+		chainSamples += s.ChainSamples
+
+		entries := p.Engine.View().Entries()
+		var nonStale, nonStaleNatted int
+		for _, d := range entries {
+			// Entries referencing departed peers count as stale only
+			// in churn scenarios; graph edges always require life.
+			usable := st.usableEdge(now, p, d)
+			if usable {
+				nonStale++
+				if d.Class.Natted() {
+					nonStaleNatted++
+				}
+				edges = append(edges, graph.Edge{From: p.ID, To: d.ID})
+			}
+			staleCount++
+			if !usable {
+				staleSum++
+			}
+		}
+		if nonStale > 0 {
+			nattedRatios = append(nattedRatios, float64(nonStaleNatted)/float64(nonStale))
+		}
+	}
+
+	res.AlivePeers = alive
+	if staleCount > 0 {
+		res.StaleFraction = staleSum / staleCount
+	}
+	res.NattedNonStale = stats.Mean(nattedRatios)
+	res.BiggestCluster = graph.BiggestClusterFraction(aliveIDs, edges)
+	if seconds > 0 && alive > 0 {
+		res.BytesPerSecAll = bytesAll / seconds / float64(alive)
+		if alivePublic > 0 {
+			res.BytesPerSecPublic = bytesPublic / seconds / float64(alivePublic)
+		}
+		if aliveNatted > 0 {
+			res.BytesPerSecNatted = bytesNatted / seconds / float64(aliveNatted)
+		}
+	}
+	if chainSamples > 0 {
+		res.AvgChainLen = float64(chainHops) / float64(chainSamples)
+	}
+	if initiated > 0 {
+		res.CompletionRate = float64(completed) / float64(initiated)
+		res.NoRouteRate = float64(noroute) / float64(initiated)
+	}
+
+	deg := graph.InDegrees(aliveIDs, edges)
+	res.InDegree = graph.Summarize(deg)
+	// Randomness: chi-square over how often each alive peer was selected
+	// as a gossip target during the measurement window (the sample stream;
+	// the paper uses the diehard suite on the same stream).
+	counts := make([]int, 0, len(aliveIDs))
+	for _, id := range aliveIDs {
+		counts = append(counts, st.selections[id])
+	}
+	if len(counts) > 1 {
+		if chi2, dof, err := stats.ChiSquareUniform(counts); err == nil && dof > 0 {
+			res.ChiSquareStat = chi2 / float64(dof)
+		}
+		res.ChiSquareOK, _ = stats.ChiSquareUniformOK(counts)
+	}
+	return res
+}

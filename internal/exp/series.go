@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ident"
+)
+
+// SamplePoint is one mid-run measurement of the overlay's health, taken with
+// the same usable-edge semantics as the end-of-run Result.
+type SamplePoint struct {
+	// Round is the shuffling round at which the snapshot was taken.
+	Round int
+	// BiggestCluster is the usable-edge largest-component fraction.
+	BiggestCluster float64
+	// StaleFraction is the stale share of view entries.
+	StaleFraction float64
+	// AlivePeers is the population at the snapshot.
+	AlivePeers int
+}
+
+// overlaySnapshot walks every alive peer's view once and returns the usable
+// edge set plus the stale fraction. Both the periodic series sampler and the
+// final measurement build on it.
+func (st *runState) overlaySnapshot(now int64) (aliveIDs []ident.NodeID, edges []graph.Edge, staleFraction float64) {
+	var stale, total float64
+	for _, p := range st.peers {
+		if !p.Alive {
+			continue
+		}
+		aliveIDs = append(aliveIDs, p.ID)
+		for _, d := range p.Engine.View().Entries() {
+			total++
+			if st.usableEdge(now, p, d) {
+				edges = append(edges, graph.Edge{From: p.ID, To: d.ID})
+			} else {
+				stale++
+			}
+		}
+	}
+	if total > 0 {
+		staleFraction = stale / total
+	}
+	return aliveIDs, edges, staleFraction
+}
+
+// scheduleSeries arms periodic snapshots every SampleEveryRounds rounds and
+// returns the slice the run will fill.
+func (st *runState) scheduleSeries() *[]SamplePoint {
+	series := &[]SamplePoint{}
+	if st.cfg.SampleEveryRounds <= 0 {
+		return series
+	}
+	for r := st.cfg.SampleEveryRounds; r <= st.cfg.Rounds; r += st.cfg.SampleEveryRounds {
+		r := r
+		st.sched.At(int64(r)*st.cfg.PeriodMs, func() {
+			now := st.sched.Now()
+			aliveIDs, edges, stale := st.overlaySnapshot(now)
+			*series = append(*series, SamplePoint{
+				Round:          r,
+				BiggestCluster: graph.BiggestClusterFraction(aliveIDs, edges),
+				StaleFraction:  stale,
+				AlivePeers:     len(aliveIDs),
+			})
+		})
+	}
+	return series
+}

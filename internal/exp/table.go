@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable result grid: one labelled row per sweep point.
+type Table struct {
+	Title   string
+	Columns []string // Columns[0] labels the row key
+	Rows    []Row
+}
+
+// Row is one sweep point.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// String renders the table as aligned text with a '#'-prefixed header,
+// gnuplot-friendly.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	fmt.Fprintf(&b, "# %-10s", t.Columns[0])
+	for _, c := range t.Columns[1:] {
+		fmt.Fprintf(&b, " %14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-10s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %14.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header line.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+// Package ident defines the basic identity and addressing model shared by
+// every other package in this repository: node identifiers, IPv4-style
+// endpoints, and NAT classes.
+//
+// The model follows Section 2 of the Nylon paper (Kermarrec et al., ICDCS
+// 2009): a peer is either public or sits behind exactly one NAT device of one
+// of four classes (full cone, restricted cone, port-restricted cone,
+// symmetric). Nested NATs are out of scope, as in the paper.
+package ident
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NodeID uniquely identifies a peer in the overlay. IDs are assigned once at
+// join time and never reused.
+type NodeID uint64
+
+// Nil is the zero NodeID; it never identifies a real peer.
+const Nil NodeID = 0
+
+// String implements fmt.Stringer.
+func (id NodeID) String() string { return "n" + strconv.FormatUint(uint64(id), 10) }
+
+// IsNil reports whether id is the zero NodeID.
+func (id NodeID) IsNil() bool { return id == Nil }
+
+// IP is an IPv4 address packed into a uint32 (network byte order when
+// serialized). The simulated network allocates these densely; the UDP
+// transport converts real addresses to and from this form.
+type IP uint32
+
+// String renders the address in dotted-quad form.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// ParseIP parses a dotted-quad IPv4 address. It returns an error for any
+// malformed input, including out-of-range octets.
+func ParseIP(s string) (IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("ident: invalid IPv4 address %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("ident: invalid IPv4 address %q: %v", s, err)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return IP(ip), nil
+}
+
+// Endpoint is a transport address: an IP plus a UDP-style port.
+type Endpoint struct {
+	IP   IP
+	Port uint16
+}
+
+// Zero is the zero Endpoint, used to mean "no address".
+var Zero Endpoint
+
+// String implements fmt.Stringer.
+func (e Endpoint) String() string { return e.IP.String() + ":" + strconv.Itoa(int(e.Port)) }
+
+// IsZero reports whether e is the zero endpoint.
+func (e Endpoint) IsZero() bool { return e == Zero }
+
+// ParseEndpoint parses "a.b.c.d:port".
+func ParseEndpoint(s string) (Endpoint, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return Zero, fmt.Errorf("ident: endpoint %q missing port", s)
+	}
+	ip, err := ParseIP(s[:i])
+	if err != nil {
+		return Zero, err
+	}
+	port, err := strconv.ParseUint(s[i+1:], 10, 16)
+	if err != nil {
+		return Zero, fmt.Errorf("ident: endpoint %q: invalid port: %v", s, err)
+	}
+	return Endpoint{IP: ip, Port: uint16(port)}, nil
+}
+
+// NATClass describes the connectivity class of a peer: either directly
+// reachable (Public) or behind one of the four NAT behaviours of Section 2.1
+// of the paper.
+type NATClass uint8
+
+// NAT classes, ordered from most permissive to most restrictive.
+const (
+	// Public peers have a globally reachable address and accept unsolicited
+	// traffic.
+	Public NATClass = iota
+	// FullCone NATs reuse one mapping per private endpoint and forward all
+	// inbound traffic addressed to it.
+	FullCone
+	// RestrictedCone NATs reuse one mapping per private endpoint and forward
+	// inbound traffic only from IP addresses previously contacted.
+	RestrictedCone
+	// PortRestrictedCone NATs reuse one mapping per private endpoint and
+	// forward inbound traffic only from IP:port pairs previously contacted.
+	PortRestrictedCone
+	// Symmetric NATs allocate a distinct mapping per destination and filter
+	// like port-restricted cones.
+	Symmetric
+
+	numClasses
+)
+
+// NumClasses is the number of distinct NATClass values.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	Public:             "public",
+	FullCone:           "fc",
+	RestrictedCone:     "rc",
+	PortRestrictedCone: "prc",
+	Symmetric:          "sym",
+}
+
+// String implements fmt.Stringer.
+func (c NATClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "natclass(" + strconv.Itoa(int(c)) + ")"
+}
+
+// ParseNATClass parses the short names produced by String ("public", "fc",
+// "rc", "prc", "sym").
+func ParseNATClass(s string) (NATClass, error) {
+	for i, n := range classNames {
+		if n == s {
+			return NATClass(i), nil
+		}
+	}
+	return 0, fmt.Errorf("ident: unknown NAT class %q", s)
+}
+
+// Valid reports whether c is one of the defined classes.
+func (c NATClass) Valid() bool { return int(c) < NumClasses }
+
+// Natted reports whether the peer sits behind a NAT device of any kind.
+func (c NATClass) Natted() bool { return c != Public }

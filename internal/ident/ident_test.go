@@ -1,0 +1,120 @@
+package ident
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIPString(t *testing.T) {
+	tests := []struct {
+		ip   IP
+		want string
+	}{
+		{0, "0.0.0.0"},
+		{0x01020304, "1.2.3.4"},
+		{0xffffffff, "255.255.255.255"},
+		{0x0a000001, "10.0.0.1"},
+	}
+	for _, tt := range tests {
+		if got := tt.ip.String(); got != tt.want {
+			t.Errorf("IP(%#x).String() = %q, want %q", uint32(tt.ip), got, tt.want)
+		}
+	}
+}
+
+func TestParseIPRoundTrip(t *testing.T) {
+	f := func(ip uint32) bool {
+		parsed, err := ParseIP(IP(ip).String())
+		return err == nil && parsed == IP(ip)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIPErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-4"} {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseEndpointRoundTrip(t *testing.T) {
+	f := func(ip uint32, port uint16) bool {
+		e := Endpoint{IP: IP(ip), Port: port}
+		parsed, err := ParseEndpoint(e.String())
+		return err == nil && parsed == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseEndpointErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3.4", "1.2.3.4:", "1.2.3.4:99999", "1.2.3:80", "x:80"} {
+		if _, err := ParseEndpoint(s); err == nil {
+			t.Errorf("ParseEndpoint(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestEndpointZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Error("Zero.IsZero() = false")
+	}
+	if (Endpoint{IP: 1}).IsZero() {
+		t.Error("non-zero endpoint reported as zero")
+	}
+}
+
+func TestNATClassString(t *testing.T) {
+	tests := []struct {
+		c    NATClass
+		want string
+	}{
+		{Public, "public"},
+		{FullCone, "fc"},
+		{RestrictedCone, "rc"},
+		{PortRestrictedCone, "prc"},
+		{Symmetric, "sym"},
+		{NATClass(99), "natclass(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("NATClass(%d).String() = %q, want %q", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestParseNATClassRoundTrip(t *testing.T) {
+	for c := Public; c.Valid(); c++ {
+		got, err := ParseNATClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseNATClass(%q) = %v, %v; want %v", c.String(), got, err, c)
+		}
+	}
+	if _, err := ParseNATClass("bogus"); err == nil {
+		t.Error("ParseNATClass(bogus) succeeded, want error")
+	}
+}
+
+func TestNatted(t *testing.T) {
+	if Public.Natted() {
+		t.Error("Public.Natted() = true")
+	}
+	for _, c := range []NATClass{FullCone, RestrictedCone, PortRestrictedCone, Symmetric} {
+		if !c.Natted() {
+			t.Errorf("%v.Natted() = false", c)
+		}
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(42).String(); got != "n42" {
+		t.Errorf("NodeID(42).String() = %q, want n42", got)
+	}
+	if !Nil.IsNil() || NodeID(1).IsNil() {
+		t.Error("IsNil misbehaves")
+	}
+}

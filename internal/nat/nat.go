@@ -1,0 +1,293 @@
+// Package nat simulates the four NAT device behaviours described in Section
+// 2.1 of the Nylon paper: full cone, restricted cone, port-restricted cone,
+// and symmetric. A Device translates outbound packets from private endpoints
+// to public mappings, installs filtering rules, and decides whether inbound
+// packets are forwarded or dropped.
+//
+// Time is an explicit int64 millisecond parameter on every call so the same
+// device works under the discrete-event simulator (virtual time) and under a
+// real-time driver (milliseconds since start). Mappings and filtering rules
+// expire ruleTTL milliseconds after the last packet sent or received on the
+// session, matching the paper's "valid a limited time after the last message
+// was sent (or received)".
+package nat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ident"
+)
+
+// Device models one NAT box with a single public IP. One or more private
+// endpoints may sit behind it (the paper evaluates one peer per device, but
+// the model is general).
+//
+// Device is not safe for concurrent use; callers in the simulator are
+// single-threaded, and the real-time driver serializes access.
+type Device struct {
+	class    ident.NATClass
+	publicIP ident.IP
+	ruleTTL  int64 // milliseconds
+
+	nextPort uint16
+	// sessions is keyed per class:
+	//   FC/RC/PRC: one session per private endpoint
+	//   SYM:       one session per (private endpoint, destination endpoint)
+	sessions map[sessionKey]*session
+	// byPublic indexes live sessions by their assigned public endpoint so
+	// inbound packets can be matched in O(1).
+	byPublic map[ident.Endpoint]*session
+}
+
+type sessionKey struct {
+	private ident.Endpoint
+	dst     ident.Endpoint // zero except for symmetric NATs
+}
+
+type session struct {
+	key    sessionKey
+	public ident.Endpoint
+	// filters holds the peers allowed to send inbound traffic, with the
+	// virtual time at which each permission expires. The key granularity
+	// depends on the NAT class: full IP:port for PRC/SYM, IP only (port 0)
+	// for RC. Full-cone sessions use the wildcard zero endpoint.
+	filters map[ident.Endpoint]int64
+	// lastUse is the most recent send or receive on the session; the
+	// mapping itself dies ruleTTL after it.
+	lastUse int64
+	// pinned marks an explicit port mapping (NAT-PMP / UPnP): it never
+	// expires and forwards all inbound traffic, like a full-cone rule.
+	pinned bool
+}
+
+// NewDevice creates a NAT device of the given class with the given public IP.
+// ruleTTL is the lifetime, in milliseconds, of mappings and filtering rules
+// after the last activity (the paper uses 90 s, a typical vendor value).
+// NewDevice panics if class is Public or invalid: public peers have no NAT.
+func NewDevice(class ident.NATClass, publicIP ident.IP, ruleTTL int64) *Device {
+	if !class.Natted() || !class.Valid() {
+		panic(fmt.Sprintf("nat: NewDevice called with class %v", class))
+	}
+	if ruleTTL <= 0 {
+		panic("nat: NewDevice called with non-positive ruleTTL")
+	}
+	return &Device{
+		class:    class,
+		publicIP: publicIP,
+		ruleTTL:  ruleTTL,
+		nextPort: 1024,
+		sessions: make(map[sessionKey]*session),
+		byPublic: make(map[ident.Endpoint]*session),
+	}
+}
+
+// Class returns the NAT behaviour class of the device.
+func (d *Device) Class() ident.NATClass { return d.class }
+
+// PublicIP returns the public IP address shared by all mappings.
+func (d *Device) PublicIP() ident.IP { return d.publicIP }
+
+// wildcard marks a full-cone "accept anyone" filter entry.
+var wildcard ident.Endpoint
+
+func (d *Device) keyFor(private, dst ident.Endpoint) sessionKey {
+	if d.class == ident.Symmetric {
+		return sessionKey{private: private, dst: dst}
+	}
+	return sessionKey{private: private}
+}
+
+// filterKey reduces a remote endpoint to the granularity at which this
+// device's class filters: IP-only for restricted cone, IP:port otherwise.
+func (d *Device) filterKey(remote ident.Endpoint) ident.Endpoint {
+	switch d.class {
+	case ident.FullCone:
+		return wildcard
+	case ident.RestrictedCone:
+		return ident.Endpoint{IP: remote.IP}
+	default: // PRC, SYM
+		return remote
+	}
+}
+
+func (d *Device) expired(s *session, now int64) bool {
+	return !s.pinned && now-s.lastUse > d.ruleTTL
+}
+
+func (d *Device) drop(s *session) {
+	delete(d.sessions, s.key)
+	delete(d.byPublic, s.public)
+}
+
+func (d *Device) allocPort() uint16 {
+	for {
+		p := d.nextPort
+		d.nextPort++
+		if d.nextPort == 0 {
+			d.nextPort = 1024
+		}
+		if _, taken := d.byPublic[ident.Endpoint{IP: d.publicIP, Port: p}]; !taken && p >= 1024 {
+			return p
+		}
+	}
+}
+
+// Outbound records a packet sent from the private endpoint src to the remote
+// endpoint dst at the given time. It returns the public endpoint the packet
+// appears to come from, creating or refreshing the mapping and the filtering
+// rule that will admit return traffic.
+func (d *Device) Outbound(now int64, src, dst ident.Endpoint) ident.Endpoint {
+	key := d.keyFor(src, dst)
+	s, ok := d.sessions[key]
+	if ok && d.expired(s, now) {
+		d.drop(s)
+		ok = false
+	}
+	if !ok {
+		s = &session{
+			key:     key,
+			public:  ident.Endpoint{IP: d.publicIP, Port: d.allocPort()},
+			filters: make(map[ident.Endpoint]int64),
+		}
+		d.sessions[key] = s
+		d.byPublic[s.public] = s
+	}
+	s.lastUse = now
+	s.filters[d.filterKey(dst)] = now + d.ruleTTL
+	return s.public
+}
+
+// Inbound decides the fate of a packet arriving from the remote endpoint
+// `from` addressed to the public endpoint `to`. If a live mapping and
+// filtering rule admit it, Inbound returns the private destination endpoint
+// and true, refreshing the session lifetime. Otherwise it returns the zero
+// endpoint and false and the packet must be dropped.
+func (d *Device) Inbound(now int64, from, to ident.Endpoint) (ident.Endpoint, bool) {
+	s, ok := d.byPublic[to]
+	if !ok {
+		return ident.Zero, false
+	}
+	if d.expired(s, now) {
+		d.drop(s)
+		return ident.Zero, false
+	}
+	if !d.admits(s, now, from) {
+		return ident.Zero, false
+	}
+	// Inbound traffic on a live session refreshes it, per the paper: the
+	// rule remains valid a limited time after the last message sent *or
+	// received* in the session.
+	s.lastUse = now
+	s.filters[d.filterKey(from)] = now + d.ruleTTL
+	return s.key.private, true
+}
+
+// Pinhole installs an explicit permanent port mapping for the private
+// endpoint, as NAT-PMP or UPnP IGD would (the paper's related work discusses
+// these as an alternative to traversal, with the caveat that not all devices
+// support them). The returned public endpoint accepts unsolicited traffic
+// from anyone and never expires. Symmetric semantics do not apply: the
+// mapping is destination-independent by construction.
+func (d *Device) Pinhole(priv ident.Endpoint) ident.Endpoint {
+	key := sessionKey{private: priv}
+	if s, ok := d.sessions[key]; ok && s.pinned {
+		return s.public
+	}
+	s := &session{
+		key:     key,
+		public:  ident.Endpoint{IP: d.publicIP, Port: d.allocPort()},
+		filters: map[ident.Endpoint]int64{wildcard: 1 << 62},
+		pinned:  true,
+	}
+	d.sessions[key] = s
+	d.byPublic[s.public] = s
+	return s.public
+}
+
+func (d *Device) admits(s *session, now int64, from ident.Endpoint) bool {
+	if s.pinned {
+		return true
+	}
+	var key ident.Endpoint
+	switch d.class {
+	case ident.FullCone:
+		key = wildcard
+	case ident.RestrictedCone:
+		key = ident.Endpoint{IP: from.IP}
+	default:
+		key = from
+	}
+	exp, ok := s.filters[key]
+	return ok && exp >= now
+}
+
+// WouldAdmit reports, without mutating any state, whether a packet from the
+// remote endpoint `from` addressed to the public endpoint `to` would be
+// forwarded at the given time. Metrics code uses this to classify view
+// entries as stale without perturbing the simulation.
+func (d *Device) WouldAdmit(now int64, from, to ident.Endpoint) bool {
+	s, ok := d.byPublic[to]
+	if !ok || d.expired(s, now) {
+		return false
+	}
+	return d.admits(s, now, from)
+}
+
+// PublicMapping returns the current public endpoint that traffic from the
+// private endpoint src toward dst would use, without creating one. The second
+// result reports whether a live mapping exists. For non-symmetric devices dst
+// is ignored beyond determining session liveness.
+func (d *Device) PublicMapping(now int64, src, dst ident.Endpoint) (ident.Endpoint, bool) {
+	s, ok := d.sessions[d.keyFor(src, dst)]
+	if !ok || d.expired(s, now) {
+		return ident.Zero, false
+	}
+	return s.public, true
+}
+
+// GC removes all sessions whose lifetime has elapsed. The simulator calls it
+// periodically to bound memory; correctness never depends on it because every
+// lookup re-checks expiry.
+func (d *Device) GC(now int64) {
+	for _, s := range d.sessions {
+		if d.expired(s, now) {
+			d.drop(s)
+			continue
+		}
+		for k, exp := range s.filters {
+			if exp < now {
+				delete(s.filters, k)
+			}
+		}
+	}
+}
+
+// SessionCount returns the number of live sessions at the given time.
+func (d *Device) SessionCount(now int64) int {
+	n := 0
+	for _, s := range d.sessions {
+		if !d.expired(s, now) {
+			n++
+		}
+	}
+	return n
+}
+
+// Sessions returns a deterministic snapshot of live public endpoints, sorted,
+// for debugging and tests.
+func (d *Device) Sessions(now int64) []ident.Endpoint {
+	var eps []ident.Endpoint
+	for _, s := range d.sessions {
+		if !d.expired(s, now) {
+			eps = append(eps, s.public)
+		}
+	}
+	sort.Slice(eps, func(i, j int) bool {
+		if eps[i].IP != eps[j].IP {
+			return eps[i].IP < eps[j].IP
+		}
+		return eps[i].Port < eps[j].Port
+	})
+	return eps
+}

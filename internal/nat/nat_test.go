@@ -1,0 +1,285 @@
+package nat
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+)
+
+const ttl = 90_000 // 90 s, the paper's hole timeout
+
+var (
+	priv = ident.Endpoint{IP: 0x0a000001, Port: 5000} // 10.0.0.1:5000
+	rem1 = ident.Endpoint{IP: 0x01010101, Port: 7000} // 1.1.1.1:7000
+	rem2 = ident.Endpoint{IP: 0x02020202, Port: 8000} // 2.2.2.2:8000
+	// rem1alt shares rem1's IP but uses a different port.
+	rem1alt = ident.Endpoint{IP: 0x01010101, Port: 7001}
+	pubIP   = ident.IP(0x05050505)
+)
+
+func newDev(t *testing.T, c ident.NATClass) *Device {
+	t.Helper()
+	return NewDevice(c, pubIP, ttl)
+}
+
+func TestNewDevicePanicsOnPublic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDevice(Public) did not panic")
+		}
+	}()
+	NewDevice(ident.Public, pubIP, ttl)
+}
+
+func TestNewDevicePanicsOnBadTTL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDevice with ttl=0 did not panic")
+		}
+	}()
+	NewDevice(ident.FullCone, pubIP, 0)
+}
+
+// TestConeMappingStable verifies that FC, RC and PRC NATs assign the same
+// public endpoint to all sessions from one private endpoint (paper §2.1).
+func TestConeMappingStable(t *testing.T) {
+	for _, c := range []ident.NATClass{ident.FullCone, ident.RestrictedCone, ident.PortRestrictedCone} {
+		d := newDev(t, c)
+		p1 := d.Outbound(0, priv, rem1)
+		p2 := d.Outbound(10, priv, rem2)
+		if p1 != p2 {
+			t.Errorf("%v: mappings differ across destinations: %v vs %v", c, p1, p2)
+		}
+		if p1.IP != pubIP {
+			t.Errorf("%v: mapping uses IP %v, want %v", c, p1.IP, pubIP)
+		}
+	}
+}
+
+// TestSymmetricMappingPerDestination verifies that a symmetric NAT assigns a
+// distinct port per destination but keeps the same public IP (paper §2.1).
+func TestSymmetricMappingPerDestination(t *testing.T) {
+	d := newDev(t, ident.Symmetric)
+	p1 := d.Outbound(0, priv, rem1)
+	p2 := d.Outbound(0, priv, rem2)
+	if p1 == p2 {
+		t.Fatalf("symmetric NAT reused mapping %v for two destinations", p1)
+	}
+	if p1.IP != p2.IP || p1.IP != pubIP {
+		t.Errorf("symmetric NAT changed public IP: %v, %v", p1, p2)
+	}
+	// Same destination again: mapping must be stable.
+	if p3 := d.Outbound(5, priv, rem1); p3 != p1 {
+		t.Errorf("mapping toward same destination changed: %v vs %v", p3, p1)
+	}
+}
+
+func TestFullConeAcceptsAnyoneAfterOutbound(t *testing.T) {
+	d := newDev(t, ident.FullCone)
+	pub := d.Outbound(0, priv, rem1)
+	// A peer never contacted may send in.
+	got, ok := d.Inbound(100, rem2, pub)
+	if !ok || got != priv {
+		t.Fatalf("full cone rejected unsolicited inbound: ok=%v got=%v", ok, got)
+	}
+}
+
+func TestRestrictedConeFiltersByIP(t *testing.T) {
+	d := newDev(t, ident.RestrictedCone)
+	pub := d.Outbound(0, priv, rem1)
+	if _, ok := d.Inbound(1, rem2, pub); ok {
+		t.Error("RC admitted packet from uncontacted IP")
+	}
+	// Same IP, different port: RC filters by IP only, so this is admitted.
+	if _, ok := d.Inbound(1, rem1alt, pub); !ok {
+		t.Error("RC rejected packet from contacted IP on a different port")
+	}
+	if got, ok := d.Inbound(1, rem1, pub); !ok || got != priv {
+		t.Errorf("RC rejected contacted peer: ok=%v got=%v", ok, got)
+	}
+}
+
+func TestPortRestrictedConeFiltersByIPAndPort(t *testing.T) {
+	d := newDev(t, ident.PortRestrictedCone)
+	pub := d.Outbound(0, priv, rem1)
+	if _, ok := d.Inbound(1, rem1alt, pub); ok {
+		t.Error("PRC admitted packet from contacted IP but different port")
+	}
+	if _, ok := d.Inbound(1, rem1, pub); !ok {
+		t.Error("PRC rejected exactly-contacted peer")
+	}
+}
+
+func TestSymmetricFiltersPerSession(t *testing.T) {
+	d := newDev(t, ident.Symmetric)
+	pub1 := d.Outbound(0, priv, rem1)
+	pub2 := d.Outbound(0, priv, rem2)
+	// rem2 may not reach the mapping opened toward rem1.
+	if _, ok := d.Inbound(1, rem2, pub1); ok {
+		t.Error("SYM admitted cross-session inbound")
+	}
+	if _, ok := d.Inbound(1, rem1, pub1); !ok {
+		t.Error("SYM rejected the session peer")
+	}
+	if _, ok := d.Inbound(1, rem2, pub2); !ok {
+		t.Error("SYM rejected the session peer on its own mapping")
+	}
+}
+
+func TestRuleExpiry(t *testing.T) {
+	for _, c := range []ident.NATClass{ident.FullCone, ident.RestrictedCone, ident.PortRestrictedCone, ident.Symmetric} {
+		d := newDev(t, c)
+		pub := d.Outbound(0, priv, rem1)
+		if _, ok := d.Inbound(ttl, rem1, pub); !ok {
+			t.Errorf("%v: rule dead at exactly ttl", c)
+		}
+		d2 := newDev(t, c)
+		pub2 := d2.Outbound(0, priv, rem1)
+		if _, ok := d2.Inbound(ttl+1, rem1, pub2); ok {
+			t.Errorf("%v: rule alive after ttl elapsed", c)
+		}
+	}
+}
+
+// TestInboundRefreshesSession checks that receiving traffic keeps the session
+// alive, per the paper: the rule is valid a limited time after the last
+// message sent or received.
+func TestInboundRefreshesSession(t *testing.T) {
+	d := newDev(t, ident.PortRestrictedCone)
+	pub := d.Outbound(0, priv, rem1)
+	if _, ok := d.Inbound(ttl-1, rem1, pub); !ok {
+		t.Fatal("inbound within ttl rejected")
+	}
+	// The inbound at ttl-1 must have refreshed the session.
+	if _, ok := d.Inbound(2*ttl-2, rem1, pub); !ok {
+		t.Error("session not refreshed by inbound traffic")
+	}
+}
+
+func TestOutboundRefreshesMapping(t *testing.T) {
+	d := newDev(t, ident.PortRestrictedCone)
+	pub := d.Outbound(0, priv, rem1)
+	d.Outbound(ttl-1, priv, rem2) // same session, refreshes lastUse
+	if got := d.Outbound(2*ttl-2, priv, rem1); got != pub {
+		t.Errorf("mapping changed despite continuous activity: %v vs %v", got, pub)
+	}
+}
+
+func TestExpiredMappingReallocated(t *testing.T) {
+	d := newDev(t, ident.PortRestrictedCone)
+	pub := d.Outbound(0, priv, rem1)
+	got := d.Outbound(ttl+1, priv, rem1)
+	if got == pub {
+		t.Errorf("expired mapping was reused: %v", got)
+	}
+}
+
+func TestWouldAdmitDoesNotMutate(t *testing.T) {
+	d := newDev(t, ident.PortRestrictedCone)
+	pub := d.Outbound(0, priv, rem1)
+	if !d.WouldAdmit(1, rem1, pub) {
+		t.Fatal("WouldAdmit rejected admitted peer")
+	}
+	if d.WouldAdmit(1, rem2, pub) {
+		t.Fatal("WouldAdmit admitted stranger")
+	}
+	// WouldAdmit at ttl-1 must not refresh: session dies at ttl+1.
+	if !d.WouldAdmit(ttl-1, rem1, pub) {
+		t.Fatal("WouldAdmit rejected within ttl")
+	}
+	if d.WouldAdmit(ttl+1, rem1, pub) {
+		t.Error("WouldAdmit refreshed the session")
+	}
+}
+
+func TestPublicMapping(t *testing.T) {
+	d := newDev(t, ident.Symmetric)
+	if _, ok := d.PublicMapping(0, priv, rem1); ok {
+		t.Error("PublicMapping invented a session")
+	}
+	pub := d.Outbound(0, priv, rem1)
+	got, ok := d.PublicMapping(1, priv, rem1)
+	if !ok || got != pub {
+		t.Errorf("PublicMapping = %v, %v; want %v, true", got, ok, pub)
+	}
+	if _, ok := d.PublicMapping(ttl+1, priv, rem1); ok {
+		t.Error("PublicMapping returned expired session")
+	}
+}
+
+func TestGCAndSessionCount(t *testing.T) {
+	d := newDev(t, ident.Symmetric)
+	d.Outbound(0, priv, rem1)
+	d.Outbound(0, priv, rem2)
+	if got := d.SessionCount(1); got != 2 {
+		t.Fatalf("SessionCount = %d, want 2", got)
+	}
+	if got := len(d.Sessions(1)); got != 2 {
+		t.Fatalf("Sessions returned %d endpoints, want 2", got)
+	}
+	d.GC(ttl + 1)
+	if got := d.SessionCount(ttl + 1); got != 0 {
+		t.Errorf("SessionCount after GC = %d, want 0", got)
+	}
+	if got := len(d.Sessions(ttl + 1)); got != 0 {
+		t.Errorf("Sessions after GC = %d, want 0", got)
+	}
+}
+
+func TestPortAllocationSkipsTaken(t *testing.T) {
+	d := newDev(t, ident.Symmetric)
+	seen := make(map[ident.Endpoint]bool)
+	for i := 0; i < 500; i++ {
+		dst := ident.Endpoint{IP: ident.IP(0x0b000000 + uint32(i)), Port: 9000}
+		pub := d.Outbound(0, priv, dst)
+		if seen[pub] {
+			t.Fatalf("duplicate public mapping %v", pub)
+		}
+		seen[pub] = true
+	}
+}
+
+func TestInboundToUnknownMapping(t *testing.T) {
+	d := newDev(t, ident.FullCone)
+	if _, ok := d.Inbound(0, rem1, ident.Endpoint{IP: pubIP, Port: 4242}); ok {
+		t.Error("inbound to never-allocated mapping admitted")
+	}
+}
+
+func TestPinhole(t *testing.T) {
+	d := newDev(t, ident.PortRestrictedCone)
+	pub := d.Pinhole(priv)
+	// Unsolicited traffic from anyone, at any time, is admitted.
+	if got, ok := d.Inbound(0, rem1, pub); !ok || got != priv {
+		t.Fatalf("pinhole rejected unsolicited inbound: %v, %v", got, ok)
+	}
+	if _, ok := d.Inbound(100*ttl, rem2, pub); !ok {
+		t.Error("pinhole expired")
+	}
+	// Idempotent.
+	if again := d.Pinhole(priv); again != pub {
+		t.Errorf("second Pinhole returned %v, want %v", again, pub)
+	}
+	// Outbound traffic reuses the pinned mapping on cone NATs.
+	if out := d.Outbound(0, priv, rem1); out != pub {
+		t.Errorf("outbound used %v, want pinned %v", out, pub)
+	}
+	// GC never collects a pinhole.
+	d.GC(100 * ttl)
+	if _, ok := d.Inbound(101*ttl, rem1, pub); !ok {
+		t.Error("GC collected the pinhole")
+	}
+}
+
+func TestPinholeOnSymmetric(t *testing.T) {
+	d := newDev(t, ident.Symmetric)
+	pub := d.Pinhole(priv)
+	if _, ok := d.Inbound(0, rem1, pub); !ok {
+		t.Fatal("symmetric pinhole rejected inbound")
+	}
+	// Regular outbound still allocates per-destination mappings.
+	out := d.Outbound(0, priv, rem1)
+	if out == pub {
+		t.Error("symmetric outbound reused the pinhole mapping")
+	}
+}

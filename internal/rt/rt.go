@@ -1,0 +1,164 @@
+// Package rt implements the Nylon routing table (Fig. 5 of the paper): a map
+// from destination peers to the rendez-vous peer (RVP) through which they can
+// be reached, with a time-to-live per entry.
+//
+// The RVP for a destination is the peer a node shuffled with to obtain the
+// destination's descriptor. An entry whose RVP is the destination itself
+// means direct communication is possible (a NAT hole is open). TTLs decay in
+// real (virtual) time; expired entries are unusable and purged lazily.
+package rt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ident"
+	"repro/internal/view"
+)
+
+// Entry is one routing table row: the next RVP toward a destination and the
+// absolute time at which the route expires.
+type Entry struct {
+	RVP      view.Descriptor
+	ExpireAt int64 // virtual time, milliseconds
+}
+
+// Table maps destinations to RVP entries. The zero Table is unusable;
+// construct with New. Table is not safe for concurrent use.
+type Table struct {
+	self    ident.NodeID
+	entries map[ident.NodeID]Entry
+}
+
+// New returns an empty routing table owned by the given peer.
+func New(self ident.NodeID) *Table {
+	return &Table{self: self, entries: make(map[ident.NodeID]Entry)}
+}
+
+// Set installs or refreshes the route to dest through rvp, expiring at the
+// given time. A fresher (later-expiring) existing route through a different
+// RVP is kept: routes are only replaced by strictly better information.
+// Routes to the owner itself are ignored.
+func (t *Table) Set(dest ident.NodeID, rvp view.Descriptor, expireAt int64) {
+	if dest == t.self || dest.IsNil() || rvp.ID.IsNil() {
+		return
+	}
+	if cur, ok := t.entries[dest]; ok {
+		// A direct route (RVP == dest) always beats an indirect one with
+		// the same or earlier expiry; otherwise keep the later expiry.
+		if cur.ExpireAt > expireAt && !(rvp.ID == dest && cur.RVP.ID != dest) {
+			return
+		}
+	}
+	t.entries[dest] = Entry{RVP: rvp, ExpireAt: expireAt}
+}
+
+// SetDirect records that dest itself is directly reachable until expireAt
+// (update_next_RVP(p, p, HOLE_TIMEOUT) in the paper's pseudocode).
+func (t *Table) SetDirect(dest view.Descriptor, expireAt int64) {
+	t.Set(dest.ID, dest, expireAt)
+}
+
+// Next returns the next RVP to use for dest, per the paper's next_RVP(): the
+// destination itself when a direct hole is open, otherwise the stored RVP.
+// The boolean is false when no live route exists. Public destinations never
+// need a table entry and are handled by the caller.
+func (t *Table) Next(dest ident.NodeID, now int64) (view.Descriptor, bool) {
+	e, ok := t.entries[dest]
+	if !ok {
+		return view.Descriptor{}, false
+	}
+	if e.ExpireAt < now {
+		delete(t.entries, dest)
+		return view.Descriptor{}, false
+	}
+	return e.RVP, true
+}
+
+// Direct reports whether a live direct route (open hole) to dest exists.
+func (t *Table) Direct(dest ident.NodeID, now int64) bool {
+	rvp, ok := t.Next(dest, now)
+	return ok && rvp.ID == dest
+}
+
+// TTL returns the remaining lifetime, in milliseconds, of the route to dest,
+// or zero if none exists. The result is what a peer advertises alongside the
+// destination's descriptor during a shuffle.
+func (t *Table) TTL(dest ident.NodeID, now int64) int64 {
+	e, ok := t.entries[dest]
+	if !ok || e.ExpireAt < now {
+		return 0
+	}
+	if ttl := e.ExpireAt - now; ttl >= 0 {
+		return ttl
+	}
+	// Guard against overflow on pathological inputs.
+	return 0
+}
+
+// RefreshVia extends, to at least expireAt, the expiry of every entry whose
+// RVP is the given peer. The paper's §4 prescribes it: TTLs are updated
+// "every time a message from one RVP stored in the routing table is
+// received" — a datagram from the RVP proves the hole toward it alive, which
+// is the local half of the route's lifetime.
+func (t *Table) RefreshVia(rvp ident.NodeID, expireAt int64) {
+	for dest, e := range t.entries {
+		if e.RVP.ID == rvp && e.ExpireAt < expireAt {
+			e.ExpireAt = expireAt
+			t.entries[dest] = e
+		}
+	}
+}
+
+// Purge removes expired entries (decrease_routing_table_ttls in the paper's
+// pseudocode; this implementation stores absolute expiry times instead of
+// decrementing counters, which is equivalent and cheaper).
+func (t *Table) Purge(now int64) {
+	for dest, e := range t.entries {
+		if e.ExpireAt < now {
+			delete(t.entries, dest)
+		}
+	}
+}
+
+// Len returns the number of entries, including any not yet purged.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Destinations returns the destinations with live routes at the given time,
+// sorted for determinism.
+func (t *Table) Destinations(now int64) []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(t.entries))
+	for dest, e := range t.entries {
+		if e.ExpireAt >= now {
+			out = append(out, dest)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Get returns the raw entry for dest, if present and live.
+func (t *Table) Get(dest ident.NodeID, now int64) (Entry, bool) {
+	e, ok := t.entries[dest]
+	if !ok || e.ExpireAt < now {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// String implements fmt.Stringer.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rt(%v, %d entries):", t.self, len(t.entries))
+	dests := make([]ident.NodeID, 0, len(t.entries))
+	for d := range t.entries {
+		dests = append(dests, d)
+	}
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	for _, d := range dests {
+		e := t.entries[d]
+		fmt.Fprintf(&b, " %v->%v@%d", d, e.RVP.ID, e.ExpireAt)
+	}
+	return b.String()
+}

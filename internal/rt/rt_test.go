@@ -1,0 +1,176 @@
+package rt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ident"
+	"repro/internal/view"
+)
+
+func d(id uint64) view.Descriptor {
+	return view.Descriptor{ID: ident.NodeID(id), Addr: ident.Endpoint{IP: ident.IP(id), Port: 1}}
+}
+
+func TestSetAndNext(t *testing.T) {
+	tb := New(1)
+	tb.Set(5, d(3), 100)
+	rvp, ok := tb.Next(5, 50)
+	if !ok || rvp.ID != 3 {
+		t.Fatalf("Next = %v, %v; want RVP n3", rvp, ok)
+	}
+	// Live through the expiry instant.
+	if _, ok := tb.Next(5, 100); !ok {
+		t.Error("route dead at exactly ExpireAt")
+	}
+	if _, ok := tb.Next(5, 101); ok {
+		t.Error("route alive past ExpireAt")
+	}
+	// Expired lookup purged the entry.
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d after expiry, want 0", tb.Len())
+	}
+}
+
+func TestSetIgnoresSelfAndNil(t *testing.T) {
+	tb := New(1)
+	tb.Set(1, d(3), 100)
+	tb.Set(0, d(3), 100)
+	tb.Set(5, view.Descriptor{}, 100)
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tb.Len())
+	}
+}
+
+func TestSetKeepsFresherRoute(t *testing.T) {
+	tb := New(1)
+	tb.Set(5, d(3), 200)
+	tb.Set(5, d(4), 100) // staler: ignored
+	rvp, _ := tb.Next(5, 0)
+	if rvp.ID != 3 {
+		t.Errorf("stale Set overwrote fresher route: RVP = %v", rvp.ID)
+	}
+	tb.Set(5, d(4), 300) // fresher: replaces
+	rvp, _ = tb.Next(5, 0)
+	if rvp.ID != 4 {
+		t.Errorf("fresher Set did not replace: RVP = %v", rvp.ID)
+	}
+}
+
+func TestDirectRoutePreferred(t *testing.T) {
+	tb := New(1)
+	tb.Set(5, d(3), 1000)
+	// A direct hole with an earlier expiry still replaces an indirect route.
+	tb.SetDirect(d(5), 500)
+	if !tb.Direct(5, 0) {
+		t.Error("SetDirect did not install direct route over fresher indirect one")
+	}
+	rvp, _ := tb.Next(5, 0)
+	if rvp.ID != 5 {
+		t.Errorf("Next = %v, want direct n5", rvp.ID)
+	}
+}
+
+func TestDirect(t *testing.T) {
+	tb := New(1)
+	tb.SetDirect(d(5), 100)
+	if !tb.Direct(5, 50) {
+		t.Error("Direct = false for open hole")
+	}
+	if tb.Direct(5, 101) {
+		t.Error("Direct = true after expiry")
+	}
+	tb.Set(6, d(3), 100)
+	if tb.Direct(6, 50) {
+		t.Error("Direct = true for indirect route")
+	}
+}
+
+func TestTTL(t *testing.T) {
+	tb := New(1)
+	tb.Set(5, d(3), 150)
+	if got := tb.TTL(5, 50); got != 100 {
+		t.Errorf("TTL = %d, want 100", got)
+	}
+	if got := tb.TTL(5, 200); got != 0 {
+		t.Errorf("TTL after expiry = %d, want 0", got)
+	}
+	if got := tb.TTL(99, 0); got != 0 {
+		t.Errorf("TTL of unknown dest = %d, want 0", got)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	tb := New(1)
+	tb.Set(5, d(3), 100)
+	tb.Set(6, d(3), 300)
+	tb.Purge(200)
+	if tb.Len() != 1 {
+		t.Errorf("Len after purge = %d, want 1", tb.Len())
+	}
+	if _, ok := tb.Get(6, 200); !ok {
+		t.Error("live entry purged")
+	}
+}
+
+func TestDestinations(t *testing.T) {
+	tb := New(1)
+	tb.Set(9, d(3), 300)
+	tb.Set(5, d(3), 100)
+	tb.Set(7, d(3), 300)
+	got := tb.Destinations(200)
+	if len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Errorf("Destinations = %v, want [n7 n9]", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	tb := New(1)
+	tb.Set(5, d(3), 100)
+	if tb.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+// TestTTLNeverNegative is a property test: TTL is always >= 0 and an entry is
+// routable iff its TTL is positive-or-zero at a time not later than expiry.
+func TestTTLNeverNegative(t *testing.T) {
+	f := func(expireRaw uint32, nowRaw uint32) bool {
+		expire, now := int64(expireRaw), int64(nowRaw)
+		tb := New(1)
+		tb.Set(5, d(3), expire)
+		ttl := tb.TTL(5, now)
+		if ttl < 0 {
+			return false
+		}
+		_, routable := tb.Next(5, now)
+		// Entries to self are refused, so presence implies consistency.
+		return routable == (expire >= now && tb.Len() >= 0 && ttl == expire-now) || (!routable && ttl == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefreshVia(t *testing.T) {
+	tb := New(1)
+	tb.Set(5, d(3), 100)
+	tb.Set(6, d(3), 200)
+	tb.Set(7, d(4), 100)
+	tb.RefreshVia(3, 500)
+	if got := tb.TTL(5, 0); got != 500 {
+		t.Errorf("TTL(5) = %d, want 500", got)
+	}
+	if got := tb.TTL(6, 0); got != 500 {
+		t.Errorf("TTL(6) = %d, want 500", got)
+	}
+	// Entries through other RVPs are untouched.
+	if got := tb.TTL(7, 0); got != 100 {
+		t.Errorf("TTL(7) = %d, want 100", got)
+	}
+	// RefreshVia never shortens an entry.
+	tb.RefreshVia(3, 50)
+	if got := tb.TTL(5, 0); got != 500 {
+		t.Errorf("TTL(5) after shorter refresh = %d, want 500", got)
+	}
+}

@@ -1,0 +1,109 @@
+// Package sim provides a deterministic discrete-event scheduler with a
+// virtual millisecond clock. It is the substrate replacing the authors'
+// Java event-driven simulator: all protocol experiments in this repository
+// run on top of it.
+//
+// Determinism: events firing at the same virtual time run in scheduling
+// order (a monotonically increasing sequence number breaks ties), and all
+// randomness must come from RNGs seeded by the experiment, so a run is a
+// pure function of its configuration and seed.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type event struct {
+	at  int64 // virtual time, ms
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event loop over virtual time. The zero Scheduler is
+// ready to use. It is not safe for concurrent use: simulations are
+// single-threaded by design.
+type Scheduler struct {
+	now     int64
+	seq     uint64
+	pending eventHeap
+	// processed counts executed events, for run statistics.
+	processed uint64
+}
+
+// Now returns the current virtual time in milliseconds.
+func (s *Scheduler) Now() int64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events not yet executed.
+func (s *Scheduler) Pending() int { return len(s.pending) }
+
+// At schedules fn to run at the given virtual time. Times in the past are
+// clamped to "immediately after the current event". fn must not be nil.
+func (s *Scheduler) At(t int64, fn func()) {
+	if fn == nil {
+		panic("sim: At called with nil fn")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.pending, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d milliseconds from now.
+func (s *Scheduler) After(d int64, fn func()) { s.At(s.now+d, fn) }
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is later than deadline. The clock ends at deadline (or at the last
+// event, whichever is later) so subsequent scheduling is consistent.
+func (s *Scheduler) RunUntil(deadline int64) {
+	for len(s.pending) > 0 && s.pending[0].at <= deadline {
+		e := heap.Pop(&s.pending).(*event)
+		s.now = e.at
+		s.processed++
+		e.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Step executes exactly one event, if any, and reports whether it did.
+func (s *Scheduler) Step() bool {
+	if len(s.pending) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.pending).(*event)
+	s.now = e.at
+	s.processed++
+	e.fn()
+	return true
+}
+
+// Drain runs every pending event (including ones scheduled while draining).
+// Use only in tests with naturally finite event cascades.
+func (s *Scheduler) Drain() {
+	for s.Step() {
+	}
+}

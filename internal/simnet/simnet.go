@@ -1,0 +1,356 @@
+// Package simnet is the simulated UDP network of the reproduction: it
+// connects protocol engines through NAT devices with a fixed one-way latency,
+// and accounts every byte sent and received per peer (the measurement behind
+// Figures 7 and 8 of the paper).
+//
+// The model matches the paper's experimental setup (§5): event-driven, one
+// peer per NAT device, message latency 50 ms by default, and NAT rules that
+// expire 90 s after the last activity. Datagrams addressed to a natted peer
+// traverse its NAT device, which admits or silently drops them according to
+// its class and current filtering rules.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/nat"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// Peer is one simulated node: an engine plus its network attachment.
+type Peer struct {
+	ID    ident.NodeID
+	Class ident.NATClass
+	// Advertised is the class the peer's descriptor carries. It equals
+	// Class except for UPnP/NAT-PMP peers, which sit behind a NAT but are
+	// publicly reachable through an explicit port mapping and therefore
+	// advertise Public.
+	Advertised ident.NATClass
+	Priv       ident.Endpoint // private endpoint (equals Addr for public peers)
+	Addr       ident.Endpoint // advertised contact endpoint
+	Device     *nat.Device    // nil for public peers
+	Engine     core.Engine
+	Alive      bool
+
+	// Traffic counters, in bytes and datagrams. Sent counts every datagram
+	// the engine emitted; Recv counts only datagrams actually delivered
+	// (NAT drops never reach the peer).
+	BytesSent, BytesRecv uint64
+	MsgsSent, MsgsRecv   uint64
+}
+
+// Descriptor returns the peer's self-descriptor (age zero).
+func (p *Peer) Descriptor() view.Descriptor {
+	return view.Descriptor{ID: p.ID, Addr: p.Addr, Class: p.Advertised}
+}
+
+// DropStats counts datagrams that never reached an engine, by cause.
+type DropStats struct {
+	// NATFiltered datagrams were refused by the destination NAT device.
+	NATFiltered uint64
+	// NoSuchAddr datagrams targeted an endpoint no live mapping or public
+	// peer owns (e.g. an expired mapping).
+	NoSuchAddr uint64
+	// DeadPeer datagrams reached a departed peer.
+	DeadPeer uint64
+}
+
+// Network is the simulated network. It is not safe for concurrent use; all
+// access happens from scheduler callbacks.
+type Network struct {
+	sched   *sim.Scheduler
+	latency int64
+
+	peers     map[ident.NodeID]*Peer
+	byPrivate map[ident.Endpoint]*Peer
+	byPublic  map[ident.Endpoint]*Peer
+	devices   map[ident.IP]*nat.Device
+	devOwner  map[ident.IP]*Peer
+
+	nextPublicIP  uint32
+	nextPrivateIP uint32
+
+	Drops DropStats
+	// Trace, when non-nil, records every transmission, delivery and drop.
+	Trace *trace.Ring
+}
+
+// bootstrapDst is the well-known endpoint natted peers "contact" at join time
+// to allocate their first NAT mapping, standing in for a STUN-style
+// introducer.
+var bootstrapDst = ident.Endpoint{IP: 0x7f000001, Port: 3478}
+
+// New creates an empty network driven by the given scheduler with the given
+// one-way latency in milliseconds.
+func New(sched *sim.Scheduler, latencyMs int64) *Network {
+	if latencyMs < 0 {
+		panic("simnet: negative latency")
+	}
+	return &Network{
+		sched:     sched,
+		latency:   latencyMs,
+		peers:     make(map[ident.NodeID]*Peer),
+		byPrivate: make(map[ident.Endpoint]*Peer),
+		byPublic:  make(map[ident.Endpoint]*Peer),
+		devices:   make(map[ident.IP]*nat.Device),
+		devOwner:  make(map[ident.IP]*Peer),
+		// 1.0.0.0/8 hosts public peers and NAT boxes; 10.0.0.0/8 hosts
+		// private endpoints.
+		nextPublicIP:  0x01000001,
+		nextPrivateIP: 0x0a000001,
+	}
+}
+
+// Latency returns the one-way delivery latency in milliseconds.
+func (n *Network) Latency() int64 { return n.latency }
+
+// Scheduler returns the scheduler driving the network.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// EngineFactory builds a peer's engine once the network has assigned its
+// descriptor.
+type EngineFactory func(self view.Descriptor) core.Engine
+
+// AddPeer attaches a new peer of the given NAT class. For natted classes a
+// dedicated NAT device is created (one peer per NAT, as in the paper) and the
+// peer's advertised endpoint is the mapping allocated by a join-time
+// handshake with the bootstrap introducer. ruleTTL is the NAT rule lifetime
+// in milliseconds (ignored for public peers).
+func (n *Network) AddPeer(id ident.NodeID, class ident.NATClass, ruleTTL int64, f EngineFactory) *Peer {
+	if _, dup := n.peers[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate peer %v", id))
+	}
+	p := &Peer{ID: id, Class: class, Advertised: class, Alive: true}
+	if class == ident.Public {
+		ip := ident.IP(n.nextPublicIP)
+		n.nextPublicIP++
+		p.Priv = ident.Endpoint{IP: ip, Port: 9000}
+		p.Addr = p.Priv
+		n.byPublic[p.Addr] = p
+	} else {
+		privIP := ident.IP(n.nextPrivateIP)
+		n.nextPrivateIP++
+		pubIP := ident.IP(n.nextPublicIP)
+		n.nextPublicIP++
+		p.Priv = ident.Endpoint{IP: privIP, Port: 9000}
+		p.Device = nat.NewDevice(class, pubIP, ruleTTL)
+		n.devices[pubIP] = p.Device
+		n.devOwner[pubIP] = p
+		// Join handshake: allocate the advertised mapping.
+		p.Addr = p.Device.Outbound(n.sched.Now(), p.Priv, bootstrapDst)
+	}
+	n.byPrivate[p.Priv] = p
+	p.Engine = f(p.Descriptor())
+	n.peers[id] = p
+	return p
+}
+
+// AddPeerUPnP attaches a natted peer whose NAT device honours an explicit
+// port-mapping protocol (NAT-PMP / UPnP IGD, discussed in the paper's
+// related work): the advertised endpoint is a permanent pinhole that accepts
+// unsolicited traffic, so the peer advertises itself as Public even though
+// its outbound traffic still traverses the device.
+func (n *Network) AddPeerUPnP(id ident.NodeID, class ident.NATClass, ruleTTL int64, f EngineFactory) *Peer {
+	if !class.Natted() {
+		panic("simnet: AddPeerUPnP requires a natted class")
+	}
+	if _, dup := n.peers[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate peer %v", id))
+	}
+	p := &Peer{ID: id, Class: class, Advertised: ident.Public, Alive: true}
+	privIP := ident.IP(n.nextPrivateIP)
+	n.nextPrivateIP++
+	pubIP := ident.IP(n.nextPublicIP)
+	n.nextPublicIP++
+	p.Priv = ident.Endpoint{IP: privIP, Port: 9000}
+	p.Device = nat.NewDevice(class, pubIP, ruleTTL)
+	n.devices[pubIP] = p.Device
+	n.devOwner[pubIP] = p
+	p.Addr = p.Device.Pinhole(p.Priv)
+	n.byPrivate[p.Priv] = p
+	p.Engine = f(p.Descriptor())
+	n.peers[id] = p
+	return p
+}
+
+// Peer returns the peer with the given ID, or nil.
+func (n *Network) Peer(id ident.NodeID) *Peer { return n.peers[id] }
+
+// Peers returns the peer map. Callers must not mutate it.
+func (n *Network) Peers() map[ident.NodeID]*Peer { return n.peers }
+
+// InstallHole simulates a completed join-time handshake between a and b:
+// both NAT devices (if any) get filtering rules admitting the other side,
+// as if each had sent the other one datagram through an introducer. The
+// experiment runners use it to realize the paper's bootstrap, in which
+// initial views are usable.
+func (n *Network) InstallHole(a, b *Peer) {
+	now := n.sched.Now()
+	if a.Device != nil {
+		a.Device.Outbound(now, a.Priv, b.Addr)
+	}
+	if b.Device != nil {
+		b.Device.Outbound(now, b.Priv, a.Addr)
+	}
+}
+
+// Kill marks the peer as departed: it stops ticking (the runner checks
+// Alive) and every datagram addressed to it is dropped. Its NAT device state
+// remains, as a real abandoned NAT box's would.
+func (n *Network) Kill(id ident.NodeID) {
+	if p := n.peers[id]; p != nil {
+		p.Alive = false
+	}
+}
+
+// Send transmits one engine command from the given peer: the datagram leaves
+// through the peer's NAT device (allocating/refreshing the mapping) and is
+// delivered — or dropped — one latency later.
+func (n *Network) Send(from *Peer, s core.Send) {
+	if !from.Alive {
+		return
+	}
+	size := uint64(s.Msg.Size())
+	from.BytesSent += size
+	from.MsgsSent++
+
+	now := n.sched.Now()
+	srcEP := from.Priv
+	if from.Device != nil {
+		srcEP = from.Device.Outbound(now, from.Priv, s.To)
+	}
+	n.Trace.Record(trace.Event{At: now, Op: trace.OpSend, From: srcEP, To: s.To, Kind: uint8(s.Msg.Kind), Size: int(size)})
+	msg, to := s.Msg, s.To
+	n.sched.After(n.latency, func() {
+		n.deliver(srcEP, to, msg, size)
+	})
+}
+
+func (n *Network) deliver(srcEP, to ident.Endpoint, msg *wire.Message, size uint64) {
+	now := n.sched.Now()
+	target, ok := n.resolve(now, srcEP, to)
+	if !ok {
+		return
+	}
+	if !target.Alive {
+		n.Drops.DeadPeer++
+		n.Trace.Record(trace.Event{At: now, Op: trace.OpDropDead, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
+		return
+	}
+	target.BytesRecv += size
+	target.MsgsRecv++
+	n.Trace.Record(trace.Event{At: now, Op: trace.OpDeliver, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
+	outs := target.Engine.Receive(now, srcEP, msg)
+	for _, out := range outs {
+		n.Send(target, out)
+	}
+}
+
+// resolve finds the live owner of a destination endpoint, applying NAT
+// admission. It updates drop statistics and the trace on failure.
+func (n *Network) resolve(now int64, srcEP, to ident.Endpoint) (*Peer, bool) {
+	if p, ok := n.byPublic[to]; ok {
+		return p, true
+	}
+	dev, ok := n.devices[to.IP]
+	if !ok {
+		n.Drops.NoSuchAddr++
+		n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
+		return nil, false
+	}
+	priv, ok := dev.Inbound(now, srcEP, to)
+	if !ok {
+		n.Drops.NATFiltered++
+		n.Trace.Record(trace.Event{At: now, Op: trace.OpDropNAT, From: srcEP, To: to})
+		return nil, false
+	}
+	p, ok := n.byPrivate[priv]
+	if !ok {
+		n.Drops.NoSuchAddr++
+		n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
+		return nil, false
+	}
+	return p, true
+}
+
+// Tick runs one shuffling period for the peer and transmits the resulting
+// messages. The runner schedules it periodically.
+func (n *Network) Tick(p *Peer) {
+	if !p.Alive {
+		return
+	}
+	for _, s := range p.Engine.Tick(n.sched.Now()) {
+		n.Send(p, s)
+	}
+}
+
+// Reachable reports whether a datagram sent now by q to the descriptor d
+// would be admitted by d's NAT (or d is public). It never mutates NAT state:
+// it is the paper's "stale reference" test (a reference is stale when
+// communication with it is impossible).
+func (n *Network) Reachable(now int64, q *Peer, d view.Descriptor) bool {
+	if !d.Class.Natted() {
+		return true
+	}
+	dev, ok := n.devices[d.Addr.IP]
+	if !ok {
+		return false
+	}
+	src, ok := n.wouldSendFrom(now, q, d.Addr)
+	if !ok {
+		// q would allocate a fresh, unpredictable mapping; only
+		// IP-level filters can match it. Model it as port 0, which no
+		// installed port-specific rule equals.
+		src = ident.Endpoint{IP: n.publicIPOf(q)}
+	}
+	return dev.WouldAdmit(now, src, d.Addr)
+}
+
+// ReachableEndpoint is Reachable for a raw endpoint (e.g. a learned,
+// hole-punched mapping rather than an advertised one): it reports whether a
+// datagram sent now by q to addr would reach a live mapping or public peer.
+func (n *Network) ReachableEndpoint(now int64, q *Peer, addr ident.Endpoint) bool {
+	if _, ok := n.byPublic[addr]; ok {
+		return true
+	}
+	dev, ok := n.devices[addr.IP]
+	if !ok {
+		return false
+	}
+	src, ok := n.wouldSendFrom(now, q, addr)
+	if !ok {
+		src = ident.Endpoint{IP: n.publicIPOf(q)}
+	}
+	return dev.WouldAdmit(now, src, addr)
+}
+
+// wouldSendFrom returns the source endpoint q's next datagram toward dst
+// would carry, if that can be predicted from live state.
+func (n *Network) wouldSendFrom(now int64, q *Peer, dst ident.Endpoint) (ident.Endpoint, bool) {
+	if q.Device == nil {
+		return q.Priv, true
+	}
+	return q.Device.PublicMapping(now, q.Priv, dst)
+}
+
+func (n *Network) publicIPOf(q *Peer) ident.IP {
+	if q.Device != nil {
+		return q.Device.PublicIP()
+	}
+	return q.Priv.IP
+}
+
+// OwnerOfIP returns the peer owning the given public IP (either directly or
+// through its NAT device), for diagnostics.
+func (n *Network) OwnerOfIP(ip ident.IP) (*Peer, bool) {
+	if p, ok := n.byPublic[ident.Endpoint{IP: ip, Port: 9000}]; ok {
+		return p, true
+	}
+	p, ok := n.devOwner[ip]
+	return p, ok
+}

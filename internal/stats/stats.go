@@ -1,0 +1,183 @@
+// Package stats provides the statistical tests used to assess the
+// randomness of the peer samples (the paper validates randomness with the
+// diehard suite; this package substitutes uniformity-focused tests —
+// chi-square goodness of fit, Kolmogorov–Smirnov, and serial correlation —
+// which capture the property the peer-sampling literature actually relies
+// on: every peer is selected with equal probability).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned when a test receives insufficient input.
+var ErrNoData = errors.New("stats: not enough data")
+
+// ChiSquareUniform performs a chi-square goodness-of-fit test of the observed
+// counts against the uniform distribution. It returns the test statistic and
+// the number of degrees of freedom (len(counts)-1).
+func ChiSquareUniform(counts []int) (statistic float64, dof int, err error) {
+	if len(counts) < 2 {
+		return 0, 0, ErrNoData
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, 0, errors.New("stats: negative count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, ErrNoData
+	}
+	expected := float64(total) / float64(len(counts))
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2, len(counts) - 1, nil
+}
+
+// ChiSquareUniformOK reports whether the observed counts pass the chi-square
+// uniformity test at roughly the 0.01 significance level, using the
+// Wilson–Hilferty normal approximation for the critical value (accurate for
+// the large degree-of-freedom counts that arise with thousands of peers).
+func ChiSquareUniformOK(counts []int) (bool, error) {
+	chi2, dof, err := ChiSquareUniform(counts)
+	if err != nil {
+		return false, err
+	}
+	return chi2 <= chiSquareCritical(float64(dof), 2.326), nil
+}
+
+// chiSquareCritical approximates the upper critical value of the chi-square
+// distribution with the given degrees of freedom at the significance level
+// corresponding to the z-score (2.326 ≈ 1%).
+func chiSquareCritical(dof, z float64) float64 {
+	// Wilson–Hilferty: chi2/dof ~ N(1-2/(9 dof), 2/(9 dof)) cubed.
+	t := 1 - 2/(9*dof) + z*math.Sqrt(2/(9*dof))
+	return dof * t * t * t
+}
+
+// KSUniform performs a one-sample Kolmogorov–Smirnov test of the samples
+// (which must lie in [0,1)) against the uniform distribution, returning the
+// D statistic.
+func KSUniform(samples []float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, ErrNoData
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var d float64
+	for i, x := range s {
+		if x < 0 || x >= 1 {
+			return 0, errors.New("stats: KS sample outside [0,1)")
+		}
+		lo := x - float64(i)/n
+		hi := float64(i+1)/n - x
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d, nil
+}
+
+// KSUniformOK reports whether the samples pass the KS uniformity test at the
+// 1% level (critical value 1.63/sqrt(n) for large n).
+func KSUniformOK(samples []float64) (bool, error) {
+	d, err := KSUniform(samples)
+	if err != nil {
+		return false, err
+	}
+	return d <= 1.63/math.Sqrt(float64(len(samples))), nil
+}
+
+// SerialCorrelation returns the lag-1 autocorrelation coefficient of the
+// series, a cheap detector of streak structure in the sampled-peer stream.
+func SerialCorrelation(series []float64) (float64, error) {
+	if len(series) < 3 {
+		return 0, ErrNoData
+	}
+	n := len(series)
+	var mean float64
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := series[i] - mean
+		den += d * d
+		if i+1 < n {
+			num += d * (series[i+1] - mean)
+		}
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return num / den, nil
+}
+
+// Summary condenses a float series.
+type Summary struct {
+	N           int
+	Min, Max    float64
+	Mean        float64
+	StdDev      float64
+	P50, P90    float64
+	P99         float64
+	SampleTotal float64
+}
+
+// Summarize computes the summary of a series. Empty input returns the zero
+// Summary.
+func Summarize(series []float64) Summary {
+	if len(series) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(series))
+	copy(s, series)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	var sq float64
+	for _, v := range s {
+		d := v - mean
+		sq += d * d
+	}
+	pct := func(p float64) float64 { return s[int(p*float64(len(s)-1))] }
+	return Summary{
+		N:           len(s),
+		Min:         s[0],
+		Max:         s[len(s)-1],
+		Mean:        mean,
+		StdDev:      math.Sqrt(sq / float64(len(s))),
+		P50:         pct(0.50),
+		P90:         pct(0.90),
+		P99:         pct(0.99),
+		SampleTotal: sum,
+	}
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(series []float64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range series {
+		sum += v
+	}
+	return sum / float64(len(series))
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChiSquareUniformExact(t *testing.T) {
+	// Perfectly uniform counts give statistic 0.
+	chi2, dof, err := ChiSquareUniform([]int{10, 10, 10, 10})
+	if err != nil || chi2 != 0 || dof != 3 {
+		t.Errorf("ChiSquareUniform = %v, %v, %v", chi2, dof, err)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquareUniform(nil); !errors.Is(err, ErrNoData) {
+		t.Error("nil counts did not yield ErrNoData")
+	}
+	if _, _, err := ChiSquareUniform([]int{0, 0}); !errors.Is(err, ErrNoData) {
+		t.Error("all-zero counts did not yield ErrNoData")
+	}
+	if _, _, err := ChiSquareUniform([]int{1, -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestChiSquareUniformOKAcceptsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 100)
+	for i := 0; i < 100_000; i++ {
+		counts[rng.Intn(100)]++
+	}
+	ok, err := ChiSquareUniformOK(counts)
+	if err != nil || !ok {
+		t.Errorf("uniform counts rejected: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestChiSquareUniformOKRejectsSkew(t *testing.T) {
+	counts := make([]int, 100)
+	for i := range counts {
+		counts[i] = 100
+	}
+	counts[0] = 5000 // heavy skew
+	ok, err := ChiSquareUniformOK(counts)
+	if err != nil || ok {
+		t.Errorf("skewed counts accepted: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 10_000)
+	for i := range samples {
+		samples[i] = rng.Float64()
+	}
+	ok, err := KSUniformOK(samples)
+	if err != nil || !ok {
+		t.Errorf("uniform samples rejected: ok=%v err=%v", ok, err)
+	}
+	// Clustered samples must fail.
+	for i := range samples {
+		samples[i] = 0.5 + 0.01*rng.Float64()
+	}
+	ok, err = KSUniformOK(samples)
+	if err != nil || ok {
+		t.Errorf("clustered samples accepted: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KSUniform(nil); !errors.Is(err, ErrNoData) {
+		t.Error("empty KS input did not yield ErrNoData")
+	}
+	if _, err := KSUniform([]float64{1.5}); err == nil {
+		t.Error("out-of-range KS sample accepted")
+	}
+}
+
+func TestSerialCorrelation(t *testing.T) {
+	// A strongly alternating series has correlation near -1.
+	alt := make([]float64, 1000)
+	for i := range alt {
+		alt[i] = float64(i % 2)
+	}
+	r, err := SerialCorrelation(alt)
+	if err != nil || r > -0.9 {
+		t.Errorf("alternating series correlation = %v, %v", r, err)
+	}
+	// An i.i.d. series has correlation near 0.
+	rng := rand.New(rand.NewSource(3))
+	iid := make([]float64, 10_000)
+	for i := range iid {
+		iid[i] = rng.Float64()
+	}
+	r, err = SerialCorrelation(iid)
+	if err != nil || math.Abs(r) > 0.05 {
+		t.Errorf("iid series correlation = %v, %v", r, err)
+	}
+	if _, err := SerialCorrelation([]float64{1, 2}); !errors.Is(err, ErrNoData) {
+		t.Error("short series did not yield ErrNoData")
+	}
+	// A constant series has zero variance and zero correlation.
+	r, err = SerialCorrelation([]float64{5, 5, 5, 5})
+	if err != nil || r != 0 {
+		t.Errorf("constant series correlation = %v, %v", r, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.SampleTotal != 10 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.P50 != 2 {
+		t.Errorf("P50 = %v, want 2", s.P50)
+	}
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestChiSquareCriticalMonotonic(t *testing.T) {
+	// Critical value grows with dof.
+	prev := 0.0
+	for dof := 10.0; dof <= 1000; dof *= 2 {
+		c := chiSquareCritical(dof, 2.326)
+		if c <= prev {
+			t.Fatalf("critical value not monotonic at dof=%v: %v <= %v", dof, c, prev)
+		}
+		prev = c
+	}
+	// Sanity: for dof=100 the 1% critical value is about 135.8.
+	c := chiSquareCritical(100, 2.326)
+	if c < 130 || c > 142 {
+		t.Errorf("critical(100) = %v, want ≈135.8", c)
+	}
+}

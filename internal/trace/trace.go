@@ -1,0 +1,152 @@
+// Package trace records protocol-level events (transmissions, deliveries,
+// drops) into a bounded ring buffer, for debugging simulations and live
+// nodes. Tracing is opt-in and designed to be cheap enough to leave wired
+// into the simulator: a nil *Ring records nothing.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ident"
+)
+
+// Op classifies an event.
+type Op uint8
+
+// Event operations.
+const (
+	// OpSend is a datagram leaving a peer.
+	OpSend Op = iota + 1
+	// OpDeliver is a datagram reaching a peer's engine.
+	OpDeliver
+	// OpDropNAT is a datagram refused by a NAT filter.
+	OpDropNAT
+	// OpDropAddr is a datagram addressed to nobody.
+	OpDropAddr
+	// OpDropDead is a datagram to a departed peer.
+	OpDropDead
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpSend:
+		return "send"
+	case OpDeliver:
+		return "deliver"
+	case OpDropNAT:
+		return "drop-nat"
+	case OpDropAddr:
+		return "drop-addr"
+	case OpDropDead:
+		return "drop-dead"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	// At is the virtual (or relative real) time in milliseconds.
+	At int64
+	// Op classifies the event.
+	Op Op
+	// From and To are the transport endpoints involved.
+	From, To ident.Endpoint
+	// Kind is the wire message kind byte (see internal/wire.Kind).
+	Kind uint8
+	// Size is the datagram size in bytes.
+	Size int
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("%8dms %-9s kind=%d %v -> %v (%dB)", e.At, e.Op, e.Kind, e.From, e.To, e.Size)
+}
+
+// Ring is a fixed-capacity event recorder. The zero Ring is invalid; use New.
+// A nil *Ring is a valid no-op recorder, so call sites need no conditionals.
+// Ring is not safe for concurrent use (the simulator is single-threaded; a
+// live node records from its run loop only).
+type Ring struct {
+	events []Event
+	next   int
+	filled bool
+	total  uint64
+}
+
+// New creates a ring holding the most recent capacity events.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Ring{events: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full. Recording on a nil
+// ring is a no-op.
+func (r *Ring) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.events[r.next] = e
+	r.next++
+	r.total++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.filled {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// Total returns the number of events ever recorded, including evicted ones.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Events returns the held events, oldest first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, r.Len())
+	if r.filled {
+		out = append(out, r.events[r.next:]...)
+	}
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Filter returns the held events matching the predicate, oldest first.
+func (r *Ring) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the held events one per line.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,35 @@
+// Package transport abstracts datagram IO for the real-time Nylon node: the
+// same protocol engine runs over an in-memory switch (tests, examples, NAT
+// labs) or UDP sockets (deployments).
+package transport
+
+import "repro/internal/ident"
+
+// Packet is one received datagram.
+type Packet struct {
+	// From is the source endpoint as observed by the receiver — for a
+	// natted sender, its NAT mapping. Nylon's endpoint learning feeds on
+	// it.
+	From ident.Endpoint
+	Data []byte
+}
+
+// Transport is a datagram transport. Implementations must be safe for
+// concurrent use of Send with one reader of Packets.
+type Transport interface {
+	// LocalAddr returns the endpoint the transport receives on. For
+	// natted deployments this is the private endpoint; the advertised
+	// endpoint is discovered separately (e.g. via an introducer).
+	LocalAddr() ident.Endpoint
+	// Send transmits one datagram. Sends never block indefinitely; errors
+	// are local (closed transport, oversized datagram).
+	Send(to ident.Endpoint, data []byte) error
+	// Packets returns the receive channel. It is closed by Close.
+	Packets() <-chan Packet
+	// Close releases resources and closes the Packets channel.
+	Close() error
+}
+
+// MaxDatagram is the largest datagram any transport must carry: a full
+// shuffle buffer is far below a safe UDP payload size.
+const MaxDatagram = 1400

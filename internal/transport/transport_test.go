@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+)
+
+func recvOne(t *testing.T, tr Transport) Packet {
+	t.Helper()
+	select {
+	case p, ok := <-tr.Packets():
+		if !ok {
+			t.Fatal("packet channel closed")
+		}
+		return p
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for packet")
+	}
+	return Packet{}
+}
+
+func TestMemPublicToPublic(t *testing.T) {
+	sw := NewSwitch(0)
+	defer sw.Close()
+	a, b := sw.Attach(), sw.Attach()
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.Send(b.LocalAddr(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	p := recvOne(t, b)
+	if string(p.Data) != "hello" || p.From != a.LocalAddr() {
+		t.Errorf("packet = %+v", p)
+	}
+}
+
+func TestMemNATBlocksUnsolicited(t *testing.T) {
+	sw := NewSwitch(0)
+	defer sw.Close()
+	pub := sw.Attach()
+	natted, adv := sw.AttachNAT(ident.PortRestrictedCone, time.Minute)
+	defer pub.Close()
+	defer natted.Close()
+
+	// Unsolicited: dropped.
+	if err := pub.Send(adv, []byte("knock")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-natted.Packets():
+		t.Fatalf("NAT admitted unsolicited packet %+v", p)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// After the natted peer sends out, the return path is open.
+	if err := natted.Send(pub.LocalAddr(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	p := recvOne(t, pub)
+	if p.From != adv {
+		t.Errorf("observed mapping %v, want advertised %v", p.From, adv)
+	}
+	if err := pub.Send(p.From, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	back := recvOne(t, natted)
+	if string(back.Data) != "pong" {
+		t.Errorf("reply = %q", back.Data)
+	}
+}
+
+func TestMemOpenHole(t *testing.T) {
+	sw := NewSwitch(0)
+	defer sw.Close()
+	a, aAdv := sw.AttachNAT(ident.RestrictedCone, time.Minute)
+	b, bAdv := sw.AttachNAT(ident.RestrictedCone, time.Minute)
+	defer a.Close()
+	defer b.Close()
+
+	sw.OpenHole(a, b, aAdv, bAdv)
+	if err := a.Send(bAdv, []byte("direct")); err != nil {
+		t.Fatal(err)
+	}
+	p := recvOne(t, b)
+	if string(p.Data) != "direct" {
+		t.Errorf("data = %q", p.Data)
+	}
+}
+
+func TestMemLatency(t *testing.T) {
+	sw := NewSwitch(50 * time.Millisecond)
+	defer sw.Close()
+	a, b := sw.Attach(), sw.Attach()
+	defer a.Close()
+	defer b.Close()
+
+	start := time.Now()
+	if err := a.Send(b.LocalAddr(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	if d := time.Since(start); d < 45*time.Millisecond {
+		t.Errorf("delivered after %v, want ≥ 50ms", d)
+	}
+}
+
+func TestMemCloseSemantics(t *testing.T) {
+	sw := NewSwitch(0)
+	defer sw.Close()
+	a, b := sw.Attach(), sw.Attach()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("double close errored:", err)
+	}
+	// Sending to a detached endpoint silently drops.
+	if err := a.Send(b.LocalAddr(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Sending from a closed transport errors.
+	if err := b.Send(a.LocalAddr(), []byte("x")); err == nil {
+		t.Error("send on closed transport succeeded")
+	}
+	if _, ok := <-b.Packets(); ok {
+		t.Error("packet channel not closed")
+	}
+}
+
+func TestMemOversizedDatagram(t *testing.T) {
+	sw := NewSwitch(0)
+	defer sw.Close()
+	a, b := sw.Attach(), sw.Attach()
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(b.LocalAddr(), make([]byte, MaxDatagram+1)); err == nil {
+		t.Error("oversized datagram accepted")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	msg := []byte("over the wire")
+	if err := a.Send(b.LocalAddr(), msg); err != nil {
+		t.Fatal(err)
+	}
+	p := recvOne(t, b)
+	if !bytes.Equal(p.Data, msg) {
+		t.Errorf("data = %q", p.Data)
+	}
+	if p.From != a.LocalAddr() {
+		t.Errorf("from = %v, want %v", p.From, a.LocalAddr())
+	}
+}
+
+func TestUDPCloseClosesChannel(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-a.Packets():
+		if ok {
+			t.Error("received packet after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("channel not closed after Close")
+	}
+	if err := a.Close(); err != nil {
+		t.Error("double close errored:", err)
+	}
+	if err := a.Send(a.LocalAddr(), []byte("x")); err == nil {
+		t.Error("send after close succeeded")
+	}
+}
+
+func TestUDPOversized(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(a.LocalAddr(), make([]byte, MaxDatagram+1)); err == nil {
+		t.Error("oversized datagram accepted")
+	}
+}
+
+func TestEndpointConversion(t *testing.T) {
+	e := ident.Endpoint{IP: 0x7f000001, Port: 4242}
+	ua := toUDPAddr(e)
+	if ua.String() != "127.0.0.1:4242" {
+		t.Errorf("toUDPAddr = %v", ua)
+	}
+	back, err := toEndpoint(ua)
+	if err != nil || back != e {
+		t.Errorf("round trip = %v, %v", back, err)
+	}
+	if _, err := toEndpoint(&net.TCPAddr{}); err == nil {
+		t.Error("non-UDP addr accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/ident"
+)
+
+// UDPTransport carries protocol datagrams over an IPv4 UDP socket.
+type UDPTransport struct {
+	conn  *net.UDPConn
+	local ident.Endpoint
+	recv  chan Packet
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// ListenUDP opens a UDP socket on the given address ("ip:port"; ":0" picks a
+// free port on all interfaces) and starts its read loop.
+func ListenUDP(addr string) (*UDPTransport, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp4", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	local, err := toEndpoint(conn.LocalAddr())
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t := &UDPTransport{conn: conn, local: local, recv: make(chan Packet, 256)}
+	go t.readLoop()
+	return t, nil
+}
+
+// toEndpoint converts a net.Addr carrying an IPv4 UDP address.
+func toEndpoint(a net.Addr) (ident.Endpoint, error) {
+	ua, ok := a.(*net.UDPAddr)
+	if !ok {
+		return ident.Zero, fmt.Errorf("transport: not a UDP address: %v", a)
+	}
+	ip4 := ua.IP.To4()
+	if ip4 == nil {
+		// A wildcard listen reports "::" or 0.0.0.0; represent as zero IP.
+		ip4 = net.IPv4zero.To4()
+	}
+	return ident.Endpoint{
+		IP:   ident.IP(uint32(ip4[0])<<24 | uint32(ip4[1])<<16 | uint32(ip4[2])<<8 | uint32(ip4[3])),
+		Port: uint16(ua.Port),
+	}, nil
+}
+
+// toUDPAddr converts back to the net representation.
+func toUDPAddr(e ident.Endpoint) *net.UDPAddr {
+	return &net.UDPAddr{
+		IP:   net.IPv4(byte(e.IP>>24), byte(e.IP>>16), byte(e.IP>>8), byte(e.IP)),
+		Port: int(e.Port),
+	}
+}
+
+func (t *UDPTransport) readLoop() {
+	defer close(t.recv)
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, from, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed or fatal; channel closure signals the node
+		}
+		ep, err := toEndpoint(from)
+		if err != nil {
+			continue
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		select {
+		case t.recv <- Packet{From: ep, Data: data}:
+		default:
+			// Reader too slow: drop, as the kernel buffer would.
+		}
+	}
+}
+
+// LocalAddr implements Transport.
+func (t *UDPTransport) LocalAddr() ident.Endpoint { return t.local }
+
+// Packets implements Transport.
+func (t *UDPTransport) Packets() <-chan Packet { return t.recv }
+
+// Send implements Transport.
+func (t *UDPTransport) Send(to ident.Endpoint, data []byte) error {
+	if len(data) > MaxDatagram {
+		return fmt.Errorf("transport: datagram of %d bytes exceeds limit %d", len(data), MaxDatagram)
+	}
+	_, err := t.conn.WriteToUDP(data, toUDPAddr(to))
+	if err != nil && errors.Is(err, net.ErrClosed) {
+		return errClosed
+	}
+	return err
+}
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	t.closeOnce.Do(func() { t.closeErr = t.conn.Close() })
+	return t.closeErr
+}

@@ -1,0 +1,384 @@
+// Package view implements the partial view maintained by gossip peer
+// sampling protocols, together with the policy dimensions of the generic
+// protocol in Section 3 of the Nylon paper (after Jelasity et al., TOCS
+// 2007): gossip target selection (rand or tail), and view merging (blind,
+// healer, or swapper).
+//
+// A view is a bounded list of peer descriptors. Each descriptor carries an
+// age, increased once per shuffling period, that the tail selection and the
+// healer merge policy use to prefer fresh information.
+package view
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ident"
+)
+
+// Descriptor describes one peer as known by another peer: identity, contact
+// address, NAT class, and the age of this piece of information in shuffling
+// periods.
+type Descriptor struct {
+	ID    ident.NodeID
+	Addr  ident.Endpoint // public contact endpoint (NAT mapping for natted peers)
+	Class ident.NATClass
+	Age   uint32
+}
+
+// Fresh returns a copy of d with age zero, as exchanged by a peer describing
+// itself.
+func (d Descriptor) Fresh() Descriptor {
+	d.Age = 0
+	return d
+}
+
+// String implements fmt.Stringer.
+func (d Descriptor) String() string {
+	return fmt.Sprintf("%v@%v/%v age=%d", d.ID, d.Addr, d.Class, d.Age)
+}
+
+// Selection is the gossip target selection policy.
+type Selection uint8
+
+const (
+	// SelectRand picks a uniformly random view entry.
+	SelectRand Selection = iota
+	// SelectTail picks the entry with the highest age.
+	SelectTail
+)
+
+// String implements fmt.Stringer.
+func (s Selection) String() string {
+	switch s {
+	case SelectRand:
+		return "rand"
+	case SelectTail:
+		return "tail"
+	}
+	return "selection(" + strconv.Itoa(int(s)) + ")"
+}
+
+// Merge is the view merging (truncation) policy applied after a shuffle.
+type Merge uint8
+
+const (
+	// MergeBlind keeps a uniformly random subset of the union.
+	MergeBlind Merge = iota
+	// MergeHealer keeps the youngest entries of the union.
+	MergeHealer
+	// MergeSwapper prefers the entries received from the other peer,
+	// filling any remaining room with its own entries.
+	MergeSwapper
+)
+
+// String implements fmt.Stringer.
+func (m Merge) String() string {
+	switch m {
+	case MergeBlind:
+		return "blind"
+	case MergeHealer:
+		return "healer"
+	case MergeSwapper:
+		return "swapper"
+	}
+	return "merge(" + strconv.Itoa(int(m)) + ")"
+}
+
+// ParseSelection parses "rand" or "tail".
+func ParseSelection(s string) (Selection, error) {
+	switch strings.ToLower(s) {
+	case "rand":
+		return SelectRand, nil
+	case "tail":
+		return SelectTail, nil
+	}
+	return 0, fmt.Errorf("view: unknown selection policy %q", s)
+}
+
+// ParseMerge parses "blind", "healer" or "swapper".
+func ParseMerge(s string) (Merge, error) {
+	switch strings.ToLower(s) {
+	case "blind":
+		return MergeBlind, nil
+	case "healer":
+		return MergeHealer, nil
+	case "swapper":
+		return MergeSwapper, nil
+	}
+	return 0, fmt.Errorf("view: unknown merge policy %q", s)
+}
+
+// View is a bounded partial view of the overlay. The zero View is unusable;
+// construct with New. View is not safe for concurrent use.
+type View struct {
+	self    ident.NodeID
+	maxSize int
+	entries []Descriptor
+}
+
+// New returns an empty view of the given maximum size owned by the given
+// peer. It panics if maxSize is not positive.
+func New(self ident.NodeID, maxSize int) *View {
+	if maxSize <= 0 {
+		panic("view: New called with non-positive maxSize")
+	}
+	return &View{self: self, maxSize: maxSize}
+}
+
+// MaxSize returns the view's capacity.
+func (v *View) MaxSize() int { return v.maxSize }
+
+// Len returns the number of entries currently held.
+func (v *View) Len() int { return len(v.entries) }
+
+// Entries returns a copy of the current entries. Callers may mutate the
+// returned slice freely.
+func (v *View) Entries() []Descriptor {
+	out := make([]Descriptor, len(v.entries))
+	copy(out, v.entries)
+	return out
+}
+
+// Contains reports whether the view holds a descriptor for the given peer.
+func (v *View) Contains(id ident.NodeID) bool {
+	return v.indexOf(id) >= 0
+}
+
+// Get returns the descriptor for the given peer, if present.
+func (v *View) Get(id ident.NodeID) (Descriptor, bool) {
+	if i := v.indexOf(id); i >= 0 {
+		return v.entries[i], true
+	}
+	return Descriptor{}, false
+}
+
+func (v *View) indexOf(id ident.NodeID) int {
+	for i, e := range v.entries {
+		if e.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Add inserts a descriptor if the peer is not the owner, not already present,
+// and there is room. It reports whether the descriptor was inserted. Existing
+// entries are never evicted: eviction is the merge policy's job.
+func (v *View) Add(d Descriptor) bool {
+	if d.ID == v.self || d.ID.IsNil() || len(v.entries) >= v.maxSize || v.indexOf(d.ID) >= 0 {
+		return false
+	}
+	v.entries = append(v.entries, d)
+	return true
+}
+
+// Remove deletes the entry for the given peer, reporting whether it existed.
+func (v *View) Remove(id ident.NodeID) bool {
+	if i := v.indexOf(id); i >= 0 {
+		v.entries = append(v.entries[:i], v.entries[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// IncreaseAge adds one period to the age of every entry (Fig. 1, line 7).
+func (v *View) IncreaseAge() {
+	for i := range v.entries {
+		v.entries[i].Age++
+	}
+}
+
+// Select picks the gossip target according to the policy, using rng for the
+// random policy. It returns false if the view is empty.
+func (v *View) Select(policy Selection, rng *rand.Rand) (Descriptor, bool) {
+	if len(v.entries) == 0 {
+		return Descriptor{}, false
+	}
+	switch policy {
+	case SelectTail:
+		best := 0
+		for i, e := range v.entries {
+			if e.Age > v.entries[best].Age {
+				best = i
+			}
+		}
+		return v.entries[best], true
+	default:
+		return v.entries[rng.Intn(len(v.entries))], true
+	}
+}
+
+// HS maps the merge policy to the healing and swapping parameters of the
+// generic protocol of Jelasity et al. (TOCS 2007), which the paper's Section
+// 3 configurations instantiate: blind is (H=0, S=0), healer is (H=c/2, S=0),
+// swapper is (H=0, S=c/2).
+func (m Merge) HS(c int) (h, s int) {
+	switch m {
+	case MergeHealer:
+		return c / 2, 0
+	case MergeSwapper:
+		return 0, c / 2
+	default:
+		return 0, 0
+	}
+}
+
+// ExchangeLen returns how many view entries accompany the sender's own fresh
+// descriptor in a shuffle buffer: c/2 - 1, per the generic protocol.
+func (v *View) ExchangeLen() int {
+	n := v.maxSize/2 - 1
+	if n < 0 {
+		n = 0
+	}
+	if n > len(v.entries) {
+		n = len(v.entries)
+	}
+	return n
+}
+
+// PrepareExchange builds the shuffle buffer (excluding the caller's own
+// descriptor, which the engine prepends): the view is permuted in place, the
+// H oldest entries are moved to its end, and the first ExchangeLen entries —
+// now at the head — are returned as the entries to ship. The returned slice
+// is a copy; the head placement is what lets ApplyExchange implement the
+// swapper policy ("discard the entries just sent").
+func (v *View) PrepareExchange(policy Merge, rng *rand.Rand) []Descriptor {
+	h, _ := policy.HS(v.maxSize)
+	rng.Shuffle(len(v.entries), func(i, j int) { v.entries[i], v.entries[j] = v.entries[j], v.entries[i] })
+	moveOldestToEnd(v.entries, h)
+	sent := make([]Descriptor, v.ExchangeLen())
+	copy(sent, v.entries)
+	return sent
+}
+
+// moveOldestToEnd stably moves the h oldest entries (by age) to the end of
+// the slice, preserving the order of the rest.
+func moveOldestToEnd(ds []Descriptor, h int) {
+	if h <= 0 || len(ds) <= 1 {
+		return
+	}
+	if h > len(ds) {
+		h = len(ds)
+	}
+	// Find the age threshold of the h oldest.
+	idx := make([]int, len(ds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ds[idx[a]].Age > ds[idx[b]].Age })
+	oldest := make(map[int]bool, h)
+	for _, i := range idx[:h] {
+		oldest[i] = true
+	}
+	rest := make([]Descriptor, 0, len(ds))
+	tail := make([]Descriptor, 0, h)
+	for i, d := range ds {
+		if oldest[i] {
+			tail = append(tail, d)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	copy(ds, append(rest, tail...))
+}
+
+// ApplyExchange merges a received shuffle buffer into the view
+// (merge_and_truncate of Fig. 1, with the select semantics of the generic
+// protocol): the received entries are appended, duplicates are resolved by
+// keeping the youngest, then — while the view exceeds its maximum size — the
+// H oldest entries are dropped (healer), up to S of the entries listed in
+// sent are dropped (swapper), and finally uniformly random entries are
+// dropped. sent must be the slice returned by the PrepareExchange call of
+// the same exchange (nil for bootstrap-style merges).
+func (v *View) ApplyExchange(policy Merge, received, sent []Descriptor, rng *rand.Rand) {
+	union := make([]Descriptor, 0, len(v.entries)+len(received))
+	union = append(union, v.entries...)
+	for _, d := range received {
+		if d.ID == v.self || d.ID.IsNil() {
+			continue
+		}
+		if i := indexIn(union, d.ID); i >= 0 {
+			if d.Age < union[i].Age {
+				union[i] = d
+			}
+			continue
+		}
+		union = append(union, d)
+	}
+	c := v.maxSize
+	h, s := policy.HS(c)
+	// Healing: drop min(h, size-c) oldest.
+	for drop := min(h, len(union)-c); drop > 0; drop-- {
+		oldest := 0
+		for i := 1; i < len(union); i++ {
+			if union[i].Age > union[oldest].Age {
+				oldest = i
+			}
+		}
+		union = append(union[:oldest], union[oldest+1:]...)
+	}
+	// Swapping: drop min(s, size-c) of the entries just sent.
+	if drop := min(s, len(union)-c); drop > 0 {
+		for _, d := range sent {
+			if drop == 0 {
+				break
+			}
+			if i := indexIn(union, d.ID); i >= 0 {
+				union = append(union[:i], union[i+1:]...)
+				drop--
+			}
+		}
+	}
+	// Random truncation to c.
+	for len(union) > c {
+		i := rng.Intn(len(union))
+		union = append(union[:i], union[i+1:]...)
+	}
+	v.entries = union
+}
+
+func indexIn(ds []Descriptor, id ident.NodeID) int {
+	for i, d := range ds {
+		if d.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the structural invariants of the view: no self entry, no
+// nil IDs, no duplicates, size within bounds. It returns a descriptive error
+// on the first violation. Tests and the simulator's self-checks use it.
+func (v *View) Validate() error {
+	if len(v.entries) > v.maxSize {
+		return fmt.Errorf("view: %d entries exceed max %d", len(v.entries), v.maxSize)
+	}
+	seen := make(map[ident.NodeID]bool, len(v.entries))
+	for _, e := range v.entries {
+		if e.ID == v.self {
+			return fmt.Errorf("view: contains owner %v", v.self)
+		}
+		if e.ID.IsNil() {
+			return fmt.Errorf("view: contains nil ID")
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("view: duplicate entry %v", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (v *View) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "view(%v, %d/%d):", v.self, len(v.entries), v.maxSize)
+	for _, e := range v.entries {
+		fmt.Fprintf(&b, " %v", e)
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ident"
+	"repro/internal/view"
+)
+
+// DescriptorSize is the encoded size of one peer descriptor.
+const DescriptorSize = descSize
+
+// AppendDescriptor appends the 19-byte encoding of d to b. Sibling protocols
+// (e.g. the bootstrap/introducer protocol) reuse it so descriptors have one
+// wire form everywhere.
+func AppendDescriptor(b []byte, d view.Descriptor) []byte {
+	var buf [descSize]byte
+	putDesc(buf[:], d)
+	return append(b, buf[:]...)
+}
+
+// DecodeDescriptor decodes a descriptor from the front of b.
+func DecodeDescriptor(b []byte) (view.Descriptor, error) {
+	if len(b) < descSize {
+		return view.Descriptor{}, fmt.Errorf("%w: %d bytes for descriptor, need %d", ErrMalformed, len(b), descSize)
+	}
+	d, err := getDesc(b)
+	if err != nil {
+		return view.Descriptor{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return d, nil
+}
+
+// AppendEndpoint appends the 6-byte encoding of e to b.
+func AppendEndpoint(b []byte, e ident.Endpoint) []byte {
+	var buf [6]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(e.IP))
+	binary.BigEndian.PutUint16(buf[4:], e.Port)
+	return append(b, buf[:]...)
+}
+
+// DecodeEndpoint decodes an endpoint from the front of b.
+func DecodeEndpoint(b []byte) (ident.Endpoint, error) {
+	if len(b) < 6 {
+		return ident.Zero, fmt.Errorf("%w: %d bytes for endpoint, need 6", ErrMalformed, len(b))
+	}
+	return ident.Endpoint{
+		IP:   ident.IP(binary.BigEndian.Uint32(b[0:])),
+		Port: binary.BigEndian.Uint16(b[4:]),
+	}, nil
+}

@@ -1,0 +1,288 @@
+package nylon
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Config configures a Node. ID, Transport and Advertise are required;
+// everything else has paper defaults.
+type Config struct {
+	// ID is the node's unique identity. Callers assign it (e.g. from an
+	// introducer or a collision-resistant random draw).
+	ID NodeID
+	// Transport carries the node's datagrams. The node takes ownership
+	// and closes it on Close.
+	Transport Transport
+	// Advertise is the endpoint other peers should contact: the node's
+	// own address if public, or its NAT mapping as discovered through an
+	// introducer.
+	Advertise Endpoint
+	// NAT is the node's connectivity class as discovered at join time
+	// (e.g. via STUN-style probing). Defaults to Public.
+	NAT NATClass
+	// Bootstrap seeds the view; for natted seeds the introducer must have
+	// opened the corresponding holes.
+	Bootstrap []Descriptor
+
+	// ViewSize is the partial view size. Default 15 (paper §5).
+	ViewSize int
+	// Period is the shuffling period. Default 5 s (paper §5).
+	Period time.Duration
+	// HoleTimeout is the assumed NAT rule lifetime. Default 90 s.
+	HoleTimeout time.Duration
+	// LatencyBound is the assumed one-way latency upper bound used to
+	// discount relayed route TTLs. Default 500 ms.
+	LatencyBound time.Duration
+	// Selection and Merge choose the gossip policies. Defaults: rand,
+	// healer — the basis configuration of the paper's Fig. 6.
+	Selection Selection
+	Merge     Merge
+	// Seed makes the node's randomness reproducible; 0 derives one from
+	// the ID.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ViewSize == 0 {
+		c.ViewSize = 15
+	}
+	if c.Period == 0 {
+		c.Period = 5 * time.Second
+	}
+	if c.HoleTimeout == 0 {
+		c.HoleTimeout = 90 * time.Second
+	}
+	if c.LatencyBound == 0 {
+		c.LatencyBound = 500 * time.Millisecond
+	}
+	if c.Merge == 0 {
+		c.Merge = MergeHealer
+	}
+	if c.Seed == 0 {
+		c.Seed = int64(c.ID)*2654435761 + 1
+	}
+	return c
+}
+
+// Stats is a snapshot of the node's protocol counters (see core.Stats for
+// field semantics).
+type Stats = core.Stats
+
+// Node runs the Nylon protocol in real time over a Transport. Create with
+// NewNode, then Start. All methods are safe for concurrent use.
+type Node struct {
+	cfg    Config
+	engine *core.Nylon
+	start  time.Time
+
+	// requests serializes access to the engine with the run loop.
+	requests chan func()
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	// mu guards engine access before Start, when no run loop exists yet.
+	mu      sync.Mutex
+	started bool
+
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+// NewNode builds a node. The node is inert until Start.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID.IsNil() {
+		return nil, errors.New("nylon: Config.ID is required")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("nylon: Config.Transport is required")
+	}
+	if cfg.Advertise.IsZero() {
+		return nil, errors.New("nylon: Config.Advertise is required")
+	}
+	if !cfg.NAT.Valid() {
+		return nil, fmt.Errorf("nylon: invalid NAT class %v", cfg.NAT)
+	}
+	self := Descriptor{ID: cfg.ID, Addr: cfg.Advertise, Class: cfg.NAT}
+	engine := core.NewNylon(core.Config{
+		Self:         self,
+		ViewSize:     cfg.ViewSize,
+		Selection:    cfg.Selection,
+		Merge:        cfg.Merge,
+		PushPull:     true,
+		HoleTimeout:  cfg.HoleTimeout.Milliseconds(),
+		LatencyBound: cfg.LatencyBound.Milliseconds(),
+		RNG:          rand.New(rand.NewSource(cfg.Seed)),
+		// Deployed nodes must shed departed peers: evict targets that
+		// never answer.
+		EvictUnanswered: true,
+	})
+	n := &Node{
+		cfg:      cfg,
+		engine:   engine,
+		requests: make(chan func(), 16),
+		done:     make(chan struct{}),
+	}
+	return n, nil
+}
+
+// Start begins gossiping. It is idempotent.
+func (n *Node) Start() {
+	n.startOnce.Do(func() {
+		n.mu.Lock()
+		n.start = time.Now()
+		n.engine.Bootstrap(0, n.cfg.Bootstrap)
+		n.started = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.run()
+	})
+}
+
+func (n *Node) now() int64 { return time.Since(n.start).Milliseconds() }
+
+// run is the single goroutine owning the engine.
+func (n *Node) run() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+			n.dispatch(n.engine.Tick(n.now()))
+		case pkt, ok := <-n.cfg.Transport.Packets():
+			if !ok {
+				return
+			}
+			if boot.IsBoot(pkt.Data) {
+				n.handleBoot(pkt.Data)
+				continue
+			}
+			msg, err := wire.Unmarshal(pkt.Data)
+			if err != nil {
+				continue // hostile or corrupt datagram
+			}
+			n.dispatch(n.engine.Receive(n.now(), pkt.From, msg))
+		case req := <-n.requests:
+			req()
+		}
+	}
+}
+
+// handleBoot processes introducer-protocol datagrams arriving on the shared
+// socket. A Punch message means a new peer joined and the introducer (or the
+// joiner itself) asks us to open our NAT toward it: we answer with a punch of
+// our own — the outbound datagram that installs the filtering rule — and
+// adopt the joiner into the view so the overlay absorbs newcomers even
+// before they gossip.
+func (n *Node) handleBoot(data []byte) {
+	m, err := boot.Unmarshal(data)
+	if err != nil || m.Kind != boot.KindPunch {
+		return
+	}
+	joiner := m.Self
+	if joiner.ID.IsNil() || joiner.ID == n.cfg.ID || joiner.Addr.IsZero() {
+		return
+	}
+	// Reply only on first contact, so two nodes punching each other do not
+	// bounce punches forever.
+	if !n.engine.View().Contains(joiner.ID) {
+		reply := &boot.Message{Kind: boot.KindPunch, Self: n.engine.Self()}
+		if out, err := reply.Marshal(); err == nil {
+			_ = n.cfg.Transport.Send(joiner.Addr, out)
+		}
+	}
+	n.engine.Bootstrap(n.now(), []Descriptor{joiner})
+}
+
+func (n *Node) dispatch(sends []core.Send) {
+	for _, s := range sends {
+		data, err := s.Msg.Marshal()
+		if err != nil {
+			continue
+		}
+		// Best effort, like UDP itself.
+		_ = n.cfg.Transport.Send(s.To, data)
+	}
+}
+
+// inLoop runs fn with exclusive engine access: on the run-loop goroutine
+// once started, directly under the mutex before that. After Close, fn runs
+// directly too — the loop is gone and nothing else touches the engine.
+func (n *Node) inLoop(fn func()) bool {
+	n.mu.Lock()
+	started := n.started
+	n.mu.Unlock()
+	if !started {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		fn()
+		return true
+	}
+	doneCh := make(chan struct{})
+	select {
+	case n.requests <- func() { fn(); close(doneCh) }:
+	case <-n.done:
+		n.wg.Wait()
+		fn()
+		return true
+	}
+	select {
+	case <-doneCh:
+		return true
+	case <-n.done:
+		n.wg.Wait()
+		fn()
+		return true
+	}
+}
+
+// Self returns the node's own descriptor.
+func (n *Node) Self() Descriptor { return n.engine.Self() }
+
+// View returns a snapshot of the current partial view.
+func (n *Node) View() []Descriptor {
+	var out []Descriptor
+	n.inLoop(func() { out = n.engine.View().Entries() })
+	return out
+}
+
+// Sample returns up to k peers drawn uniformly at random from the current
+// view — the "peer sampling service" interface.
+func (n *Node) Sample(k int) []Descriptor {
+	entries := n.View()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	rng.Shuffle(len(entries), func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+	if k < len(entries) {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (n *Node) Stats() Stats {
+	var out Stats
+	n.inLoop(func() { out = *n.engine.Stats() })
+	return out
+}
+
+// Close stops the node and closes its transport. It is idempotent.
+func (n *Node) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.done)
+		err = n.cfg.Transport.Close()
+		n.wg.Wait()
+	})
+	return err
+}

@@ -1,0 +1,103 @@
+// Package nylon is a NAT-resilient gossip peer-sampling library, a faithful
+// reproduction of "NAT-resilient Gossip Peer Sampling" (Kermarrec, Pace,
+// Quéma, Schiavoni — ICDCS 2009).
+//
+// Gossip peer sampling gives every peer a small, continuously-refreshed
+// random sample of a large overlay. Classic protocols assume any peer can
+// message any other; NAT devices break that assumption for most of the
+// Internet's edge. Nylon repairs it with reactive hole punching over chains
+// of rendez-vous peers: whenever two peers shuffle views they become
+// rendez-vous points for each other, and every view entry travels with the
+// identity of the peer that supplied it, so a relay path to any view entry
+// always exists.
+//
+// The package offers two ways in:
+//
+//   - Node runs the protocol in real time over a Transport (in-memory switch
+//     or UDP), for applications that need a peer sampling service.
+//   - The cmd/nylon-sim and cmd/nylon-figs tools (backed by the internal
+//     discrete-event simulator) reproduce every figure of the paper.
+//
+// A minimal deployment:
+//
+//	tr, _ := nylon.ListenUDP(":9000")
+//	node, _ := nylon.NewNode(nylon.Config{
+//		ID:        1,
+//		Transport: tr,
+//		Advertise: tr.LocalAddr(),
+//		Bootstrap: seeds, // descriptors from your introducer
+//	})
+//	node.Start()
+//	defer node.Close()
+//	peers := node.Sample(5) // ≈ uniform random peers, NATs notwithstanding
+package nylon
+
+import (
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+	"repro/internal/view"
+)
+
+// Core identity types, aliased from the internal packages so library users
+// can construct and inspect them directly.
+type (
+	// NodeID uniquely identifies a peer.
+	NodeID = ident.NodeID
+	// IP is an IPv4 address.
+	IP = ident.IP
+	// Endpoint is an IP:port transport address.
+	Endpoint = ident.Endpoint
+	// NATClass is a peer's connectivity class.
+	NATClass = ident.NATClass
+	// Descriptor describes a peer: ID, contact endpoint, NAT class, age.
+	Descriptor = view.Descriptor
+	// Transport carries protocol datagrams.
+	Transport = transport.Transport
+	// Packet is a received datagram.
+	Packet = transport.Packet
+)
+
+// NAT classes (see the paper's Section 2.1).
+const (
+	Public             = ident.Public
+	FullCone           = ident.FullCone
+	RestrictedCone     = ident.RestrictedCone
+	PortRestrictedCone = ident.PortRestrictedCone
+	Symmetric          = ident.Symmetric
+)
+
+// Selection and merge policies of the generic gossip framework (Section 3).
+type (
+	// Selection picks the shuffle target.
+	Selection = view.Selection
+	// Merge truncates the view after a shuffle.
+	Merge = view.Merge
+)
+
+// Policy values.
+const (
+	SelectRand   = view.SelectRand
+	SelectTail   = view.SelectTail
+	MergeBlind   = view.MergeBlind
+	MergeHealer  = view.MergeHealer
+	MergeSwapper = view.MergeSwapper
+)
+
+// ListenUDP opens a UDP transport on addr ("ip:port", ":0" for any port).
+func ListenUDP(addr string) (*transport.UDPTransport, error) {
+	return transport.ListenUDP(addr)
+}
+
+// NewSwitch creates an in-memory datagram network for tests, examples and
+// NAT labs; attach transports with Attach or AttachNAT.
+func NewSwitch(latency time.Duration) *transport.Switch {
+	return transport.NewSwitch(latency)
+}
+
+// ParseEndpoint parses "a.b.c.d:port".
+func ParseEndpoint(s string) (Endpoint, error) { return ident.ParseEndpoint(s) }
+
+// ParseNATClass parses "public", "fc", "rc", "prc" or "sym".
+func ParseNATClass(s string) (NATClass, error) { return ident.ParseNATClass(s) }
