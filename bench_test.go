@@ -238,6 +238,8 @@ func BenchmarkWireMarshal(b *testing.B) {
 	}
 }
 
+// BenchmarkViewExchange measures one full shuffle round on the hot-path
+// API (caller-owned send buffer); steady state must be 0 allocs/op.
 func BenchmarkViewExchange(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	v := view.New(1, 15)
@@ -248,9 +250,10 @@ func BenchmarkViewExchange(b *testing.B) {
 	for i := range recv {
 		recv[i] = view.Descriptor{ID: ident.NodeID(100 + i), Age: uint32(i)}
 	}
+	var sent []view.Descriptor
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sent := v.PrepareExchange(view.MergeHealer, rng)
+		sent = v.PrepareExchangeInto(view.MergeHealer, rng, sent[:0])
 		v.ApplyExchange(view.MergeHealer, recv, sent, rng)
 	}
 }
@@ -284,6 +287,19 @@ func BenchmarkNylonTick(b *testing.B) {
 func BenchmarkSimulation1kPeers(b *testing.B) {
 	cfg := benchCfg(exp.ProtoNylon, 80)
 	cfg.N, cfg.Rounds = 1000, 40
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runPoint(b, cfg, int64(i+1))
+	}
+}
+
+// BenchmarkSimulation10kPeers is the paper-scale population (§5: 10,000
+// peers) at a reduced round budget — the scale target the hot-path work is
+// sized against. Expect seconds per iteration; run with -benchtime 1x.
+func BenchmarkSimulation10kPeers(b *testing.B) {
+	cfg := benchCfg(exp.ProtoNylon, 80)
+	cfg.N, cfg.Rounds = 10_000, 40
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runPoint(b, cfg, int64(i+1))
 	}

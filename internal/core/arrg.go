@@ -28,6 +28,11 @@ type ARRG struct {
 	pending     ident.NodeID
 	pendingSent []view.Descriptor
 	stats       Stats
+	// Reusable scratch, per the Engine ownership contract.
+	reqSent  []view.Descriptor
+	respSent []view.Descriptor
+	recv     []view.Descriptor
+	out      []Send
 }
 
 var _ Engine = (*ARRG)(nil)
@@ -77,30 +82,30 @@ func (a *ARRG) cacheAdd(d view.Descriptor) {
 	}
 }
 
-func (a *ARRG) buffer() ([]wire.ViewEntry, []view.Descriptor) {
-	sent := a.view.PrepareExchange(a.cfg.Merge, a.cfg.RNG)
-	entries := make([]wire.ViewEntry, 0, len(sent)+1)
-	entries = append(entries, wire.ViewEntry{Desc: a.Self()})
+func (a *ARRG) buffer(m *wire.Message, buf []view.Descriptor) []view.Descriptor {
+	sent := a.view.PrepareExchangeInto(a.cfg.Merge, a.cfg.RNG, buf)
+	m.Entries = append(m.Entries[:0], wire.ViewEntry{Desc: a.Self()})
 	for _, d := range sent {
-		entries = append(entries, wire.ViewEntry{Desc: d})
+		m.Entries = append(m.Entries, wire.ViewEntry{Desc: d})
 	}
-	return entries, sent
+	return sent
 }
 
 func (a *ARRG) request(target view.Descriptor) Send {
-	entries, sent := a.buffer()
-	a.pendingSent = sent
-	return Send{To: target.Addr, ToID: target.ID, Msg: &wire.Message{
-		Kind: wire.KindRequest, Src: a.Self(), Dst: target, Via: a.Self(),
-		Entries: entries,
-	}}
+	msg := newMsg(wire.KindRequest, a.Self(), target, a.Self())
+	// A fallback retry and the regular shuffle may both run this round;
+	// only the latest buffer matters for the swapper bookkeeping, so the
+	// shared scratch may be overwritten.
+	a.reqSent = a.buffer(msg, a.reqSent[:0])
+	a.pendingSent = a.reqSent
+	return Send{To: target.Addr, ToID: target.ID, Msg: msg}
 }
 
 // Tick implements Engine. If the previous round's shuffle went unanswered,
 // this round additionally retries against a random cache member.
 func (a *ARRG) Tick(now int64) []Send {
 	defer a.view.IncreaseAge()
-	var out []Send
+	out := a.out[:0]
 	if !a.pending.IsNil() {
 		// Last round's target never answered: evict it (ARRG always
 		// does — detecting unreachable peers is its point) and retry
@@ -113,13 +118,13 @@ func (a *ARRG) Tick(now int64) []Send {
 		}
 	}
 	a.pending = ident.Nil
-	target, ok := a.view.Select(a.cfg.Selection, a.cfg.RNG)
-	if !ok {
-		return out
+	if target, ok := a.view.Select(a.cfg.Selection, a.cfg.RNG); ok {
+		a.stats.ShufflesInitiated++
+		a.pending = target.ID
+		out = append(out, a.request(target))
 	}
-	a.stats.ShufflesInitiated++
-	a.pending = target.ID
-	return append(out, a.request(target))
+	a.out = out
+	return out
 }
 
 // Receive implements Engine.
@@ -131,26 +136,27 @@ func (a *ARRG) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send
 	switch msg.Kind {
 	case wire.KindRequest:
 		a.cacheAdd(observed)
-		var out []Send
+		out := a.out[:0]
 		var sentResp []view.Descriptor
 		if a.cfg.PushPull {
-			var entries []wire.ViewEntry
-			entries, sentResp = a.buffer()
-			out = append(out, Send{To: from, ToID: msg.Src.ID, Msg: &wire.Message{
-				Kind: wire.KindResponse, Src: a.Self(), Dst: msg.Src, Via: a.Self(),
-				Entries: entries,
-			}})
+			resp := newMsg(wire.KindResponse, a.Self(), msg.Src, a.Self())
+			a.respSent = a.buffer(resp, a.respSent[:0])
+			sentResp = a.respSent
+			out = append(out, Send{To: from, ToID: msg.Src.ID, Msg: resp})
 		}
-		a.view.ApplyExchange(a.cfg.Merge, msg.Descriptors(), sentResp, a.cfg.RNG)
+		a.recv = msg.AppendDescriptors(a.recv[:0])
+		a.view.ApplyExchange(a.cfg.Merge, a.recv, sentResp, a.cfg.RNG)
 		a.view.IncreaseAge()
 		a.stats.ShufflesAnswered++
+		a.out = out
 		return out
 	case wire.KindResponse:
 		a.cacheAdd(observed)
 		if msg.Src.ID == a.pending {
 			a.pending = ident.Nil
 		}
-		a.view.ApplyExchange(a.cfg.Merge, msg.Descriptors(), a.pendingSent, a.cfg.RNG)
+		a.recv = msg.AppendDescriptors(a.recv[:0])
+		a.view.ApplyExchange(a.cfg.Merge, a.recv, a.pendingSent, a.cfg.RNG)
 		a.pendingSent = nil
 		a.stats.ShufflesCompleted++
 		return nil

@@ -39,6 +39,15 @@ type Send struct {
 }
 
 // Engine is a peer-sampling protocol instance for one peer.
+//
+// Ownership contract, shared by all implementations: the []Send slice
+// returned by Tick and Receive is scratch storage reused by the engine — it
+// is valid only until the engine's next method call and must be consumed
+// (or copied) before then. The messages it carries are freshly drawn from
+// the wire message pool; ownership passes to the host, which may hand them
+// to wire.Message.Release once fully consumed. Conversely, the message
+// passed to Receive is only borrowed: the engine retains no reference to it
+// or to its Entries once Receive returns.
 type Engine interface {
 	// Self returns the peer's own current descriptor (age zero).
 	Self() view.Descriptor
@@ -53,6 +62,13 @@ type Engine interface {
 	Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send
 	// Stats exposes the engine's monotonic counters.
 	Stats() *Stats
+}
+
+// newMsg draws a message from the wire pool and stamps its routing header.
+func newMsg(kind wire.Kind, src, dst, via view.Descriptor) *wire.Message {
+	m := wire.NewMessage()
+	m.Kind, m.Src, m.Dst, m.Via = kind, src, dst, via
+	return m
 }
 
 // Stats counts protocol events. All counters are monotonic; hosts snapshot

@@ -25,6 +25,15 @@ type Generic struct {
 	pendingSent   []view.Descriptor
 	pendingTarget ident.NodeID
 	stats         Stats
+	// Reusable scratch, so steady-state ticks and receives allocate only
+	// the outgoing message: reqSent backs pendingSent across rounds,
+	// respSent the responder-side swapper bookkeeping, recv the incoming
+	// descriptors, out the returned command slice (valid until the next
+	// engine call, per the Engine contract).
+	reqSent  []view.Descriptor
+	respSent []view.Descriptor
+	recv     []view.Descriptor
+	out      []Send
 }
 
 var _ Engine = (*Generic)(nil)
@@ -51,17 +60,16 @@ func (g *Generic) Bootstrap(ds []view.Descriptor) {
 	}
 }
 
-// buffer builds the shuffle buffer: the peer's fresh descriptor plus the
-// exchange half of its view. It returns both the wire entries and the raw
-// descriptors shipped (for the swapper bookkeeping).
-func (g *Generic) buffer() ([]wire.ViewEntry, []view.Descriptor) {
-	sent := g.view.PrepareExchange(g.cfg.Merge, g.cfg.RNG)
-	entries := make([]wire.ViewEntry, 0, len(sent)+1)
-	entries = append(entries, wire.ViewEntry{Desc: g.Self()})
+// buffer fills m's entries with the shuffle buffer: the peer's fresh
+// descriptor plus the exchange half of its view. The raw descriptors shipped
+// are appended to buf and returned (for the swapper bookkeeping).
+func (g *Generic) buffer(m *wire.Message, buf []view.Descriptor) []view.Descriptor {
+	sent := g.view.PrepareExchangeInto(g.cfg.Merge, g.cfg.RNG, buf)
+	m.Entries = append(m.Entries[:0], wire.ViewEntry{Desc: g.Self()})
 	for _, d := range sent {
-		entries = append(entries, wire.ViewEntry{Desc: d})
+		m.Entries = append(m.Entries, wire.ViewEntry{Desc: d})
 	}
-	return entries, sent
+	return sent
 }
 
 // Tick implements Engine: one shuffling period (Fig. 1, lines 1-7).
@@ -79,49 +87,41 @@ func (g *Generic) Tick(now int64) []Send {
 		return nil
 	}
 	g.stats.ShufflesInitiated++
-	entries, sent := g.buffer()
-	g.pendingSent = sent
+	msg := newMsg(wire.KindRequest, g.Self(), target, g.Self())
+	g.reqSent = g.buffer(msg, g.reqSent[:0])
+	g.pendingSent = g.reqSent
 	g.pendingTarget = target.ID
-	msg := &wire.Message{
-		Kind:    wire.KindRequest,
-		Src:     g.Self(),
-		Dst:     target,
-		Via:     g.Self(),
-		Entries: entries,
-	}
-	return []Send{{To: target.Addr, ToID: target.ID, Msg: msg}}
+	g.out = append(g.out[:0], Send{To: target.Addr, ToID: target.ID, Msg: msg})
+	return g.out
 }
 
 // Receive implements Engine (Fig. 1, lines 8-12).
 func (g *Generic) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send {
 	switch msg.Kind {
 	case wire.KindRequest:
-		var out []Send
+		out := g.out[:0]
 		var sent []view.Descriptor
 		if g.cfg.PushPull {
-			var entries []wire.ViewEntry
-			entries, sent = g.buffer()
-			resp := &wire.Message{
-				Kind:    wire.KindResponse,
-				Src:     g.Self(),
-				Dst:     msg.Src,
-				Via:     g.Self(),
-				Entries: entries,
-			}
+			resp := newMsg(wire.KindResponse, g.Self(), msg.Src, g.Self())
+			g.respSent = g.buffer(resp, g.respSent[:0])
+			sent = g.respSent
 			// Reply to the observed transport endpoint: the
 			// requester's NAT session toward us admits exactly this
 			// return path.
 			out = append(out, Send{To: from, ToID: msg.Src.ID, Msg: resp})
 		}
-		g.view.ApplyExchange(g.cfg.Merge, msg.Descriptors(), sent, g.cfg.RNG)
+		g.recv = msg.AppendDescriptors(g.recv[:0])
+		g.view.ApplyExchange(g.cfg.Merge, g.recv, sent, g.cfg.RNG)
 		g.view.IncreaseAge()
 		g.stats.ShufflesAnswered++
+		g.out = out
 		return out
 	case wire.KindResponse:
 		if msg.Src.ID == g.pendingTarget {
 			g.pendingTarget = ident.Nil
 		}
-		g.view.ApplyExchange(g.cfg.Merge, msg.Descriptors(), g.pendingSent, g.cfg.RNG)
+		g.recv = msg.AppendDescriptors(g.recv[:0])
+		g.view.ApplyExchange(g.cfg.Merge, g.recv, g.pendingSent, g.cfg.RNG)
 		g.pendingSent = nil
 		g.stats.ShufflesCompleted++
 		return nil

@@ -34,8 +34,9 @@ type Nylon struct {
 	view   *view.View
 	routes *rt.Table
 	// pending tracks hole punches started this period, so a PONG triggers
-	// exactly one REQUEST (the pseudocode would answer every PONG).
-	pending map[ident.NodeID]bool
+	// exactly one REQUEST (the pseudocode would answer every PONG). It
+	// holds at most a couple of IDs, so a slice beats a map.
+	pending []ident.NodeID
 	// pendingSent remembers the buffer shipped with the round's REQUEST
 	// for the swapper policy; pendingTarget is the shuffle partner that
 	// must answer before the next period or be evicted from the view
@@ -44,7 +45,29 @@ type Nylon struct {
 	pendingSent   []view.Descriptor
 	pendingTarget ident.NodeID
 	stats         Stats
+	// Reusable scratch, so steady-state ticks and receives allocate only
+	// the outgoing messages: reqSent backs pendingSent across rounds,
+	// respSent the responder-side swapper bookkeeping (kept separate so
+	// answering a request never clobbers an exchange still in flight),
+	// recv the incoming descriptors, out the returned command slice (valid
+	// until the next engine call, per the Engine contract).
+	reqSent  []view.Descriptor
+	respSent []view.Descriptor
+	recv     []view.Descriptor
+	out      []Send
+	// ticks counts shuffling periods, pacing the full routing-table purge.
+	ticks uint64
 }
+
+// purgeEvery is how many shuffling periods pass between full routing-table
+// purges. Every read of the table checks expiry, so purging is purely
+// housekeeping — spacing it out trades a slightly larger table for not
+// rescanning it every period. Observable protocol behaviour is unchanged,
+// with one exception handled in Tick: RefreshVia is the only table
+// operation that does not check expiry (it would resurrect expired rows),
+// so engines running with RefreshRoutesOnTraffic purge every period, as
+// the pre-optimization code did.
+const purgeEvery = 4
 
 var _ Engine = (*Nylon)(nil)
 
@@ -55,11 +78,23 @@ func NewNylon(cfg Config) *Nylon {
 		panic("core: Nylon requires a positive HoleTimeout")
 	}
 	return &Nylon{
-		cfg:     cfg,
-		view:    view.New(cfg.Self.ID, cfg.ViewSize),
-		routes:  rt.New(cfg.Self.ID),
-		pending: make(map[ident.NodeID]bool),
+		cfg:    cfg,
+		view:   view.New(cfg.Self.ID, cfg.ViewSize),
+		routes: rt.New(cfg.Self.ID),
 	}
+}
+
+// pendingPunch reports whether a hole punch toward id was started this
+// period, removing it when found.
+func (n *Nylon) pendingPunch(id ident.NodeID) bool {
+	for i, p := range n.pending {
+		if p == id {
+			n.pending[i] = n.pending[len(n.pending)-1]
+			n.pending = n.pending[:len(n.pending)-1]
+			return true
+		}
+	}
+	return false
 }
 
 // Self implements Engine.
@@ -125,14 +160,14 @@ func (n *Nylon) resolveHop(dest view.Descriptor, now int64) (view.Descriptor, bo
 	return view.Descriptor{}, false
 }
 
-// buffer encodes the peer's fresh self-descriptor plus the exchange half of
-// its view, each natted entry annotated with the remaining route TTL toward
-// it ("TTLs are exchanged by peers together with their views", §4). The raw
-// sent descriptors are returned for the swapper bookkeeping.
-func (n *Nylon) buffer(now int64) ([]wire.ViewEntry, []view.Descriptor) {
-	sent := n.view.PrepareExchange(n.cfg.Merge, n.cfg.RNG)
-	entries := make([]wire.ViewEntry, 0, len(sent)+1)
-	entries = append(entries, wire.ViewEntry{Desc: n.Self()})
+// buffer fills m's entries with the peer's fresh self-descriptor plus the
+// exchange half of its view, each natted entry annotated with the remaining
+// route TTL toward it ("TTLs are exchanged by peers together with their
+// views", §4). The raw sent descriptors are appended to buf and returned for
+// the swapper bookkeeping.
+func (n *Nylon) buffer(now int64, m *wire.Message, buf []view.Descriptor) []view.Descriptor {
+	sent := n.view.PrepareExchangeInto(n.cfg.Merge, n.cfg.RNG, buf)
+	m.Entries = append(m.Entries[:0], wire.ViewEntry{Desc: n.Self()})
 	for _, d := range sent {
 		e := wire.ViewEntry{Desc: d}
 		if d.Class.Natted() {
@@ -141,9 +176,9 @@ func (n *Nylon) buffer(now int64) ([]wire.ViewEntry, []view.Descriptor) {
 				e.RouteTTL = uint32(ttl)
 			}
 		}
-		entries = append(entries, e)
+		m.Entries = append(m.Entries, e)
 	}
-	return entries, sent
+	return sent
 }
 
 // installRoutes records RVP routes for received (or snooped) natted view
@@ -185,10 +220,13 @@ func relayRespond(self, src view.Descriptor) bool {
 
 // Tick implements Engine: Fig. 6 lines 1-14.
 func (n *Nylon) Tick(now int64) []Send {
-	n.routes.Purge(now)
+	if n.cfg.RefreshRoutesOnTraffic || n.ticks%purgeEvery == 0 {
+		n.routes.Purge(now)
+	}
+	n.ticks++
 	// Hole punches from previous periods are void: each PONG must map to a
 	// punch from the current round.
-	clear(n.pending)
+	n.pending = n.pending[:0]
 	if n.cfg.EvictUnanswered && !n.pendingTarget.IsNil() {
 		// Last round's target never answered — dead peer or broken
 		// chain. Evict it so churn cannot freeze the view.
@@ -207,13 +245,11 @@ func (n *Nylon) Tick(now int64) []Send {
 
 	if addr, ok := n.reachableDirect(target, now); ok {
 		// Fig. 6 line 3: target public or next_RVP(target) = target.
-		entries, sent := n.buffer(now)
-		n.pendingSent = sent
-		msg := &wire.Message{
-			Kind: wire.KindRequest, Src: self, Dst: target, Via: self,
-			Entries: entries,
-		}
-		return []Send{{To: addr, ToID: target.ID, Msg: msg}}
+		msg := newMsg(wire.KindRequest, self, target, self)
+		n.reqSent = n.buffer(now, msg, n.reqSent[:0])
+		n.pendingSent = n.reqSent
+		n.out = append(n.out[:0], Send{To: addr, ToID: target.ID, Msg: msg})
+		return n.out
 	}
 	hop, ok := n.resolveHop(target, now)
 	if !ok {
@@ -223,29 +259,28 @@ func (n *Nylon) Tick(now int64) []Send {
 	if relayInitiate(self, target) {
 		// Fig. 6 lines 5-7: relay the REQUEST itself along the chain.
 		n.stats.Relayed++
-		entries, sent := n.buffer(now)
-		n.pendingSent = sent
-		msg := &wire.Message{
-			Kind: wire.KindRequest, Src: self, Dst: target, Via: self,
-			Entries: entries,
-		}
-		return []Send{{To: hop.Addr, ToID: hop.ID, Msg: msg}}
+		msg := newMsg(wire.KindRequest, self, target, self)
+		n.reqSent = n.buffer(now, msg, n.reqSent[:0])
+		n.pendingSent = n.reqSent
+		n.out = append(n.out[:0], Send{To: hop.Addr, ToID: hop.ID, Msg: msg})
+		return n.out
 	}
 	// Fig. 6 lines 8-12: reactive hole punching.
 	n.stats.HolePunchesStarted++
-	n.pending[target.ID] = true
-	out := []Send{{
+	n.pending = append(n.pending, target.ID)
+	out := append(n.out[:0], Send{
 		To: hop.Addr, ToID: hop.ID,
-		Msg: &wire.Message{Kind: wire.KindOpenHole, Src: self, Dst: target, Via: self},
-	}}
+		Msg: newMsg(wire.KindOpenHole, self, target, self),
+	})
 	if self.Class.Natted() {
 		// The PING opens our own NAT toward the target; the target's NAT
 		// will normally drop it, which is fine.
 		out = append(out, Send{
 			To: target.Addr, ToID: target.ID,
-			Msg: &wire.Message{Kind: wire.KindPing, Src: self, Dst: target, Via: self},
+			Msg: newMsg(wire.KindPing, self, target, self),
 		})
 	}
+	n.out = out
 	return out
 }
 
@@ -289,7 +324,8 @@ func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Sen
 		if msg.Src.ID == n.pendingTarget {
 			n.pendingTarget = ident.Nil
 		}
-		n.view.ApplyExchange(n.cfg.Merge, msg.Descriptors(), n.pendingSent, n.cfg.RNG)
+		n.recv = msg.AppendDescriptors(n.recv[:0])
+		n.view.ApplyExchange(n.cfg.Merge, n.recv, n.pendingSent, n.cfg.RNG)
 		n.pendingSent = nil
 		n.installRoutes(now, msg.Entries, via)
 		n.stats.ShufflesCompleted++
@@ -302,27 +338,26 @@ func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Sen
 		// originator directly so both NATs now hold matching rules.
 		n.stats.ChainHopsTotal += uint64(msg.Hops) + 1
 		n.stats.ChainSamples++
-		pong := &wire.Message{Kind: wire.KindPong, Src: n.Self(), Dst: msg.Src, Via: n.Self()}
-		return []Send{{To: msg.Src.Addr, ToID: msg.Src.ID, Msg: pong}}
+		pong := newMsg(wire.KindPong, n.Self(), msg.Src, n.Self())
+		n.out = append(n.out[:0], Send{To: msg.Src.Addr, ToID: msg.Src.ID, Msg: pong})
+		return n.out
 	case wire.KindPing:
 		// Fig. 6 lines 41-43: reply to the observed endpoint.
-		pong := &wire.Message{Kind: wire.KindPong, Src: n.Self(), Dst: msg.Src, Via: n.Self()}
-		return []Send{{To: from, ToID: msg.Src.ID, Msg: pong}}
+		pong := newMsg(wire.KindPong, n.Self(), msg.Src, n.Self())
+		n.out = append(n.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: pong})
+		return n.out
 	case wire.KindPong:
 		// Fig. 6 lines 44-46: the hole is open; gossip through it. Only
 		// punches from the current period are honoured.
-		if !n.pending[msg.Src.ID] {
+		if !n.pendingPunch(msg.Src.ID) {
 			return nil
 		}
-		delete(n.pending, msg.Src.ID)
 		n.stats.HolePunchesCompleted++
-		entries, sent := n.buffer(now)
-		n.pendingSent = sent
-		req := &wire.Message{
-			Kind: wire.KindRequest, Src: n.Self(), Dst: msg.Src, Via: n.Self(),
-			Entries: entries,
-		}
-		return []Send{{To: from, ToID: msg.Src.ID, Msg: req}}
+		req := newMsg(wire.KindRequest, n.Self(), msg.Src, n.Self())
+		n.reqSent = n.buffer(now, req, n.reqSent[:0])
+		n.pendingSent = n.reqSent
+		n.out = append(n.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: req})
+		return n.out
 	default:
 		return nil
 	}
@@ -335,16 +370,13 @@ func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message,
 		n.stats.ChainHopsTotal += uint64(msg.Hops)
 		n.stats.ChainSamples++
 	}
-	var out []Send
+	out := n.out[:0]
 	var sentResp []view.Descriptor
 	if n.cfg.PushPull {
 		self := n.Self()
-		var entries []wire.ViewEntry
-		entries, sentResp = n.buffer(now)
-		resp := &wire.Message{
-			Kind: wire.KindResponse, Src: self, Dst: msg.Src, Via: self,
-			Entries: entries,
-		}
+		resp := newMsg(wire.KindResponse, self, msg.Src, self)
+		n.respSent = n.buffer(now, resp, n.respSent[:0])
+		sentResp = n.respSent
 		if relayRespond(self, msg.Src) {
 			// Fig. 6 lines 20-22: the response must travel back along
 			// the chain.
@@ -355,6 +387,7 @@ func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message,
 				out = append(out, Send{To: hop.Addr, ToID: hop.ID, Msg: resp})
 			} else {
 				n.stats.NoRoute++
+				resp.Release()
 			}
 		} else {
 			// Fig. 6 lines 23-24. When the request arrived directly the
@@ -368,10 +401,12 @@ func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message,
 			out = append(out, Send{To: addr, ToID: msg.Src.ID, Msg: resp})
 		}
 	}
-	n.view.ApplyExchange(n.cfg.Merge, msg.Descriptors(), sentResp, n.cfg.RNG)
+	n.recv = msg.AppendDescriptors(n.recv[:0])
+	n.view.ApplyExchange(n.cfg.Merge, n.recv, sentResp, n.cfg.RNG)
 	n.view.IncreaseAge()
 	n.installRoutes(now, msg.Entries, via)
 	n.stats.ShufflesAnswered++
+	n.out = out
 	return out
 }
 
@@ -399,5 +434,6 @@ func (n *Nylon) forward(now int64, msg *wire.Message, via view.Descriptor) []Sen
 	fwd := msg.Clone()
 	fwd.Hops++
 	fwd.Via = n.Self()
-	return []Send{{To: hop.Addr, ToID: hop.ID, Msg: fwd}}
+	n.out = append(n.out[:0], Send{To: hop.Addr, ToID: hop.ID, Msg: fwd})
+	return n.out
 }

@@ -296,7 +296,9 @@ func TestNylonBufferAdvertisesTTLs(t *testing.T) {
 	n1.View().Add(natted)
 	n1.View().Add(pubDesc(3))
 	n1.Routes().Set(natted.ID, pubDesc(5), 40_000)
-	entries, sent := n1.buffer(10_000)
+	msg := wire.NewMessage()
+	sent := n1.buffer(10_000, msg, nil)
+	entries := msg.Entries
 	if len(sent) != 2 || len(entries) != 3 {
 		t.Fatalf("buffer shipped %d entries + self (%d total), want both view entries", len(sent), len(entries))
 	}

@@ -27,10 +27,15 @@ type StaticRVP struct {
 	// keepalive PINGs and forwarded traffic. An RVP uses it to reach the
 	// natted peers bound to it.
 	clients       map[ident.NodeID]ident.Endpoint
-	pending       map[ident.NodeID]bool
+	pending       []ident.NodeID
 	pendingSent   []view.Descriptor
 	pendingTarget ident.NodeID
 	stats         Stats
+	// Reusable scratch, per the Engine ownership contract.
+	reqSent  []view.Descriptor
+	respSent []view.Descriptor
+	recv     []view.Descriptor
+	out      []Send
 }
 
 var _ Engine = (*StaticRVP)(nil)
@@ -52,8 +57,20 @@ func NewStaticRVP(cfg Config, ownRVP view.Descriptor, resolve RVPResolver) *Stat
 		ownRVP:  ownRVP,
 		resolve: resolve,
 		clients: make(map[ident.NodeID]ident.Endpoint),
-		pending: make(map[ident.NodeID]bool),
 	}
+}
+
+// pendingPunch reports whether a hole punch toward id was started this
+// period, removing it when found.
+func (s *StaticRVP) pendingPunch(id ident.NodeID) bool {
+	for i, p := range s.pending {
+		if p == id {
+			s.pending[i] = s.pending[len(s.pending)-1]
+			s.pending = s.pending[:len(s.pending)-1]
+			return true
+		}
+	}
+	return false
 }
 
 // Self implements Engine.
@@ -76,14 +93,13 @@ func (s *StaticRVP) Bootstrap(ds []view.Descriptor) {
 	}
 }
 
-func (s *StaticRVP) buffer() ([]wire.ViewEntry, []view.Descriptor) {
-	sent := s.view.PrepareExchange(s.cfg.Merge, s.cfg.RNG)
-	entries := make([]wire.ViewEntry, 0, len(sent)+1)
-	entries = append(entries, wire.ViewEntry{Desc: s.Self()})
+func (s *StaticRVP) buffer(m *wire.Message, buf []view.Descriptor) []view.Descriptor {
+	sent := s.view.PrepareExchangeInto(s.cfg.Merge, s.cfg.RNG, buf)
+	m.Entries = append(m.Entries[:0], wire.ViewEntry{Desc: s.Self()})
 	for _, d := range sent {
-		entries = append(entries, wire.ViewEntry{Desc: d})
+		m.Entries = append(m.Entries, wire.ViewEntry{Desc: d})
 	}
-	return entries, sent
+	return sent
 }
 
 // endpointOf returns the best-known transport endpoint for a peer.
@@ -97,17 +113,17 @@ func (s *StaticRVP) endpointOf(d view.Descriptor) ident.Endpoint {
 // Tick implements Engine: keepalive toward the own RVP, then one shuffle.
 func (s *StaticRVP) Tick(now int64) []Send {
 	defer s.view.IncreaseAge()
-	clear(s.pending)
+	s.pending = s.pending[:0]
 	if s.cfg.EvictUnanswered && !s.pendingTarget.IsNil() {
 		s.view.Remove(s.pendingTarget)
 	}
 	s.pendingTarget = ident.Nil
-	var out []Send
+	out := s.out[:0]
+	defer func() { s.out = out }()
 	self := s.Self()
 	if s.cfg.Self.Class.Natted() {
-		out = append(out, Send{To: s.ownRVP.Addr, ToID: s.ownRVP.ID, Msg: &wire.Message{
-			Kind: wire.KindPing, Src: self, Dst: s.ownRVP, Via: self,
-		}})
+		out = append(out, Send{To: s.ownRVP.Addr, ToID: s.ownRVP.ID,
+			Msg: newMsg(wire.KindPing, self, s.ownRVP, self)})
 	}
 	target, ok := s.view.Select(s.cfg.Selection, s.cfg.RNG)
 	if !ok {
@@ -116,12 +132,11 @@ func (s *StaticRVP) Tick(now int64) []Send {
 	s.stats.ShufflesInitiated++
 	s.pendingTarget = target.ID
 	if !target.Class.Natted() {
-		entries, sent := s.buffer()
-		s.pendingSent = sent
-		return append(out, Send{To: target.Addr, ToID: target.ID, Msg: &wire.Message{
-			Kind: wire.KindRequest, Src: self, Dst: target, Via: self,
-			Entries: entries,
-		}})
+		msg := newMsg(wire.KindRequest, self, target, self)
+		s.reqSent = s.buffer(msg, s.reqSent[:0])
+		s.pendingSent = s.reqSent
+		out = append(out, Send{To: target.Addr, ToID: target.ID, Msg: msg})
+		return out
 	}
 	rvp, ok := s.resolve(target.ID)
 	if !ok {
@@ -132,22 +147,19 @@ func (s *StaticRVP) Tick(now int64) []Send {
 		// Hole punching cannot serve symmetric combinations reliably;
 		// relay the whole exchange through the target's RVP.
 		s.stats.Relayed++
-		entries, sent := s.buffer()
-		s.pendingSent = sent
-		return append(out, Send{To: rvp.Addr, ToID: rvp.ID, Msg: &wire.Message{
-			Kind: wire.KindRequest, Src: self, Dst: target, Via: self,
-			Entries: entries,
-		}})
+		msg := newMsg(wire.KindRequest, self, target, self)
+		s.reqSent = s.buffer(msg, s.reqSent[:0])
+		s.pendingSent = s.reqSent
+		out = append(out, Send{To: rvp.Addr, ToID: rvp.ID, Msg: msg})
+		return out
 	}
 	s.stats.HolePunchesStarted++
-	s.pending[target.ID] = true
-	out = append(out, Send{To: rvp.Addr, ToID: rvp.ID, Msg: &wire.Message{
-		Kind: wire.KindOpenHole, Src: self, Dst: target, Via: self,
-	}})
+	s.pending = append(s.pending, target.ID)
+	out = append(out, Send{To: rvp.Addr, ToID: rvp.ID,
+		Msg: newMsg(wire.KindOpenHole, self, target, self)})
 	if s.cfg.Self.Class.Natted() {
-		out = append(out, Send{To: target.Addr, ToID: target.ID, Msg: &wire.Message{
-			Kind: wire.KindPing, Src: self, Dst: target, Via: self,
-		}})
+		out = append(out, Send{To: target.Addr, ToID: target.ID,
+			Msg: newMsg(wire.KindPing, self, target, self)})
 	}
 	return out
 }
@@ -160,21 +172,14 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 	case wire.KindRequest:
 		if msg.Dst.ID != s.cfg.Self.ID {
 			// We are the target's RVP: hand the request over.
-			s.stats.Forwarded++
-			fwd := msg.Clone()
-			fwd.Hops++
-			fwd.Via = self
-			return []Send{{To: s.endpointOf(msg.Dst), ToID: msg.Dst.ID, Msg: fwd}}
+			return s.handOver(msg, self)
 		}
-		var out []Send
+		out := s.out[:0]
 		var sentResp []view.Descriptor
 		if s.cfg.PushPull {
-			var entries []wire.ViewEntry
-			entries, sentResp = s.buffer()
-			resp := &wire.Message{
-				Kind: wire.KindResponse, Src: self, Dst: msg.Src, Via: self,
-				Entries: entries,
-			}
+			resp := newMsg(wire.KindResponse, self, msg.Src, self)
+			s.respSent = s.buffer(resp, s.respSent[:0])
+			sentResp = s.respSent
 			switch {
 			case msg.Via.ID == msg.Src.ID:
 				// Direct request: the observed endpoint is the open
@@ -190,58 +195,62 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 					out = append(out, Send{To: msg.Src.Addr, ToID: msg.Src.ID, Msg: resp})
 				} else {
 					s.stats.NoRoute++
+					resp.Release()
 				}
 			}
 		}
-		s.view.ApplyExchange(s.cfg.Merge, msg.Descriptors(), sentResp, s.cfg.RNG)
+		s.recv = msg.AppendDescriptors(s.recv[:0])
+		s.view.ApplyExchange(s.cfg.Merge, s.recv, sentResp, s.cfg.RNG)
 		s.view.IncreaseAge()
 		s.stats.ShufflesAnswered++
+		s.out = out
 		return out
 	case wire.KindResponse:
 		if msg.Dst.ID != s.cfg.Self.ID {
-			s.stats.Forwarded++
-			fwd := msg.Clone()
-			fwd.Hops++
-			fwd.Via = self
-			return []Send{{To: s.endpointOf(msg.Dst), ToID: msg.Dst.ID, Msg: fwd}}
+			return s.handOver(msg, self)
 		}
 		if msg.Src.ID == s.pendingTarget {
 			s.pendingTarget = ident.Nil
 		}
-		s.view.ApplyExchange(s.cfg.Merge, msg.Descriptors(), s.pendingSent, s.cfg.RNG)
+		s.recv = msg.AppendDescriptors(s.recv[:0])
+		s.view.ApplyExchange(s.cfg.Merge, s.recv, s.pendingSent, s.cfg.RNG)
 		s.pendingSent = nil
 		s.stats.ShufflesCompleted++
 		return nil
 	case wire.KindOpenHole:
 		if msg.Dst.ID != s.cfg.Self.ID {
-			s.stats.Forwarded++
-			fwd := msg.Clone()
-			fwd.Hops++
-			fwd.Via = self
-			return []Send{{To: s.endpointOf(msg.Dst), ToID: msg.Dst.ID, Msg: fwd}}
+			return s.handOver(msg, self)
 		}
 		s.stats.ChainHopsTotal++ // exactly one RVP by construction
 		s.stats.ChainSamples++
-		return []Send{{To: msg.Src.Addr, ToID: msg.Src.ID, Msg: &wire.Message{
-			Kind: wire.KindPong, Src: self, Dst: msg.Src, Via: self,
-		}}}
+		s.out = append(s.out[:0], Send{To: msg.Src.Addr, ToID: msg.Src.ID,
+			Msg: newMsg(wire.KindPong, self, msg.Src, self)})
+		return s.out
 	case wire.KindPing:
-		return []Send{{To: from, ToID: msg.Src.ID, Msg: &wire.Message{
-			Kind: wire.KindPong, Src: self, Dst: msg.Src, Via: self,
-		}}}
+		s.out = append(s.out[:0], Send{To: from, ToID: msg.Src.ID,
+			Msg: newMsg(wire.KindPong, self, msg.Src, self)})
+		return s.out
 	case wire.KindPong:
-		if !s.pending[msg.Src.ID] {
+		if !s.pendingPunch(msg.Src.ID) {
 			return nil
 		}
-		delete(s.pending, msg.Src.ID)
 		s.stats.HolePunchesCompleted++
-		entries, sent := s.buffer()
-		s.pendingSent = sent
-		return []Send{{To: from, ToID: msg.Src.ID, Msg: &wire.Message{
-			Kind: wire.KindRequest, Src: self, Dst: msg.Src, Via: self,
-			Entries: entries,
-		}}}
+		req := newMsg(wire.KindRequest, self, msg.Src, self)
+		s.reqSent = s.buffer(req, s.reqSent[:0])
+		s.pendingSent = s.reqSent
+		s.out = append(s.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: req})
+		return s.out
 	default:
 		return nil
 	}
+}
+
+// handOver forwards a datagram to the natted peer bound to this RVP.
+func (s *StaticRVP) handOver(msg *wire.Message, self view.Descriptor) []Send {
+	s.stats.Forwarded++
+	fwd := msg.Clone()
+	fwd.Hops++
+	fwd.Via = self
+	s.out = append(s.out[:0], Send{To: s.endpointOf(msg.Dst), ToID: msg.Dst.ID, Msg: fwd})
+	return s.out
 }

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/view"
+)
+
+// TestRunDeterministic locks in that a run is a pure function of its
+// configuration and seed after the zero-allocation hot-path rework: the
+// same (Config, Seed) must produce a bit-identical Result, for every
+// protocol. This is the guarantee that lets the parallel figure sweep hand
+// experiment points to arbitrary workers.
+func TestRunDeterministic(t *testing.T) {
+	for _, proto := range []Protocol{ProtoGeneric, ProtoNylon, ProtoARRG, ProtoStaticRVP} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				N: 120, Rounds: 30, NATRatio: 0.7, Protocol: proto,
+				Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
+				EvictUnanswered: true, Seed: 42,
+				ChurnAtRound: 20, ChurnFraction: 0.3,
+				SampleEveryRounds: 10,
+			}
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("same seed produced different results:\n a: %+v\n b: %+v", a, b)
+			}
+		})
+	}
+}

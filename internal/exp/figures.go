@@ -40,20 +40,26 @@ func (p Params) defaults() Params {
 	return p
 }
 
-// runSeeds executes one configuration across all seeds in parallel and
-// returns the per-field mean of the results.
+// simSlots bounds the number of simulation runs executing at once, across
+// every experiment point of every figure: points are submitted eagerly (see
+// submit) and drain through this one pool, so the sweep saturates the
+// machine even when a figure's points are unevenly sized or a point has
+// fewer seeds than there are cores.
+var simSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// runSeeds executes one configuration across all seeds through the shared
+// pool and returns the per-field mean of the results.
 func runSeeds(cfg Config, seeds []int64) (Result, error) {
 	results := make([]Result, len(seeds))
 	errs := make([]error, len(seeds))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for i, seed := range seeds {
 		i, seed := i, seed
 		wg.Add(1)
-		sem <- struct{}{}
+		simSlots <- struct{}{}
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer func() { <-simSlots }()
 			c := cfg
 			c.Seed = seed
 			results[i], errs[i] = Run(c)
@@ -66,6 +72,34 @@ func runSeeds(cfg Config, seeds []int64) (Result, error) {
 		}
 	}
 	return meanResult(results), nil
+}
+
+// future is the deferred Result of one experiment point. Each peer gets an
+// independently derived RNG stream (see xrand.Mix in the runner), so which
+// worker executes a point cannot influence its outcome.
+type future struct {
+	wg  sync.WaitGroup
+	res Result
+	err error
+}
+
+// submit starts one experiment point (all its seeds) in the background.
+// Figures submit every point of a sweep first and only then collect, which
+// is what parallelizes independent points across the pool.
+func submit(cfg Config, seeds []int64) *future {
+	f := &future{}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.res, f.err = runSeeds(cfg, seeds)
+	}()
+	return f
+}
+
+// get blocks until the point has run and returns its mean result.
+func (f *future) get() (Result, error) {
+	f.wg.Wait()
+	return f.res, f.err
 }
 
 func meanResult(rs []Result) Result {
@@ -125,7 +159,21 @@ var prcOnly = NATMix{PRC: 1.0}
 func Fig2(p Params) ([]Table, error) {
 	p = p.defaults()
 	nats := filterMin(p.NATPcts, 40) // the paper's x-axis starts at 40%
+	// Submit every point of the sweep, then collect in presentation order.
+	var futures []*future
+	for _, vs := range p.ViewSizes {
+		for _, nat := range nats {
+			for _, c := range fig2Combos {
+				futures = append(futures, submit(Config{
+					N: p.N, Rounds: p.Rounds, ViewSize: vs,
+					NATRatio: float64(nat) / 100, Mix: prcOnly,
+					Protocol: ProtoGeneric, Selection: c.sel, Merge: c.mrg, PushPull: true,
+				}, p.Seeds))
+			}
+		}
+	}
 	var tables []Table
+	k := 0
 	for _, vs := range p.ViewSizes {
 		t := Table{
 			Title:   fmt.Sprintf("Fig. 2 — biggest cluster (%%) vs NAT%%, view size %d", vs),
@@ -136,12 +184,9 @@ func Fig2(p Params) ([]Table, error) {
 		}
 		for _, nat := range nats {
 			row := Row{Label: fmt.Sprintf("%d", nat)}
-			for _, c := range fig2Combos {
-				res, err := runSeeds(Config{
-					N: p.N, Rounds: p.Rounds, ViewSize: vs,
-					NATRatio: float64(nat) / 100, Mix: prcOnly,
-					Protocol: ProtoGeneric, Selection: c.sel, Merge: c.mrg, PushPull: true,
-				}, p.Seeds)
+			for range fig2Combos {
+				res, err := futures[k].get()
+				k++
 				if err != nil {
 					return nil, err
 				}
@@ -174,14 +219,22 @@ func baselineSweep(p Params, title string, metric func(Result) float64) ([]Table
 	for _, vs := range p.ViewSizes {
 		t.Columns = append(t.Columns, fmt.Sprintf("view=%d", vs))
 	}
+	var futures []*future
 	for _, nat := range p.NATPcts {
-		row := Row{Label: fmt.Sprintf("%d", nat)}
 		for _, vs := range p.ViewSizes {
-			res, err := runSeeds(Config{
+			futures = append(futures, submit(Config{
 				N: p.N, Rounds: p.Rounds, ViewSize: vs,
 				NATRatio: float64(nat) / 100, Mix: prcOnly,
 				Protocol: ProtoGeneric, Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
-			}, p.Seeds)
+			}, p.Seeds))
+		}
+	}
+	k := 0
+	for _, nat := range p.NATPcts {
+		row := Row{Label: fmt.Sprintf("%d", nat)}
+		for range p.ViewSizes {
+			res, err := futures[k].get()
+			k++
 			if err != nil {
 				return nil, err
 			}
@@ -201,8 +254,12 @@ func Correctness(p Params) ([]Table, error) {
 		Title:   "§5 Correctness — Nylon: partitions, stale refs, randomness",
 		Columns: []string{"nat%", "cluster%", "stale%", "natted-nonstale%", "chi2/dof", "completion%"},
 	}
+	var futures []*future
 	for _, nat := range p.NATPcts {
-		res, err := runSeeds(nylonCfg(p, nat, 15), p.Seeds)
+		futures = append(futures, submit(nylonCfg(p, nat, 15), p.Seeds))
+	}
+	for i, nat := range p.NATPcts {
+		res, err := futures[i].get()
 		if err != nil {
 			return nil, err
 		}
@@ -239,14 +296,19 @@ func Fig7(p Params) ([]Table, error) {
 		Title:   "Fig. 7 — bytes/s per peer vs NAT%",
 		Columns: []string{"nat%", "nylon", "reference"},
 	}
+	var nylonF, refF []*future
 	for _, nat := range p.NATPcts {
-		nylon, err := runSeeds(nylonCfg(p, nat, 15), p.Seeds)
+		nylonF = append(nylonF, submit(nylonCfg(p, nat, 15), p.Seeds))
+		refCfg := nylonCfg(p, nat, 15)
+		refCfg.Protocol = ProtoGeneric
+		refF = append(refF, submit(refCfg, p.Seeds))
+	}
+	for i, nat := range p.NATPcts {
+		nylon, err := nylonF[i].get()
 		if err != nil {
 			return nil, err
 		}
-		refCfg := nylonCfg(p, nat, 15)
-		refCfg.Protocol = ProtoGeneric
-		ref, err := runSeeds(refCfg, p.Seeds)
+		ref, err := refF[i].get()
 		if err != nil {
 			return nil, err
 		}
@@ -266,11 +328,17 @@ func Fig8(p Params) ([]Table, error) {
 		Title:   "Fig. 8 — bytes/s public vs natted peers (Nylon)",
 		Columns: []string{"nat%", "public", "natted"},
 	}
+	var futures []*future
+	var nats []int
 	for _, nat := range p.NATPcts {
 		if nat == 0 || nat == 100 {
 			continue // both populations must exist
 		}
-		res, err := runSeeds(nylonCfg(p, nat, 15), p.Seeds)
+		nats = append(nats, nat)
+		futures = append(futures, submit(nylonCfg(p, nat, 15), p.Seeds))
+	}
+	for i, nat := range nats {
+		res, err := futures[i].get()
 		if err != nil {
 			return nil, err
 		}
@@ -290,13 +358,23 @@ func Fig9(p Params) ([]Table, error) {
 	for _, vs := range p.ViewSizes {
 		t.Columns = append(t.Columns, fmt.Sprintf("view=%d", vs))
 	}
+	var futures []*future
+	var nats []int
 	for _, nat := range p.NATPcts {
 		if nat == 0 {
 			continue // no natted destinations to punch toward
 		}
-		row := Row{Label: fmt.Sprintf("%d", nat)}
+		nats = append(nats, nat)
 		for _, vs := range p.ViewSizes {
-			res, err := runSeeds(nylonCfg(p, nat, vs), p.Seeds)
+			futures = append(futures, submit(nylonCfg(p, nat, vs), p.Seeds))
+		}
+	}
+	k := 0
+	for _, nat := range nats {
+		row := Row{Label: fmt.Sprintf("%d", nat)}
+		for range p.ViewSizes {
+			res, err := futures[k].get()
+			k++
 			if err != nil {
 				return nil, err
 			}
@@ -318,13 +396,21 @@ func Fig10(p Params) ([]Table, error) {
 	for _, nat := range natPcts {
 		t.Columns = append(t.Columns, fmt.Sprintf("%d%% NATs", nat))
 	}
+	var futures []*future
 	for _, dep := range departures {
-		row := Row{Label: fmt.Sprintf("%d", dep)}
 		for _, nat := range natPcts {
 			cfg := nylonCfg(p, nat, 15)
 			cfg.ChurnAtRound = p.Rounds / 4
 			cfg.ChurnFraction = float64(dep) / 100
-			res, err := runSeeds(cfg, p.Seeds)
+			futures = append(futures, submit(cfg, p.Seeds))
+		}
+	}
+	k := 0
+	for _, dep := range departures {
+		row := Row{Label: fmt.Sprintf("%d", dep)}
+		for range natPcts {
+			res, err := futures[k].get()
+			k++
 			if err != nil {
 				return nil, err
 			}
@@ -344,17 +430,24 @@ func AblationStaticRVP(p Params) ([]Table, error) {
 		Title:   "A1 — load balance: Nylon vs static public RVPs (bytes/s)",
 		Columns: []string{"nat%", "nylon-public", "nylon-natted", "static-public", "static-natted"},
 	}
+	var nylonF, staticF []*future
+	var nats []int
 	for _, nat := range p.NATPcts {
 		if nat == 0 || nat == 100 {
 			continue
 		}
-		nylon, err := runSeeds(nylonCfg(p, nat, 15), p.Seeds)
+		nats = append(nats, nat)
+		nylonF = append(nylonF, submit(nylonCfg(p, nat, 15), p.Seeds))
+		cfg := nylonCfg(p, nat, 15)
+		cfg.Protocol = ProtoStaticRVP
+		staticF = append(staticF, submit(cfg, p.Seeds))
+	}
+	for i, nat := range nats {
+		nylon, err := nylonF[i].get()
 		if err != nil {
 			return nil, err
 		}
-		cfg := nylonCfg(p, nat, 15)
-		cfg.Protocol = ProtoStaticRVP
-		static, err := runSeeds(cfg, p.Seeds)
+		static, err := staticF[i].get()
 		if err != nil {
 			return nil, err
 		}
@@ -379,15 +472,20 @@ func AblationARRG(p Params) ([]Table, error) {
 		Title:   "A2 — Nylon vs ARRG cache: cluster% and stale%",
 		Columns: []string{"nat%", "nylon-cluster", "arrg-cluster", "nylon-stale", "arrg-stale"},
 	}
+	var nylonF, arrgF []*future
 	for _, nat := range p.NATPcts {
-		nylon, err := runSeeds(nylonCfg(p, nat, 15), p.Seeds)
-		if err != nil {
-			return nil, err
-		}
+		nylonF = append(nylonF, submit(nylonCfg(p, nat, 15), p.Seeds))
 		cfg := nylonCfg(p, nat, 15)
 		cfg.Protocol = ProtoARRG
 		cfg.Mix = prcOnly
-		arrg, err := runSeeds(cfg, p.Seeds)
+		arrgF = append(arrgF, submit(cfg, p.Seeds))
+	}
+	for i, nat := range p.NATPcts {
+		nylon, err := nylonF[i].get()
+		if err != nil {
+			return nil, err
+		}
+		arrg, err := arrgF[i].get()
 		if err != nil {
 			return nil, err
 		}
@@ -412,10 +510,14 @@ func AblationHoleTimeout(p Params) ([]Table, error) {
 		Title:   "A3 — Nylon sensitivity to the hole timeout (80% NATs)",
 		Columns: []string{"timeout_s", "cluster%", "stale%", "completion%", "chain"},
 	}
+	var futures []*future
 	for _, timeout := range timeouts {
 		cfg := nylonCfg(p, 80, 15)
 		cfg.HoleTimeoutMs = timeout
-		res, err := runSeeds(cfg, p.Seeds)
+		futures = append(futures, submit(cfg, p.Seeds))
+	}
+	for i, timeout := range timeouts {
+		res, err := futures[i].get()
 		if err != nil {
 			return nil, err
 		}
@@ -441,15 +543,23 @@ func AblationPush(p Params) ([]Table, error) {
 			"nat%", "pushpull-cluster", "push-cluster", "pushpull-chi2", "push-chi2",
 		},
 	}
+	var futures []*future
 	for _, nat := range p.NATPcts {
-		var clusters, chis []float64
 		for _, pushPull := range []bool{true, false} {
-			res, err := runSeeds(Config{
+			futures = append(futures, submit(Config{
 				N: p.N, Rounds: p.Rounds, ViewSize: 15,
 				NATRatio: float64(nat) / 100, Mix: prcOnly,
 				Protocol: ProtoGeneric, Selection: view.SelectRand, Merge: view.MergeHealer,
 				PushPull: pushPull,
-			}, p.Seeds)
+			}, p.Seeds))
+		}
+	}
+	k := 0
+	for _, nat := range p.NATPcts {
+		var clusters, chis []float64
+		for range []bool{true, false} {
+			res, err := futures[k].get()
+			k++
 			if err != nil {
 				return nil, err
 			}
@@ -473,12 +583,16 @@ func AblationEviction(p Params) ([]Table, error) {
 		Title:   "A5 — no-reply eviction vs churn recovery (80% departures, 60% NATs)",
 		Columns: []string{"evict", "cluster%", "stale%", "completion%"},
 	}
+	var futures []*future
 	for _, evict := range []bool{false, true} {
 		cfg := nylonCfg(p, 60, 15)
 		cfg.EvictUnanswered = evict
 		cfg.ChurnAtRound = p.Rounds / 4
 		cfg.ChurnFraction = 0.8
-		res, err := runSeeds(cfg, p.Seeds)
+		futures = append(futures, submit(cfg, p.Seeds))
+	}
+	for i, evict := range []bool{false, true} {
+		res, err := futures[i].get()
 		if err != nil {
 			return nil, err
 		}
@@ -505,14 +619,18 @@ func AblationUPnP(p Params) ([]Table, error) {
 		Title:   "A6 — baseline rescue by UPnP deployment (80% PRC NATs)",
 		Columns: []string{"upnp%", "cluster%", "stale%", "natted-nonstale%", "completion%"},
 	}
-	for _, pct := range []int{0, 25, 50, 75, 100} {
-		cfg := Config{
+	pcts := []int{0, 25, 50, 75, 100}
+	var futures []*future
+	for _, pct := range pcts {
+		futures = append(futures, submit(Config{
 			N: p.N, Rounds: p.Rounds, ViewSize: 15,
 			NATRatio: 0.8, Mix: prcOnly,
 			Protocol: ProtoGeneric, Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
 			UPnPFraction: float64(pct) / 100,
-		}
-		res, err := runSeeds(cfg, p.Seeds)
+		}, p.Seeds))
+	}
+	for i, pct := range pcts {
+		res, err := futures[i].get()
 		if err != nil {
 			return nil, err
 		}

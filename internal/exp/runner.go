@@ -13,6 +13,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/view"
 	"repro/internal/wire"
+	"repro/internal/xrand"
 )
 
 // Result holds every metric measured at the end of a run. Fractions are in
@@ -89,7 +90,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	st := &runState{
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		rng:   xrand.New(cfg.Seed),
 		sched: &sim.Scheduler{},
 	}
 	st.net = simnet.New(st.sched, cfg.LatencyMs)
@@ -165,12 +166,15 @@ func (st *runState) build() {
 	st.peers = make([]*simnet.Peer, cfg.N)
 	// Two passes: public peers first, so the static-RVP resolver can hand
 	// natted peers their already-constructed rendez-vous descriptors.
-	// Engine RNG seeds and UPnP capabilities are drawn per ID up front to
-	// keep runs reproducible regardless of construction order.
+	// Engine RNG seeds are derived independently from the run seed and the
+	// peer index (not drawn from a shared RNG chain), so each peer's stream
+	// is reproducible regardless of construction order — and of which
+	// worker of a parallel sweep runs this experiment point. UPnP
+	// capabilities are drawn per ID up front for the same reason.
 	seeds := make([]int64, cfg.N)
 	upnp := make([]bool, cfg.N)
 	for i := range seeds {
-		seeds[i] = st.rng.Int63()
+		seeds[i] = xrand.Mix(cfg.Seed, uint64(i))
 		upnp[i] = classes[i].Natted() && st.rng.Float64() < cfg.UPnPFraction
 	}
 	for pass := 0; pass < 2; pass++ {
@@ -194,7 +198,7 @@ func (st *runState) addPeer(id ident.NodeID, class ident.NATClass, seed int64, u
 			PushPull:        cfg.PushPull,
 			HoleTimeout:     cfg.HoleTimeoutMs,
 			LatencyBound:    2 * cfg.LatencyMs,
-			RNG:             rand.New(rand.NewSource(seed)),
+			RNG:             xrand.New(seed),
 			EvictUnanswered: cfg.EvictUnanswered,
 		}
 		switch cfg.Protocol {
@@ -234,9 +238,18 @@ func (st *runState) bootstrap() {
 	if len(pool) == 0 {
 		pool = st.peers
 	}
+	// Scratch reused across peers: seen is indexed by NodeID (IDs are
+	// 1..N), picked records which entries to clear afterwards.
+	seen := make([]bool, st.cfg.N+1)
+	seeds := make([]view.Descriptor, 0, st.cfg.ViewSize)
+	picked := make([]ident.NodeID, 0, st.cfg.ViewSize+1)
 	for _, p := range st.peers {
-		seeds := make([]view.Descriptor, 0, st.cfg.ViewSize)
-		seen := map[ident.NodeID]bool{p.ID: true}
+		seeds = seeds[:0]
+		for _, id := range picked {
+			seen[id] = false
+		}
+		picked = append(picked[:0], p.ID)
+		seen[p.ID] = true
 		// Cap attempts so tiny pools terminate.
 		for attempts := 0; len(seeds) < st.cfg.ViewSize && attempts < 20*st.cfg.ViewSize; attempts++ {
 			cand := pool[st.rng.Intn(len(pool))]
@@ -244,6 +257,7 @@ func (st *runState) bootstrap() {
 				continue
 			}
 			seen[cand.ID] = true
+			picked = append(picked, cand.ID)
 			seeds = append(seeds, cand.Descriptor())
 			st.net.InstallHole(p, cand)
 		}

@@ -34,11 +34,18 @@ type Device struct {
 	// sessions is keyed per class:
 	//   FC/RC/PRC: one session per private endpoint
 	//   SYM:       one session per (private endpoint, destination endpoint)
-	sessions map[sessionKey]*session
-	// byPublic indexes live sessions by their assigned public endpoint so
-	// inbound packets can be matched in O(1).
-	byPublic map[ident.Endpoint]*session
+	// A device fronts one peer, so the live list stays short (one session
+	// for cone classes, one per destination for symmetric); linear scans
+	// beat any map at that size, and the per-datagram path allocates
+	// nothing. byPort additionally indexes sessions by public port —
+	// ports are handed out sequentially, so the inbound lookup is one
+	// array access even on symmetric devices with many live mappings.
+	sessions []*session
+	byPort   []*session // index: public port - portBase
 }
+
+// portBase is the first public port a device hands out.
+const portBase = 1024
 
 type sessionKey struct {
 	private ident.Endpoint
@@ -52,13 +59,120 @@ type session struct {
 	// virtual time at which each permission expires. The key granularity
 	// depends on the NAT class: full IP:port for PRC/SYM, IP only (port 0)
 	// for RC. Full-cone sessions use the wildcard zero endpoint.
-	filters map[ident.Endpoint]int64
+	filters filterTable
 	// lastUse is the most recent send or receive on the session; the
 	// mapping itself dies ruleTTL after it.
 	lastUse int64
 	// pinned marks an explicit port mapping (NAT-PMP / UPnP): it never
 	// expires and forwards all inbound traffic, like a full-cone rule.
 	pinned bool
+}
+
+// filterTable is a small open-addressed hash from packed remote endpoints to
+// rule expiry times. Refreshing a rule is the per-datagram hot operation of
+// the whole NAT model, and a generic map's hashing dominated its profile; a
+// flat table with inline values reduces it to one multiply and usually one
+// probe, allocation-free once grown.
+type filterTable struct {
+	slots []filterSlot
+	used  int
+}
+
+// filterSlot is one cell: expire == 0 marks an empty slot (live rules
+// always expire at a positive time).
+type filterSlot struct {
+	key    uint64
+	expire int64
+}
+
+// packEP packs an endpoint into the table's key form.
+func packEP(e ident.Endpoint) uint64 { return uint64(e.IP)<<16 | uint64(e.Port) }
+
+func (f *filterTable) hashSlot(key uint64) int {
+	h := (key | 1) * 0x9e3779b97f4a7c15
+	return int(h & uint64(len(f.slots)-1))
+}
+
+// set installs or refreshes the rule for key.
+func (f *filterTable) set(key uint64, expire int64) {
+	if 4*(f.used+1) > 3*len(f.slots) {
+		f.grow()
+	}
+	for j := f.hashSlot(key); ; j = (j + 1) & (len(f.slots) - 1) {
+		s := &f.slots[j]
+		if s.expire == 0 {
+			*s = filterSlot{key: key, expire: expire}
+			f.used++
+			return
+		}
+		if s.key == key {
+			s.expire = expire
+			return
+		}
+	}
+}
+
+// get returns the expiry recorded for key, if any.
+func (f *filterTable) get(key uint64) (int64, bool) {
+	if len(f.slots) == 0 {
+		return 0, false
+	}
+	for j := f.hashSlot(key); ; j = (j + 1) & (len(f.slots) - 1) {
+		s := f.slots[j]
+		if s.expire == 0 {
+			return 0, false
+		}
+		if s.key == key {
+			return s.expire, true
+		}
+	}
+}
+
+// grow rehashes into a table sized for double the live entries.
+func (f *filterTable) grow() {
+	old := f.slots
+	want := 64 // floor sized for a typical session's rule count
+	for want*3 < 8*(f.used+1) {
+		want *= 2
+	}
+	f.slots = make([]filterSlot, want)
+	f.used = 0
+	for _, s := range old {
+		if s.expire == 0 {
+			continue
+		}
+		for j := f.hashSlot(s.key); ; j = (j + 1) & (want - 1) {
+			if f.slots[j].expire == 0 {
+				f.slots[j] = s
+				f.used++
+				break
+			}
+		}
+	}
+}
+
+// compact drops rules that expired before now, rehashing the rest in place.
+func (f *filterTable) compact(now int64) {
+	if len(f.slots) == 0 {
+		return
+	}
+	old := append([]filterSlot(nil), f.slots...)
+	for j := range f.slots {
+		f.slots[j] = filterSlot{}
+	}
+	f.used = 0
+	for _, s := range old {
+		if s.expire == 0 || s.expire < now {
+			continue
+		}
+		for j := f.hashSlot(s.key); ; j = (j + 1) & (len(f.slots) - 1) {
+			if f.slots[j].expire == 0 {
+				f.slots[j] = s
+				f.used++
+				break
+			}
+		}
+	}
 }
 
 // NewDevice creates a NAT device of the given class with the given public IP.
@@ -77,9 +191,30 @@ func NewDevice(class ident.NATClass, publicIP ident.IP, ruleTTL int64) *Device {
 		publicIP: publicIP,
 		ruleTTL:  ruleTTL,
 		nextPort: 1024,
-		sessions: make(map[sessionKey]*session),
-		byPublic: make(map[ident.Endpoint]*session),
 	}
+}
+
+// sessionByKey returns the session for the given key, or nil.
+func (d *Device) sessionByKey(key sessionKey) *session {
+	for _, s := range d.sessions {
+		if s.key == key {
+			return s
+		}
+	}
+	return nil
+}
+
+// sessionByPublic returns the session owning the given public endpoint, or
+// nil.
+func (d *Device) sessionByPublic(ep ident.Endpoint) *session {
+	if ep.IP != d.publicIP {
+		return nil
+	}
+	i := int(ep.Port) - portBase
+	if i < 0 || i >= len(d.byPort) {
+		return nil
+	}
+	return d.byPort[i]
 }
 
 // Class returns the NAT behaviour class of the device.
@@ -116,8 +251,18 @@ func (d *Device) expired(s *session, now int64) bool {
 }
 
 func (d *Device) drop(s *session) {
-	delete(d.sessions, s.key)
-	delete(d.byPublic, s.public)
+	if i := int(s.public.Port) - portBase; i >= 0 && i < len(d.byPort) {
+		d.byPort[i] = nil
+	}
+	for i, c := range d.sessions {
+		if c == s {
+			last := len(d.sessions) - 1
+			d.sessions[i] = d.sessions[last]
+			d.sessions[last] = nil
+			d.sessions = d.sessions[:last]
+			return
+		}
+	}
 }
 
 func (d *Device) allocPort() uint16 {
@@ -125,12 +270,22 @@ func (d *Device) allocPort() uint16 {
 		p := d.nextPort
 		d.nextPort++
 		if d.nextPort == 0 {
-			d.nextPort = 1024
+			d.nextPort = portBase
 		}
-		if _, taken := d.byPublic[ident.Endpoint{IP: d.publicIP, Port: p}]; !taken && p >= 1024 {
+		if p >= portBase && d.sessionByPublic(ident.Endpoint{IP: d.publicIP, Port: p}) == nil {
 			return p
 		}
 	}
+}
+
+// adopt registers a freshly built session in both indexes.
+func (d *Device) adopt(s *session) {
+	d.sessions = append(d.sessions, s)
+	i := int(s.public.Port) - portBase
+	for len(d.byPort) <= i {
+		d.byPort = append(d.byPort, nil)
+	}
+	d.byPort[i] = s
 }
 
 // Outbound records a packet sent from the private endpoint src to the remote
@@ -139,22 +294,20 @@ func (d *Device) allocPort() uint16 {
 // rule that will admit return traffic.
 func (d *Device) Outbound(now int64, src, dst ident.Endpoint) ident.Endpoint {
 	key := d.keyFor(src, dst)
-	s, ok := d.sessions[key]
-	if ok && d.expired(s, now) {
+	s := d.sessionByKey(key)
+	if s != nil && d.expired(s, now) {
 		d.drop(s)
-		ok = false
+		s = nil
 	}
-	if !ok {
+	if s == nil {
 		s = &session{
-			key:     key,
-			public:  ident.Endpoint{IP: d.publicIP, Port: d.allocPort()},
-			filters: make(map[ident.Endpoint]int64),
+			key:    key,
+			public: ident.Endpoint{IP: d.publicIP, Port: d.allocPort()},
 		}
-		d.sessions[key] = s
-		d.byPublic[s.public] = s
+		d.adopt(s)
 	}
 	s.lastUse = now
-	s.filters[d.filterKey(dst)] = now + d.ruleTTL
+	s.filters.set(packEP(d.filterKey(dst)), now+d.ruleTTL)
 	return s.public
 }
 
@@ -164,8 +317,8 @@ func (d *Device) Outbound(now int64, src, dst ident.Endpoint) ident.Endpoint {
 // and true, refreshing the session lifetime. Otherwise it returns the zero
 // endpoint and false and the packet must be dropped.
 func (d *Device) Inbound(now int64, from, to ident.Endpoint) (ident.Endpoint, bool) {
-	s, ok := d.byPublic[to]
-	if !ok {
+	s := d.sessionByPublic(to)
+	if s == nil {
 		return ident.Zero, false
 	}
 	if d.expired(s, now) {
@@ -179,7 +332,7 @@ func (d *Device) Inbound(now int64, from, to ident.Endpoint) (ident.Endpoint, bo
 	// rule remains valid a limited time after the last message sent *or
 	// received* in the session.
 	s.lastUse = now
-	s.filters[d.filterKey(from)] = now + d.ruleTTL
+	s.filters.set(packEP(d.filterKey(from)), now+d.ruleTTL)
 	return s.key.private, true
 }
 
@@ -191,17 +344,22 @@ func (d *Device) Inbound(now int64, from, to ident.Endpoint) (ident.Endpoint, bo
 // mapping is destination-independent by construction.
 func (d *Device) Pinhole(priv ident.Endpoint) ident.Endpoint {
 	key := sessionKey{private: priv}
-	if s, ok := d.sessions[key]; ok && s.pinned {
-		return s.public
+	if s := d.sessionByKey(key); s != nil {
+		if s.pinned {
+			return s.public
+		}
+		// An expirable mapping for the same private endpoint exists;
+		// the explicit port mapping supersedes it (two sessions must
+		// never share a key, or lookups become ambiguous).
+		d.drop(s)
 	}
 	s := &session{
-		key:     key,
-		public:  ident.Endpoint{IP: d.publicIP, Port: d.allocPort()},
-		filters: map[ident.Endpoint]int64{wildcard: 1 << 62},
-		pinned:  true,
+		key:    key,
+		public: ident.Endpoint{IP: d.publicIP, Port: d.allocPort()},
+		pinned: true,
 	}
-	d.sessions[key] = s
-	d.byPublic[s.public] = s
+	s.filters.set(packEP(wildcard), 1<<62)
+	d.adopt(s)
 	return s.public
 }
 
@@ -218,7 +376,7 @@ func (d *Device) admits(s *session, now int64, from ident.Endpoint) bool {
 	default:
 		key = from
 	}
-	exp, ok := s.filters[key]
+	exp, ok := s.filters.get(packEP(key))
 	return ok && exp >= now
 }
 
@@ -227,8 +385,8 @@ func (d *Device) admits(s *session, now int64, from ident.Endpoint) bool {
 // forwarded at the given time. Metrics code uses this to classify view
 // entries as stale without perturbing the simulation.
 func (d *Device) WouldAdmit(now int64, from, to ident.Endpoint) bool {
-	s, ok := d.byPublic[to]
-	if !ok || d.expired(s, now) {
+	s := d.sessionByPublic(to)
+	if s == nil || d.expired(s, now) {
 		return false
 	}
 	return d.admits(s, now, from)
@@ -239,8 +397,8 @@ func (d *Device) WouldAdmit(now int64, from, to ident.Endpoint) bool {
 // result reports whether a live mapping exists. For non-symmetric devices dst
 // is ignored beyond determining session liveness.
 func (d *Device) PublicMapping(now int64, src, dst ident.Endpoint) (ident.Endpoint, bool) {
-	s, ok := d.sessions[d.keyFor(src, dst)]
-	if !ok || d.expired(s, now) {
+	s := d.sessionByKey(d.keyFor(src, dst))
+	if s == nil || d.expired(s, now) {
 		return ident.Zero, false
 	}
 	return s.public, true
@@ -250,16 +408,14 @@ func (d *Device) PublicMapping(now int64, src, dst ident.Endpoint) (ident.Endpoi
 // periodically to bound memory; correctness never depends on it because every
 // lookup re-checks expiry.
 func (d *Device) GC(now int64) {
-	for _, s := range d.sessions {
+	for i := 0; i < len(d.sessions); {
+		s := d.sessions[i]
 		if d.expired(s, now) {
 			d.drop(s)
-			continue
+			continue // drop swapped another session into i
 		}
-		for k, exp := range s.filters {
-			if exp < now {
-				delete(s.filters, k)
-			}
-		}
+		s.filters.compact(now)
+		i++
 	}
 }
 

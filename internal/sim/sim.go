@@ -7,35 +7,34 @@
 // order (a monotonically increasing sequence number breaks ties), and all
 // randomness must come from RNGs seeded by the experiment, so a run is a
 // pure function of its configuration and seed.
+//
+// The pending queue is a 4-ary min-heap of inline event values. Compared to
+// container/heap over boxed *event pointers this removes one allocation and
+// one interface conversion per scheduled event and halves the tree depth;
+// the slice itself doubles as the free list, since popped slots are reused
+// by later pushes.
+//
+// For event streams whose fire times are already monotone — the simulated
+// network's constant-latency deliveries, which are the majority of all
+// events — the scheduler additionally offers a lane: a flat FIFO ring that
+// is merged with the heap at pop time in exact (time, sequence) order, so
+// those events never pay heap costs at all.
 package sim
 
-import "container/heap"
-
-// Event is a scheduled callback.
+// event is a scheduled callback, stored inline in the heap slice.
 type event struct {
 	at  int64 // virtual time, ms
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e fires before o: earlier time, then earlier
+// scheduling order.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Scheduler is a discrete-event loop over virtual time. The zero Scheduler is
@@ -44,9 +43,101 @@ func (h *eventHeap) Pop() interface{} {
 type Scheduler struct {
 	now     int64
 	seq     uint64
-	pending eventHeap
+	pending []event // 4-ary min-heap ordered by (at, seq)
+	// lane is the monotone FIFO source (see SetLaneFn); laneFn runs for
+	// each of its events.
+	lane   Ring[laneEntry]
+	laneFn func()
 	// processed counts executed events, for run statistics.
 	processed uint64
+}
+
+// laneEntry is one lane event: only its firing coordinates are stored, the
+// callback is the shared laneFn.
+type laneEntry struct {
+	at  int64
+	seq uint64
+}
+
+// Ring is a growable FIFO ring buffer. Hosts with their own monotone event
+// streams (the simulated network's in-flight datagrams) reuse it so the
+// grow/wrap logic lives in one place. The zero Ring is ready to use.
+type Ring[T any] struct {
+	buf     []T
+	head, n int
+}
+
+// Len returns the number of queued elements.
+func (q *Ring[T]) Len() int { return q.n }
+
+// Push appends e at the tail.
+func (q *Ring[T]) Push(e T) {
+	if q.n == len(q.buf) {
+		grown := make([]T, max(16, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = e
+	q.n++
+}
+
+// Pop removes and returns the head element. It panics on an empty ring.
+// The vacated slot is zeroed so popped elements can be collected.
+func (q *Ring[T]) Pop() T {
+	if q.n == 0 {
+		panic("sim: Pop on empty ring")
+	}
+	e := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return e
+}
+
+// Peek returns a pointer to the head element without removing it. It
+// panics on an empty ring.
+func (q *Ring[T]) Peek() *T {
+	if q.n == 0 {
+		panic("sim: Peek on empty ring")
+	}
+	return &q.buf[q.head]
+}
+
+// tail returns a pointer to the most recently pushed element.
+func (q *Ring[T]) tail() *T {
+	return &q.buf[(q.head+q.n-1)%len(q.buf)]
+}
+
+// SetLaneFn installs the callback shared by all lane events. It must be set
+// (once) before the first LaneAt call; hosts use a method value bound to
+// their dispatcher so scheduling stays allocation-free.
+func (s *Scheduler) SetLaneFn(fn func()) {
+	if fn == nil {
+		panic("sim: SetLaneFn called with nil fn")
+	}
+	s.laneFn = fn
+}
+
+// LaneAt schedules one lane event at time t, which must be monotone: not
+// earlier than any lane event still pending (constant-latency delivery
+// queues satisfy this by construction). The event runs laneFn, interleaved
+// with At events in exact (time, scheduling order) — LaneAt draws from the
+// same sequence counter as At.
+func (s *Scheduler) LaneAt(t int64) {
+	if s.laneFn == nil {
+		panic("sim: LaneAt without SetLaneFn")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	if s.lane.Len() > 0 && t < s.lane.tail().at {
+		panic("sim: LaneAt time regressed")
+	}
+	s.seq++
+	s.lane.Push(laneEntry{at: t, seq: s.seq})
 }
 
 // Now returns the current virtual time in milliseconds.
@@ -56,10 +147,12 @@ func (s *Scheduler) Now() int64 { return s.now }
 func (s *Scheduler) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events not yet executed.
-func (s *Scheduler) Pending() int { return len(s.pending) }
+func (s *Scheduler) Pending() int { return len(s.pending) + s.lane.Len() }
 
 // At schedules fn to run at the given virtual time. Times in the past are
 // clamped to "immediately after the current event". fn must not be nil.
+// Aside from amortized growth of the heap slice, scheduling allocates
+// nothing; fn itself should be a reused func value on hot paths.
 func (s *Scheduler) At(t int64, fn func()) {
 	if fn == nil {
 		panic("sim: At called with nil fn")
@@ -68,21 +161,117 @@ func (s *Scheduler) At(t int64, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.pending, &event{at: t, seq: s.seq, fn: fn})
+	s.pending = append(s.pending, event{at: t, seq: s.seq, fn: fn})
+	s.siftUp(len(s.pending) - 1)
 }
 
 // After schedules fn to run d milliseconds from now.
 func (s *Scheduler) After(d int64, fn func()) { s.At(s.now+d, fn) }
 
+const heapArity = 4
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.pending
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !e.before(&h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.pending
+	n := len(h)
+	e := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(&h[best]) {
+				best = c
+			}
+		}
+		if !h[best].before(&e) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = e
+}
+
+// pop removes and returns the earliest pending event. The vacated slot is
+// cleared so the callback can be collected once executed.
+func (s *Scheduler) pop() event {
+	h := s.pending
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	s.pending = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+	return e
+}
+
+// next returns the firing coordinates of the earliest pending event (heap
+// or lane) without removing it. ok is false when nothing is pending.
+func (s *Scheduler) next() (at int64, fromLane bool, ok bool) {
+	heapOK := len(s.pending) > 0
+	laneOK := s.lane.Len() > 0
+	switch {
+	case !heapOK && !laneOK:
+		return 0, false, false
+	case !heapOK:
+		return s.lane.Peek().at, true, true
+	case !laneOK:
+		return s.pending[0].at, false, true
+	}
+	h, l := &s.pending[0], s.lane.Peek()
+	if l.at < h.at || (l.at == h.at && l.seq < h.seq) {
+		return l.at, true, true
+	}
+	return h.at, false, true
+}
+
+// runNext executes the earliest pending event.
+func (s *Scheduler) runNext(fromLane bool) {
+	if fromLane {
+		e := s.lane.Pop()
+		s.now = e.at
+		s.processed++
+		s.laneFn()
+		return
+	}
+	e := s.pop()
+	s.now = e.at
+	s.processed++
+	e.fn()
+}
+
 // RunUntil executes events in order until the queue is empty or the next
 // event is later than deadline. The clock ends at deadline (or at the last
 // event, whichever is later) so subsequent scheduling is consistent.
 func (s *Scheduler) RunUntil(deadline int64) {
-	for len(s.pending) > 0 && s.pending[0].at <= deadline {
-		e := heap.Pop(&s.pending).(*event)
-		s.now = e.at
-		s.processed++
-		e.fn()
+	for {
+		at, fromLane, ok := s.next()
+		if !ok || at > deadline {
+			break
+		}
+		s.runNext(fromLane)
 	}
 	if s.now < deadline {
 		s.now = deadline
@@ -91,13 +280,11 @@ func (s *Scheduler) RunUntil(deadline int64) {
 
 // Step executes exactly one event, if any, and reports whether it did.
 func (s *Scheduler) Step() bool {
-	if len(s.pending) == 0 {
+	_, fromLane, ok := s.next()
+	if !ok {
 		return false
 	}
-	e := heap.Pop(&s.pending).(*event)
-	s.now = e.at
-	s.processed++
-	e.fn()
+	s.runNext(fromLane)
 	return true
 }
 

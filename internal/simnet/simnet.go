@@ -66,18 +66,35 @@ type Network struct {
 	sched   *sim.Scheduler
 	latency int64
 
-	peers     map[ident.NodeID]*Peer
-	byPrivate map[ident.Endpoint]*Peer
-	byPublic  map[ident.Endpoint]*Peer
-	devices   map[ident.IP]*nat.Device
-	devOwner  map[ident.IP]*Peer
+	peers map[ident.NodeID]*Peer
+	// The simulator allocates public and private IPs densely from fixed
+	// bases, so endpoint resolution indexes two slot arrays instead of
+	// hashing endpoints — a measurable win on the per-datagram hot path.
+	// pubs[ip-pubIPBase] holds whichever owns the public IP: a public peer
+	// or a NAT device (never both); privs[ip-privIPBase] holds the natted
+	// peer behind each private IP.
+	pubs  []pubSlot
+	privs []*Peer
 
 	nextPublicIP  uint32
 	nextPrivateIP uint32
 
+	// In-flight datagrams wait in a FIFO ring and fire through the
+	// scheduler's lane (one-way latency is constant, so deliveries
+	// complete in exactly the order they were enqueued): transmitting a
+	// datagram allocates nothing and never touches the event heap.
+	inflight sim.Ring[delivery]
+
 	Drops DropStats
 	// Trace, when non-nil, records every transmission, delivery and drop.
 	Trace *trace.Ring
+}
+
+// delivery is one in-flight datagram.
+type delivery struct {
+	srcEP, to ident.Endpoint
+	msg       *wire.Message
+	size      uint64
 }
 
 // bootstrapDst is the well-known endpoint natted peers "contact" at join time
@@ -85,25 +102,71 @@ type Network struct {
 // introducer.
 var bootstrapDst = ident.Endpoint{IP: 0x7f000001, Port: 3478}
 
+// IP allocation bases: 1.0.0.0/8 hosts public peers and NAT boxes,
+// 10.0.0.0/8 hosts private endpoints.
+const (
+	pubIPBase  = 0x01000001
+	privIPBase = 0x0a000001
+)
+
+// pubSlot is the owner of one public IP.
+type pubSlot struct {
+	peer  *Peer       // public peer owning the IP directly, or nil
+	dev   *nat.Device // NAT device owning the IP, or nil
+	owner *Peer       // the peer behind dev
+}
+
+func (n *Network) pubSlotFor(ip ident.IP) *pubSlot {
+	i := int(uint32(ip) - pubIPBase)
+	if i < 0 || i >= len(n.pubs) {
+		return nil
+	}
+	return &n.pubs[i]
+}
+
+// publicPeerAt returns the public peer owning exactly the endpoint ep.
+func (n *Network) publicPeerAt(ep ident.Endpoint) *Peer {
+	if s := n.pubSlotFor(ep.IP); s != nil && s.peer != nil && s.peer.Addr == ep {
+		return s.peer
+	}
+	return nil
+}
+
+// deviceAt returns the NAT device owning the public IP, or nil.
+func (n *Network) deviceAt(ip ident.IP) *nat.Device {
+	if s := n.pubSlotFor(ip); s != nil {
+		return s.dev
+	}
+	return nil
+}
+
+// privatePeerAt returns the natted peer owning exactly the private endpoint.
+func (n *Network) privatePeerAt(ep ident.Endpoint) *Peer {
+	i := int(uint32(ep.IP) - privIPBase)
+	if i < 0 || i >= len(n.privs) {
+		return nil
+	}
+	if p := n.privs[i]; p != nil && p.Priv == ep {
+		return p
+	}
+	return nil
+}
+
 // New creates an empty network driven by the given scheduler with the given
 // one-way latency in milliseconds.
 func New(sched *sim.Scheduler, latencyMs int64) *Network {
 	if latencyMs < 0 {
 		panic("simnet: negative latency")
 	}
-	return &Network{
-		sched:     sched,
-		latency:   latencyMs,
-		peers:     make(map[ident.NodeID]*Peer),
-		byPrivate: make(map[ident.Endpoint]*Peer),
-		byPublic:  make(map[ident.Endpoint]*Peer),
-		devices:   make(map[ident.IP]*nat.Device),
-		devOwner:  make(map[ident.IP]*Peer),
-		// 1.0.0.0/8 hosts public peers and NAT boxes; 10.0.0.0/8 hosts
-		// private endpoints.
-		nextPublicIP:  0x01000001,
-		nextPrivateIP: 0x0a000001,
+	n := &Network{
+		sched:         sched,
+		latency:       latencyMs,
+		peers:         make(map[ident.NodeID]*Peer),
+		nextPublicIP:  pubIPBase,
+		nextPrivateIP: privIPBase,
 	}
+	sched.SetLaneFn(n.deliverNext)
+	return n
 }
 
 // Latency returns the one-way delivery latency in milliseconds.
@@ -131,7 +194,7 @@ func (n *Network) AddPeer(id ident.NodeID, class ident.NATClass, ruleTTL int64, 
 		n.nextPublicIP++
 		p.Priv = ident.Endpoint{IP: ip, Port: 9000}
 		p.Addr = p.Priv
-		n.byPublic[p.Addr] = p
+		n.pubs = append(n.pubs, pubSlot{peer: p})
 	} else {
 		privIP := ident.IP(n.nextPrivateIP)
 		n.nextPrivateIP++
@@ -139,12 +202,11 @@ func (n *Network) AddPeer(id ident.NodeID, class ident.NATClass, ruleTTL int64, 
 		n.nextPublicIP++
 		p.Priv = ident.Endpoint{IP: privIP, Port: 9000}
 		p.Device = nat.NewDevice(class, pubIP, ruleTTL)
-		n.devices[pubIP] = p.Device
-		n.devOwner[pubIP] = p
+		n.pubs = append(n.pubs, pubSlot{dev: p.Device, owner: p})
+		n.privs = append(n.privs, p)
 		// Join handshake: allocate the advertised mapping.
 		p.Addr = p.Device.Outbound(n.sched.Now(), p.Priv, bootstrapDst)
 	}
-	n.byPrivate[p.Priv] = p
 	p.Engine = f(p.Descriptor())
 	n.peers[id] = p
 	return p
@@ -169,10 +231,9 @@ func (n *Network) AddPeerUPnP(id ident.NodeID, class ident.NATClass, ruleTTL int
 	n.nextPublicIP++
 	p.Priv = ident.Endpoint{IP: privIP, Port: 9000}
 	p.Device = nat.NewDevice(class, pubIP, ruleTTL)
-	n.devices[pubIP] = p.Device
-	n.devOwner[pubIP] = p
+	n.pubs = append(n.pubs, pubSlot{dev: p.Device, owner: p})
+	n.privs = append(n.privs, p)
 	p.Addr = p.Device.Pinhole(p.Priv)
-	n.byPrivate[p.Priv] = p
 	p.Engine = f(p.Descriptor())
 	n.peers[id] = p
 	return p
@@ -210,9 +271,11 @@ func (n *Network) Kill(id ident.NodeID) {
 
 // Send transmits one engine command from the given peer: the datagram leaves
 // through the peer's NAT device (allocating/refreshing the mapping) and is
-// delivered — or dropped — one latency later.
+// delivered — or dropped — one latency later. The network takes ownership of
+// the message and recycles it into the wire pool once consumed.
 func (n *Network) Send(from *Peer, s core.Send) {
 	if !from.Alive {
+		s.Msg.Release()
 		return
 	}
 	size := uint64(s.Msg.Size())
@@ -224,11 +287,20 @@ func (n *Network) Send(from *Peer, s core.Send) {
 	if from.Device != nil {
 		srcEP = from.Device.Outbound(now, from.Priv, s.To)
 	}
-	n.Trace.Record(trace.Event{At: now, Op: trace.OpSend, From: srcEP, To: s.To, Kind: uint8(s.Msg.Kind), Size: int(size)})
-	msg, to := s.Msg, s.To
-	n.sched.After(n.latency, func() {
-		n.deliver(srcEP, to, msg, size)
-	})
+	if n.Trace != nil {
+		n.Trace.Record(trace.Event{At: now, Op: trace.OpSend, From: srcEP, To: s.To, Kind: uint8(s.Msg.Kind), Size: int(size)})
+	}
+	n.inflight.Push(delivery{srcEP: srcEP, to: s.To, msg: s.Msg, size: size})
+	n.sched.LaneAt(now + n.latency)
+}
+
+// deliverNext completes the oldest in-flight datagram: with a constant
+// latency, delivery events fire in enqueue order, so the queue head is
+// always the datagram the event belongs to.
+func (n *Network) deliverNext() {
+	d := n.inflight.Pop()
+	n.deliver(d.srcEP, d.to, d.msg, d.size)
+	d.msg.Release()
 }
 
 func (n *Network) deliver(srcEP, to ident.Endpoint, msg *wire.Message, size uint64) {
@@ -239,12 +311,16 @@ func (n *Network) deliver(srcEP, to ident.Endpoint, msg *wire.Message, size uint
 	}
 	if !target.Alive {
 		n.Drops.DeadPeer++
-		n.Trace.Record(trace.Event{At: now, Op: trace.OpDropDead, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
+		if n.Trace != nil {
+			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropDead, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
+		}
 		return
 	}
 	target.BytesRecv += size
 	target.MsgsRecv++
-	n.Trace.Record(trace.Event{At: now, Op: trace.OpDeliver, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
+	if n.Trace != nil {
+		n.Trace.Record(trace.Event{At: now, Op: trace.OpDeliver, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
+	}
 	outs := target.Engine.Receive(now, srcEP, msg)
 	for _, out := range outs {
 		n.Send(target, out)
@@ -254,25 +330,34 @@ func (n *Network) deliver(srcEP, to ident.Endpoint, msg *wire.Message, size uint
 // resolve finds the live owner of a destination endpoint, applying NAT
 // admission. It updates drop statistics and the trace on failure.
 func (n *Network) resolve(now int64, srcEP, to ident.Endpoint) (*Peer, bool) {
-	if p, ok := n.byPublic[to]; ok {
-		return p, true
+	var dev *nat.Device
+	if s := n.pubSlotFor(to.IP); s != nil {
+		if s.peer != nil && s.peer.Addr == to {
+			return s.peer, true
+		}
+		dev = s.dev
 	}
-	dev, ok := n.devices[to.IP]
-	if !ok {
+	if dev == nil {
 		n.Drops.NoSuchAddr++
-		n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
+		if n.Trace != nil {
+			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
+		}
 		return nil, false
 	}
 	priv, ok := dev.Inbound(now, srcEP, to)
 	if !ok {
 		n.Drops.NATFiltered++
-		n.Trace.Record(trace.Event{At: now, Op: trace.OpDropNAT, From: srcEP, To: to})
+		if n.Trace != nil {
+			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropNAT, From: srcEP, To: to})
+		}
 		return nil, false
 	}
-	p, ok := n.byPrivate[priv]
-	if !ok {
+	p := n.privatePeerAt(priv)
+	if p == nil {
 		n.Drops.NoSuchAddr++
-		n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
+		if n.Trace != nil {
+			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
+		}
 		return nil, false
 	}
 	return p, true
@@ -297,8 +382,8 @@ func (n *Network) Reachable(now int64, q *Peer, d view.Descriptor) bool {
 	if !d.Class.Natted() {
 		return true
 	}
-	dev, ok := n.devices[d.Addr.IP]
-	if !ok {
+	dev := n.deviceAt(d.Addr.IP)
+	if dev == nil {
 		return false
 	}
 	src, ok := n.wouldSendFrom(now, q, d.Addr)
@@ -315,11 +400,11 @@ func (n *Network) Reachable(now int64, q *Peer, d view.Descriptor) bool {
 // hole-punched mapping rather than an advertised one): it reports whether a
 // datagram sent now by q to addr would reach a live mapping or public peer.
 func (n *Network) ReachableEndpoint(now int64, q *Peer, addr ident.Endpoint) bool {
-	if _, ok := n.byPublic[addr]; ok {
+	if n.publicPeerAt(addr) != nil {
 		return true
 	}
-	dev, ok := n.devices[addr.IP]
-	if !ok {
+	dev := n.deviceAt(addr.IP)
+	if dev == nil {
 		return false
 	}
 	src, ok := n.wouldSendFrom(now, q, addr)
@@ -348,9 +433,12 @@ func (n *Network) publicIPOf(q *Peer) ident.IP {
 // OwnerOfIP returns the peer owning the given public IP (either directly or
 // through its NAT device), for diagnostics.
 func (n *Network) OwnerOfIP(ip ident.IP) (*Peer, bool) {
-	if p, ok := n.byPublic[ident.Endpoint{IP: ip, Port: 9000}]; ok {
-		return p, true
+	s := n.pubSlotFor(ip)
+	if s == nil {
+		return nil, false
 	}
-	p, ok := n.devOwner[ip]
-	return p, ok
+	if s.peer != nil {
+		return s.peer, true
+	}
+	return s.owner, s.owner != nil
 }

@@ -12,7 +12,6 @@ package view
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -118,6 +117,15 @@ type View struct {
 	self    ident.NodeID
 	maxSize int
 	entries []Descriptor
+	// Scratch storage reused across exchanges so the steady-state shuffle
+	// path performs no allocation: tail holds the entries displaced by the
+	// partial selection of moveOldestToEnd. ids and ages are compact copies
+	// of the descriptor fields the merge scans repeatedly — scanning 8-byte
+	// words instead of whole descriptors keeps the inner loops in cache; a
+	// negative age doubles as the "selected/dropped" mark.
+	tail []Descriptor
+	ids  []uint64
+	ages []int64
 }
 
 // New returns an empty view of the given maximum size owned by the given
@@ -245,45 +253,112 @@ func (v *View) ExchangeLen() int {
 // H oldest entries are moved to its end, and the first ExchangeLen entries —
 // now at the head — are returned as the entries to ship. The returned slice
 // is a copy; the head placement is what lets ApplyExchange implement the
-// swapper policy ("discard the entries just sent").
+// swapper policy ("discard the entries just sent"). Hot paths should prefer
+// PrepareExchangeInto with a reused buffer.
 func (v *View) PrepareExchange(policy Merge, rng *rand.Rand) []Descriptor {
-	h, _ := policy.HS(v.maxSize)
-	rng.Shuffle(len(v.entries), func(i, j int) { v.entries[i], v.entries[j] = v.entries[j], v.entries[i] })
-	moveOldestToEnd(v.entries, h)
-	sent := make([]Descriptor, v.ExchangeLen())
-	copy(sent, v.entries)
-	return sent
+	return v.PrepareExchangeInto(policy, rng, nil)
 }
 
-// moveOldestToEnd stably moves the h oldest entries (by age) to the end of
-// the slice, preserving the order of the rest.
-func moveOldestToEnd(ds []Descriptor, h int) {
+// PrepareExchangeInto is PrepareExchange with a caller-owned destination: the
+// shipped entries are appended to buf (usually a reused slice truncated to
+// length zero) and the extended slice is returned. With a buffer of
+// sufficient capacity the call performs no allocation.
+func (v *View) PrepareExchangeInto(policy Merge, rng *rand.Rand, buf []Descriptor) []Descriptor {
+	h, _ := policy.HS(v.maxSize)
+	shuffle(rng, v.entries)
+	v.moveOldestToEnd(v.entries, h)
+	return append(buf, v.entries[:v.ExchangeLen()]...)
+}
+
+// shuffle is rng.Shuffle specialized to a descriptor slice: it draws the
+// exact same RNG stream (Fisher-Yates over math/rand's internal int31n,
+// which the equivalence tests pin), but swaps directly instead of calling a
+// closure per step — PrepareExchange permutes the view on every shuffle
+// buffer, so the call overhead was measurable at simulation scale.
+func shuffle(rng *rand.Rand, ds []Descriptor) {
+	if len(ds) > 1<<31-1 {
+		panic("view: shuffle of preposterous view size")
+	}
+	for i := len(ds) - 1; i > 0; i-- {
+		j := randInt31n(rng, int32(i+1))
+		ds[i], ds[j] = ds[j], ds[i]
+	}
+}
+
+// randInt31n reproduces math/rand's unexported Rand.int31n — the unbiased
+// [0,n) draw Shuffle uses internally — on top of the public Int63.
+func randInt31n(r *rand.Rand, n int32) int32 {
+	v := uint32(r.Int63() >> 31)
+	prod := uint64(v) * uint64(n)
+	low := uint32(prod)
+	if low < uint32(n) {
+		thresh := uint32(-n) % uint32(n)
+		for low < thresh {
+			v = uint32(r.Int63() >> 31)
+			prod = uint64(v) * uint64(n)
+			low = uint32(prod)
+		}
+	}
+	return int32(prod >> 32)
+}
+
+// moveOldestToEnd stably moves the h oldest entries (by age, ties resolved
+// toward the earlier index) to the end of the slice, preserving the order of
+// the rest. It selects the h oldest by in-place partial selection over the
+// view's reusable age scratch, then compacts in one pass — no sorting, no
+// per-call allocation.
+func (v *View) moveOldestToEnd(ds []Descriptor, h int) {
 	if h <= 0 || len(ds) <= 1 {
 		return
 	}
 	if h > len(ds) {
 		h = len(ds)
 	}
-	// Find the age threshold of the h oldest.
-	idx := make([]int, len(ds))
-	for i := range idx {
-		idx[i] = i
+	ages := v.ageScratch(len(ds))
+	for i := range ds {
+		ages[i] = int64(ds[i].Age)
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return ds[idx[a]].Age > ds[idx[b]].Age })
-	oldest := make(map[int]bool, h)
-	for _, i := range idx[:h] {
-		oldest[i] = true
-	}
-	rest := make([]Descriptor, 0, len(ds))
-	tail := make([]Descriptor, 0, h)
+	markOldest(ages, h)
+	tail := v.tail[:0]
+	w := 0
 	for i, d := range ds {
-		if oldest[i] {
+		if ages[i] < 0 {
 			tail = append(tail, d)
 		} else {
-			rest = append(rest, d)
+			ds[w] = d
+			w++
 		}
 	}
-	copy(ds, append(rest, tail...))
+	copy(ds[w:], tail)
+	v.tail = tail
+}
+
+// ageScratch returns the reusable age scratch resized to n entries.
+func (v *View) ageScratch(n int) []int64 {
+	if cap(v.ages) < n {
+		v.ages = make([]int64, n)
+	}
+	return v.ages[:n]
+}
+
+// markOldest sets ages[i] = -1 for the h oldest entries, ties resolved
+// toward the earlier index (the first index wins the argmax, so repeated
+// passes reproduce oldest-first removal exactly). The repeated linear
+// argmax looks naive but is branch-predictable and cache-resident at view
+// sizes; fancier one-pass selections measured slower.
+func markOldest(ages []int64, h int) {
+	if h > len(ages) {
+		h = len(ages)
+	}
+	for k := 0; k < h; k++ {
+		best, bestAge := 0, int64(-1)
+		for i, a := range ages {
+			if a > bestAge {
+				best, bestAge = i, a
+			}
+		}
+		ages[best] = -1
+	}
 }
 
 // ApplyExchange merges a received shuffle buffer into the view
@@ -294,51 +369,95 @@ func moveOldestToEnd(ds []Descriptor, h int) {
 // sent are dropped (swapper), and finally uniformly random entries are
 // dropped. sent must be the slice returned by the PrepareExchange call of
 // the same exchange (nil for bootstrap-style merges).
+//
+// The merge runs over the view's reusable union/mark scratch — dropped
+// entries are marked, survivors compacted in a single pass — so the
+// steady-state call performs no allocation.
 func (v *View) ApplyExchange(policy Merge, received, sent []Descriptor, rng *rand.Rand) {
-	union := make([]Descriptor, 0, len(v.entries)+len(received))
-	union = append(union, v.entries...)
+	// Build the deduplicated union directly in the entries slice (merge
+	// order puts existing entries first, so extending in place is the
+	// union), mirroring IDs and ages into the compact scratch the scans
+	// below run over. A negative age marks a dropped entry.
+	union := v.entries
+	ids := v.ids[:0]
+	for _, d := range union {
+		ids = append(ids, uint64(d.ID))
+	}
 	for _, d := range received {
 		if d.ID == v.self || d.ID.IsNil() {
 			continue
 		}
-		if i := indexIn(union, d.ID); i >= 0 {
-			if d.Age < union[i].Age {
-				union[i] = d
+		dup := -1
+		for i, id := range ids {
+			if id == uint64(d.ID) {
+				dup = i
+				break
+			}
+		}
+		if dup >= 0 {
+			if d.Age < union[dup].Age {
+				union[dup] = d
 			}
 			continue
 		}
 		union = append(union, d)
+		ids = append(ids, uint64(d.ID))
+	}
+	v.ids = ids
+	ages := v.ageScratch(len(union))
+	for i := range union {
+		ages[i] = int64(union[i].Age)
 	}
 	c := v.maxSize
 	h, s := policy.HS(c)
-	// Healing: drop min(h, size-c) oldest.
-	for drop := min(h, len(union)-c); drop > 0; drop-- {
-		oldest := 0
-		for i := 1; i < len(union); i++ {
-			if union[i].Age > union[oldest].Age {
-				oldest = i
-			}
-		}
-		union = append(union[:oldest], union[oldest+1:]...)
+	left := len(union)
+	// Healing: drop min(h, size-c) oldest (ties resolved toward the earlier
+	// index, matching repeated oldest-first removal).
+	if drop := min(h, left-c); drop > 0 {
+		markOldest(ages, drop)
+		left -= drop
 	}
 	// Swapping: drop min(s, size-c) of the entries just sent.
-	if drop := min(s, len(union)-c); drop > 0 {
+	if drop := min(s, left-c); drop > 0 {
 		for _, d := range sent {
 			if drop == 0 {
 				break
 			}
-			if i := indexIn(union, d.ID); i >= 0 {
-				union = append(union[:i], union[i+1:]...)
-				drop--
+			for i, id := range ids {
+				if id == uint64(d.ID) && ages[i] >= 0 {
+					ages[i] = -1
+					left--
+					drop--
+					break
+				}
 			}
 		}
 	}
-	// Random truncation to c.
-	for len(union) > c {
-		i := rng.Intn(len(union))
-		union = append(union[:i], union[i+1:]...)
+	// Random truncation to c: drop the k-th surviving entry, which consumes
+	// the RNG exactly as removing index k from a spliced slice would.
+	for left > c {
+		k := rng.Intn(left)
+		for i, a := range ages {
+			if a < 0 {
+				continue
+			}
+			if k == 0 {
+				ages[i] = -1
+				break
+			}
+			k--
+		}
+		left--
 	}
-	v.entries = union
+	// Stable in-place compaction of the survivors.
+	w := 0
+	for i := range union {
+		if ages[i] >= 0 {
+			union[w] = union[i]
+			w++
+		}
+	}
+	v.entries = union[:w]
 }
 
 func indexIn(ds []Descriptor, id ident.NodeID) int {

@@ -1,0 +1,66 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Error("different seeds produced the same first draw")
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	s := NewSource(7)
+	first := s.Uint64()
+	s.Uint64()
+	s.Seed(7)
+	if s.Uint64() != first {
+		t.Error("Seed did not reset the stream")
+	}
+}
+
+func TestMixIndependence(t *testing.T) {
+	seen := make(map[int64]bool)
+	for seed := int64(1); seed <= 10; seed++ {
+		for salt := uint64(0); salt < 100; salt++ {
+			v := Mix(seed, salt)
+			if v != Mix(seed, salt) {
+				t.Fatal("Mix is not deterministic")
+			}
+			if seen[v] {
+				t.Fatalf("Mix collision at seed=%d salt=%d", seed, salt)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestUniformish sanity-checks the wrapped rand.Rand: Intn over a small
+// range should be roughly uniform.
+func TestUniformish(t *testing.T) {
+	rng := New(3)
+	counts := make([]int, 10)
+	const trials = 100_000
+	for i := 0; i < trials; i++ {
+		counts[rng.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c < trials/10-1000 || c > trials/10+1000 {
+			t.Errorf("value %d drawn %d times out of %d, far from uniform", v, c, trials)
+		}
+	}
+}
+
+// TestSourceInterface locks in that SplitMix64 satisfies rand.Source64, so
+// rand.Rand uses the fast Uint64 path.
+func TestSourceInterface(t *testing.T) {
+	var _ rand.Source64 = (*SplitMix64)(nil)
+}

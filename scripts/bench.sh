@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Runs the tracked performance benchmarks and emits benchstat-comparable
+# output (one line per run, Go's standard benchmark format).
+#
+# Usage:
+#   scripts/bench.sh                  # tracked set, 5 runs each
+#   scripts/bench.sh -bench Sim       # filter by name
+#   COUNT=10 scripts/bench.sh         # more runs for tighter intervals
+#
+# Typical workflow for the BENCH_*.json trajectory / before-after tables:
+#   scripts/bench.sh > old.txt
+#   ... apply a change ...
+#   scripts/bench.sh > new.txt
+#   benchstat old.txt new.txt
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+BENCH='BenchmarkSimulation1kPeers|BenchmarkViewExchange|BenchmarkNylonTick|BenchmarkWireMarshal'
+BENCHTIME="${BENCHTIME:-5x}"
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -bench) BENCH="$2"; shift 2 ;;
+    -benchtime) BENCHTIME="$2"; shift 2 ;;
+    *) echo "usage: $0 [-bench regex] [-benchtime N(x)]" >&2; exit 2 ;;
+  esac
+done
+
+exec go test -run '^$' -bench "$BENCH" -benchmem \
+  -benchtime "$BENCHTIME" -count "$COUNT" .
