@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/ident"
+	"repro/internal/scenario"
 	"repro/internal/traversal"
 	"repro/internal/view"
 	"repro/internal/wire"
@@ -291,6 +292,29 @@ func BenchmarkSimulation1kPeers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		runPoint(b, cfg, int64(i+1))
 	}
+}
+
+// BenchmarkScenarioChurn1k is BenchmarkSimulation1kPeers under a full
+// adversity scenario: continuous Poisson churn, a partition/heal cycle, and
+// lossy jittered links — the scenario engine's tracked cost. The nil-scenario
+// baseline must stay within noise of BenchmarkSimulation1kPeers.
+func BenchmarkScenarioChurn1k(b *testing.B) {
+	cfg := benchCfg(exp.ProtoNylon, 80)
+	cfg.N, cfg.Rounds = 1000, 40
+	cfg.Scenario = &scenario.Scenario{
+		Name:  "bench-storm",
+		Churn: &scenario.Churn{JoinsPerRound: 3, LeavesPerRound: 3, StartRound: 5},
+		Link:  &scenario.Link{JitterMs: 20, Loss: 0.05},
+		Events: []scenario.Event{
+			{Round: 15, Kind: scenario.KindPartition, Fraction: 0.3, DurationRounds: 10},
+		},
+	}
+	b.ReportAllocs()
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = runPoint(b, cfg, int64(i+1))
+	}
+	b.ReportMetric(last.BiggestCluster*100, "cluster-%")
 }
 
 // BenchmarkSimulation10kPeers is the paper-scale population (§5: 10,000

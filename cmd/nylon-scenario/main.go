@@ -1,0 +1,131 @@
+// Command nylon-scenario runs a simulation under a declarative environment
+// scenario (JSON, see internal/scenario and the corpus under
+// examples/scenario-lab/) and emits a per-round health series plus a final
+// summary. Runs are seed-deterministic: the same (flags, scenario file,
+// seed) always produce the same output.
+//
+// Example — the storm scenario at 1,000 peers:
+//
+//	nylon-scenario -f examples/scenario-lab/storm.json -n 1000 -rounds 120
+//
+// The series is tab-separated (round, alive, cluster%, stale%, cumulative
+// joins/leaves) so it pipes straight into cut/awk/gnuplot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/scenario"
+	"repro/internal/view"
+)
+
+func main() {
+	var (
+		file      = flag.String("f", "", "scenario JSON file (required)")
+		n         = flag.Int("n", 1000, "initial number of peers")
+		natPct    = flag.Float64("nat", 80, "percentage of natted peers")
+		viewSize  = flag.Int("view", 15, "view size")
+		rounds    = flag.Int("rounds", 120, "shuffling rounds")
+		seed      = flag.Int64("seed", 1, "random seed")
+		protocol  = flag.String("protocol", "nylon", "protocol: nylon, generic, arrg, static-rvp")
+		selection = flag.String("selection", "rand", "target selection: rand, tail")
+		merge     = flag.String("merge", "healer", "view merge: blind, healer, swapper")
+		push      = flag.Bool("push", false, "push-only propagation (default push/pull)")
+		every     = flag.Int("every", 0, "sample the health series every N rounds (0 = rounds/20)")
+	)
+	flag.Parse()
+	if *file == "" {
+		fatal(fmt.Errorf("-f scenario.json is required"))
+	}
+
+	sc, err := scenario.Load(*file)
+	if err != nil {
+		fatal(err)
+	}
+	sample := *every
+	if sample <= 0 {
+		sample = *rounds / 20
+		if sample < 1 {
+			sample = 1
+		}
+	}
+	cfg := exp.Config{
+		N:                 *n,
+		ViewSize:          *viewSize,
+		NATRatio:          *natPct / 100,
+		Rounds:            *rounds,
+		Seed:              *seed,
+		PushPull:          !*push,
+		SampleEveryRounds: sample,
+		Scenario:          sc,
+	}
+	if cfg.Protocol, err = exp.ParseProtocol(*protocol); err != nil {
+		fatal(err)
+	}
+	if cfg.Selection, err = view.ParseSelection(*selection); err != nil {
+		fatal(err)
+	}
+	if cfg.Merge, err = view.ParseMerge(*merge); err != nil {
+		fatal(err)
+	}
+
+	res, err := exp.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	name := sc.Name
+	if name == "" {
+		name = *file
+	}
+	fmt.Printf("# scenario %q: %s\n", name, describe(sc))
+	fmt.Printf("# %s, %d peers (%.0f%% natted), view %d, %d rounds, seed %d\n",
+		cfg.Protocol, cfg.N, *natPct, cfg.ViewSize, cfg.Rounds, cfg.Seed)
+	fmt.Println("round\talive\tcluster%\tstale%\tjoins\tleaves")
+	for _, pt := range res.Series {
+		fmt.Printf("%d\t%d\t%.1f\t%.1f\t%d\t%d\n",
+			pt.Round, pt.AlivePeers, pt.BiggestCluster*100, pt.StaleFraction*100, pt.Joins, pt.Leaves)
+	}
+
+	fmt.Printf("\nfinal cluster       %.1f%% of %d alive (%d total peers)\n",
+		res.BiggestCluster*100, res.AlivePeers, res.TotalPeers)
+	fmt.Printf("stale references    %.1f%%\n", res.StaleFraction*100)
+	fmt.Printf("worst cluster       %.1f%% at round %d\n", res.Recovery.WorstCluster*100, res.Recovery.WorstRound)
+	switch {
+	case res.Recovery.RecoveredRound < 0:
+		fmt.Printf("recovered           never (threshold %.0f%%)\n", exp.RecoveryThreshold*100)
+	case res.Recovery.RecoveredRound > res.Recovery.WorstRound:
+		fmt.Printf("recovered           round %d (%d rounds after the worst point)\n",
+			res.Recovery.RecoveredRound, res.Recovery.RecoveredRound-res.Recovery.WorstRound)
+	default:
+		fmt.Printf("recovered           never disrupted below %.0f%%\n", exp.RecoveryThreshold*100)
+	}
+	fmt.Printf("scenario churn      %d joins, %d leaves, %d gateway groups failed, %d partitioned rounds\n",
+		res.Scenario.Joins, res.Scenario.Leaves, res.Scenario.GatewayFailures, res.Scenario.PartitionRounds)
+	fmt.Printf("network drops       nat-filtered %d, no-addr %d, dead %d, link-lost %d, partitioned %d\n",
+		res.Drops.NATFiltered, res.Drops.NoSuchAddr, res.Drops.DeadPeer, res.Drops.LinkLost, res.Drops.Partitioned)
+	fmt.Printf("bytes/s per peer    %.0f (public %.0f, natted %.0f)\n",
+		res.BytesPerSecAll, res.BytesPerSecPublic, res.BytesPerSecNatted)
+	fmt.Printf("shuffle completion  %.1f%%\n", res.CompletionRate*100)
+}
+
+// describe renders a one-line summary of the scenario's dimensions.
+func describe(sc *scenario.Scenario) string {
+	s := ""
+	if c := sc.Churn; c != nil {
+		s += fmt.Sprintf("churn λjoin=%.3g λleave=%.3g; ", c.JoinsPerRound, c.LeavesPerRound)
+	}
+	if l := sc.Link; l != nil {
+		s += fmt.Sprintf("link jitter≤%dms loss=%.3g; ", l.JitterMs, l.Loss)
+	}
+	s += fmt.Sprintf("%d events", len(sc.Events))
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nylon-scenario:", err)
+	os.Exit(1)
+}

@@ -55,17 +55,8 @@ func main() {
 	if cfg.Merge, err = view.ParseMerge(*merge); err != nil {
 		fatal(err)
 	}
-	switch *protocol {
-	case "nylon":
-		cfg.Protocol = exp.ProtoNylon
-	case "generic":
-		cfg.Protocol = exp.ProtoGeneric
-	case "arrg":
-		cfg.Protocol = exp.ProtoARRG
-	case "static-rvp":
-		cfg.Protocol = exp.ProtoStaticRVP
-	default:
-		fatal(fmt.Errorf("unknown protocol %q", *protocol))
+	if cfg.Protocol, err = exp.ParseProtocol(*protocol); err != nil {
+		fatal(err)
 	}
 	switch *mix {
 	case "paper":

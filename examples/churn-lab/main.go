@@ -1,6 +1,8 @@
-// Churn-lab: the paper's Figure 10 experiment in miniature — remove half the
-// overlay at once and watch Nylon re-knit itself, while the NAT-oblivious
-// baseline falls apart.
+// Churn-lab: the paper's Figure 10 experiment in miniature, rebuilt on the
+// scenario engine. Part 1 removes a growing fraction of the overlay at once
+// (a mass_leave event) and compares Nylon against the NAT-oblivious
+// baseline. Part 2 runs a living overlay — continuous Poisson churn with a
+// mid-run flash crowd — and prints Nylon's health series through it.
 //
 // Run with: go run ./examples/churn-lab
 package main
@@ -10,6 +12,7 @@ import (
 	"log"
 
 	"repro/internal/exp"
+	"repro/internal/scenario"
 	"repro/internal/view"
 )
 
@@ -19,25 +22,32 @@ func main() {
 		rounds = 200
 		natPct = 60
 	)
+	baseCfg := func(proto exp.Protocol, sc *scenario.Scenario) exp.Config {
+		return exp.Config{
+			N:               peers,
+			Rounds:          rounds,
+			NATRatio:        natPct / 100.0,
+			Protocol:        proto,
+			Selection:       view.SelectRand,
+			Merge:           view.MergeHealer,
+			PushPull:        true,
+			Seed:            7,
+			EvictUnanswered: proto == exp.ProtoNylon,
+			Scenario:        sc,
+		}
+	}
+
 	fmt.Printf("%d peers, %d%% natted, removing varying fractions at round %d\n\n",
 		peers, natPct, rounds/4)
 	fmt.Println("departed%   nylon-cluster%   baseline-cluster%")
 	for _, dep := range []float64{0.3, 0.5, 0.7, 0.8} {
+		sc := &scenario.Scenario{
+			Name:   "mass-leave",
+			Events: []scenario.Event{{Round: rounds / 4, Kind: scenario.KindMassLeave, Fraction: dep}},
+		}
 		var clusters [2]float64
 		for i, proto := range []exp.Protocol{exp.ProtoNylon, exp.ProtoGeneric} {
-			res, err := exp.Run(exp.Config{
-				N:               peers,
-				Rounds:          rounds,
-				NATRatio:        natPct / 100.0,
-				Protocol:        proto,
-				Selection:       view.SelectRand,
-				Merge:           view.MergeHealer,
-				PushPull:        true,
-				ChurnAtRound:    rounds / 4,
-				ChurnFraction:   dep,
-				Seed:            7,
-				EvictUnanswered: proto == exp.ProtoNylon,
-			})
+			res, err := exp.Run(baseCfg(proto, sc))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -46,28 +56,28 @@ func main() {
 		fmt.Printf("%8.0f%%   %13.1f%%   %16.1f%%\n", dep*100, clusters[0], clusters[1])
 	}
 
-	// Healing curve: how Nylon's overlay knits itself back together after
-	// losing 70% of its peers at once.
-	fmt.Println("\nnylon healing curve after 70% departures (cluster% / stale% per round):")
-	res, err := exp.Run(exp.Config{
-		N:                 peers,
-		Rounds:            rounds,
-		NATRatio:          natPct / 100.0,
-		Protocol:          exp.ProtoNylon,
-		Selection:         view.SelectRand,
-		Merge:             view.MergeHealer,
-		PushPull:          true,
-		ChurnAtRound:      rounds / 4,
-		ChurnFraction:     0.7,
-		Seed:              7,
-		EvictUnanswered:   true,
-		SampleEveryRounds: rounds / 10,
-	})
+	// A living overlay: every round a Poisson-distributed handful of peers
+	// joins and leaves, and at round 100 a flash crowd half the size of
+	// the original population arrives at once.
+	fmt.Println("\nnylon under continuous churn (λ=3 joins+leaves/round) with a flash crowd at round 100:")
+	living := &scenario.Scenario{
+		Name:  "living-overlay",
+		Churn: &scenario.Churn{JoinsPerRound: 3, LeavesPerRound: 3, StartRound: 10},
+		Events: []scenario.Event{
+			{Round: 100, Kind: scenario.KindFlashCrowd, Fraction: 0.5},
+		},
+	}
+	cfg := baseCfg(exp.ProtoNylon, living)
+	cfg.SampleEveryRounds = rounds / 10
+	res, err := exp.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, pt := range res.Series {
-		fmt.Printf("  round %4d: cluster %6.1f%%  stale %5.1f%%  alive %d\n",
-			pt.Round, pt.BiggestCluster*100, pt.StaleFraction*100, pt.AlivePeers)
+		fmt.Printf("  round %4d: cluster %6.1f%%  stale %5.1f%%  alive %4d  (+%d/-%d cumulative)\n",
+			pt.Round, pt.BiggestCluster*100, pt.StaleFraction*100, pt.AlivePeers, pt.Joins, pt.Leaves)
 	}
+	fmt.Printf("  total: %d joined, %d left, %d peers ever; worst cluster %.1f%% at round %d\n",
+		res.Scenario.Joins, res.Scenario.Leaves, res.TotalPeers,
+		res.Recovery.WorstCluster*100, res.Recovery.WorstRound)
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/ident"
+	"repro/internal/scenario"
 	"repro/internal/view"
 )
 
@@ -40,6 +41,21 @@ func (p Protocol) String() string {
 		return "static-rvp"
 	}
 	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// ParseProtocol parses a protocol name as printed by Protocol.String.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "generic":
+		return ProtoGeneric, nil
+	case "nylon":
+		return ProtoNylon, nil
+	case "arrg":
+		return ProtoARRG, nil
+	case "static-rvp":
+		return ProtoStaticRVP, nil
+	}
+	return 0, fmt.Errorf("exp: unknown protocol %q (want generic, nylon, arrg or static-rvp)", s)
 }
 
 // NATMix describes how the natted population splits across NAT classes.
@@ -109,6 +125,15 @@ type Config struct {
 	// the paper) after that many rounds.
 	ChurnAtRound  int
 	ChurnFraction float64
+
+	// Scenario, when non-nil and non-quiescent, drives a declarative
+	// environment timeline over the run: continuous Poisson churn, flash
+	// crowds, gateway failures, NAT-mix shifts, link jitter/loss, and
+	// partitions (see internal/scenario). All scenario randomness draws
+	// from streams derived from Seed, so the run stays a pure function of
+	// (Config, Scenario, Seed). A nil or quiescent scenario leaves the run
+	// bit-identical to one with no scenario at all.
+	Scenario *scenario.Scenario
 
 	// CacheSize is the reachable-peer cache size for ProtoARRG (default 8).
 	CacheSize int
@@ -191,6 +216,9 @@ func (c Config) validate() error {
 		if c.ChurnAtRound != 0 {
 			return fmt.Errorf("exp: ChurnAtRound %d outside (0,Rounds)", c.ChurnAtRound)
 		}
+	}
+	if err := c.Scenario.Validate(c.Rounds); err != nil {
+		return fmt.Errorf("exp: %w", err)
 	}
 	return nil
 }

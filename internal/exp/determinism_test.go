@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/scenario"
 	"repro/internal/view"
 )
 
@@ -13,16 +14,39 @@ import (
 // protocol. This is the guarantee that lets the parallel figure sweep hand
 // experiment points to arbitrary workers.
 func TestRunDeterministic(t *testing.T) {
-	for _, proto := range []Protocol{ProtoGeneric, ProtoNylon, ProtoARRG, ProtoStaticRVP} {
-		proto := proto
-		t.Run(proto.String(), func(t *testing.T) {
+	// The scenario leg stresses every stochastic scenario dimension at
+	// once: continuous churn, mid-run joins, a partition, and lossy
+	// jittered links — each must draw only from seed-derived streams.
+	storm := &scenario.Scenario{
+		Churn: &scenario.Churn{JoinsPerRound: 1, LeavesPerRound: 1, StartRound: 5},
+		Link:  &scenario.Link{JitterMs: 15, Loss: 0.05},
+		Events: []scenario.Event{
+			{Round: 10, Kind: scenario.KindFlashCrowd, Count: 20},
+			{Round: 15, Kind: scenario.KindPartition, Fraction: 0.25, DurationRounds: 5},
+		},
+	}
+	for _, c := range []struct {
+		name     string
+		proto    Protocol
+		scenario *scenario.Scenario
+	}{
+		{"generic", ProtoGeneric, nil},
+		{"nylon", ProtoNylon, nil},
+		{"arrg", ProtoARRG, nil},
+		{"static-rvp", ProtoStaticRVP, nil},
+		{"nylon-storm-scenario", ProtoNylon, storm},
+		{"static-rvp-storm-scenario", ProtoStaticRVP, storm},
+	} {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
 			t.Parallel()
 			cfg := Config{
-				N: 120, Rounds: 30, NATRatio: 0.7, Protocol: proto,
+				N: 120, Rounds: 30, NATRatio: 0.7, Protocol: c.proto,
 				Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
 				EvictUnanswered: true, Seed: 42,
 				ChurnAtRound: 20, ChurnFraction: 0.3,
 				SampleEveryRounds: 10,
+				Scenario:          c.scenario,
 			}
 			a, err := Run(cfg)
 			if err != nil {

@@ -59,9 +59,18 @@ type Result struct {
 	Drops simnet.DropStats
 	// AlivePeers is the population after churn.
 	AlivePeers int
+	// TotalPeers is the total number of peers ever attached, including
+	// scenario-driven arrivals.
+	TotalPeers int
+	// Scenario summarizes the environment timeline a scenario drove
+	// (zero without one).
+	Scenario ScenarioStats
 	// Series holds the periodic snapshots requested by
 	// Config.SampleEveryRounds, in round order.
 	Series []SamplePoint
+	// Recovery condenses Series into a recovery curve summary (zero when
+	// no series was sampled).
+	Recovery Recovery
 	// TraceDump holds the tail of the network event trace when
 	// Config.TraceCapacity is set (one event per line).
 	TraceDump string
@@ -80,6 +89,18 @@ type runState struct {
 	// uniformity stands in for the paper's diehard check.
 	selections   []int
 	measureAfter int64
+
+	// scn drives the environment timeline; nil when the scenario is nil
+	// or quiescent (the legacy fast path).
+	scn *scenarioDriver
+
+	// Static-RVP assignment state, kept on the run so scenario joins can
+	// extend it: rvpOf pins each natted peer to its fixed public RVP,
+	// publicIDs is the assignment pool, resolver resolves live
+	// descriptors against the network.
+	rvpOf     map[ident.NodeID]ident.NodeID
+	publicIDs []ident.NodeID
+	resolver  core.RVPResolver
 }
 
 // Run executes one experiment point and returns its measurements.
@@ -109,12 +130,24 @@ func Run(cfg Config) (Result, error) {
 		churnAt := int64(cfg.ChurnAtRound) * cfg.PeriodMs
 		st.sched.At(churnAt, func() { st.applyChurn() })
 	}
+	// The scenario driver is armed last: at a shared round boundary the
+	// health sample and the legacy churn fire before that round's scenario
+	// events. A quiescent scenario installs nothing, keeping the run
+	// bit-identical to the no-scenario path.
+	if !cfg.Scenario.Quiescent() {
+		st.scn = newScenarioDriver(st)
+		st.scn.arm()
+	}
 
 	end := int64(cfg.Rounds) * cfg.PeriodMs
 	st.sched.RunUntil(end)
 
-	res := st.measure(end, warmupBytes)
+	res := st.measure(end, *warmupBytes)
 	res.Series = *series
+	res.Recovery = recoveryFrom(res.Series)
+	if st.scn != nil {
+		res.Scenario = st.scn.finishStats()
+	}
 	if st.net.Trace != nil {
 		res.TraceDump = st.net.Trace.Dump()
 	}
@@ -135,28 +168,28 @@ func (st *runState) build() {
 
 	// Static-RVP needs a global assignment natted peer -> public RVP. The
 	// descriptors do not exist yet, so resolve lazily against the network.
-	var rvpOf map[ident.NodeID]ident.NodeID
-	var publicIDs []ident.NodeID
+	// The assignment state lives on the run so scenario joins can extend
+	// it mid-run.
 	if cfg.Protocol == ProtoStaticRVP {
-		rvpOf = make(map[ident.NodeID]ident.NodeID)
+		st.rvpOf = make(map[ident.NodeID]ident.NodeID)
 		for i, c := range classes {
 			if c == ident.Public {
-				publicIDs = append(publicIDs, ident.NodeID(i+1))
+				st.publicIDs = append(st.publicIDs, ident.NodeID(i+1))
 			}
 		}
-		if len(publicIDs) == 0 {
+		if len(st.publicIDs) == 0 {
 			// Degenerate but allowed: nobody can be assigned an RVP;
 			// natted peers will fail construction, so refuse earlier.
 			panic("exp: static-rvp requires at least one public peer")
 		}
 		for i, c := range classes {
 			if c != ident.Public {
-				rvpOf[ident.NodeID(i+1)] = publicIDs[st.rng.Intn(len(publicIDs))]
+				st.rvpOf[ident.NodeID(i+1)] = st.publicIDs[st.rng.Intn(len(st.publicIDs))]
 			}
 		}
 	}
-	resolver := func(id ident.NodeID) (view.Descriptor, bool) {
-		rid, ok := rvpOf[id]
+	st.resolver = func(id ident.NodeID) (view.Descriptor, bool) {
+		rid, ok := st.rvpOf[id]
 		if !ok {
 			return view.Descriptor{}, false
 		}
@@ -182,7 +215,7 @@ func (st *runState) build() {
 			if (classes[i] == ident.Public) != (pass == 0) {
 				continue
 			}
-			st.addPeer(ident.NodeID(i+1), classes[i], seeds[i], upnp[i], resolver)
+			st.addPeer(ident.NodeID(i+1), classes[i], seeds[i], upnp[i], st.resolver)
 		}
 	}
 }
@@ -215,6 +248,10 @@ func (st *runState) addPeer(id ident.NodeID, class ident.NATClass, seed int64, u
 		default:
 			return core.NewGeneric(ecfg)
 		}
+	}
+	if int(id) == len(st.peers)+1 {
+		// Scenario joins extend the population one peer at a time.
+		st.peers = append(st.peers, nil)
 	}
 	if upnp {
 		st.peers[id-1] = st.net.AddPeerUPnP(id, class, cfg.HoleTimeoutMs, factory)
@@ -261,19 +298,59 @@ func (st *runState) bootstrap() {
 			seeds = append(seeds, cand.Descriptor())
 			st.net.InstallHole(p, cand)
 		}
-		switch e := p.Engine.(type) {
-		case *core.Nylon:
-			e.Bootstrap(st.sched.Now(), seeds)
-		case *core.Generic:
-			e.Bootstrap(seeds)
-		case *core.ARRG:
-			e.Bootstrap(seeds)
-		case *core.StaticRVP:
-			e.Bootstrap(seeds)
-		default:
-			panic(fmt.Sprintf("exp: unknown engine %T", p.Engine))
+		st.bootstrapEngine(p, seeds)
+	}
+}
+
+// bootstrapEngine hands a peer its initial view seeds.
+func (st *runState) bootstrapEngine(p *simnet.Peer, seeds []view.Descriptor) {
+	switch e := p.Engine.(type) {
+	case *core.Nylon:
+		e.Bootstrap(st.sched.Now(), seeds)
+	case *core.Generic:
+		e.Bootstrap(seeds)
+	case *core.ARRG:
+		e.Bootstrap(seeds)
+	case *core.StaticRVP:
+		e.Bootstrap(seeds)
+	default:
+		panic(fmt.Sprintf("exp: unknown engine %T", p.Engine))
+	}
+}
+
+// seedPeer fills a newly joined peer's view with up to ViewSize distinct
+// alive peers — public preferred, exactly like the time-zero bootstrap —
+// and installs the join-time NAT holes that make those references usable.
+// All randomness comes from rng (the scenario's topology stream).
+func (st *runState) seedPeer(p *simnet.Peer, rng *rand.Rand) {
+	pool := make([]*simnet.Peer, 0, len(st.peers))
+	for _, q := range st.peers {
+		if q != p && q.Alive && q.Class == ident.Public {
+			pool = append(pool, q)
 		}
 	}
+	if len(pool) == 0 {
+		for _, q := range st.peers {
+			if q != p && q.Alive {
+				pool = append(pool, q)
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return
+	}
+	seeds := make([]view.Descriptor, 0, st.cfg.ViewSize)
+	seen := make(map[ident.NodeID]bool, st.cfg.ViewSize)
+	for attempts := 0; len(seeds) < st.cfg.ViewSize && attempts < 20*st.cfg.ViewSize; attempts++ {
+		cand := pool[rng.Intn(len(pool))]
+		if seen[cand.ID] {
+			continue
+		}
+		seen[cand.ID] = true
+		seeds = append(seeds, cand.Descriptor())
+		st.net.InstallHole(p, cand)
+	}
+	st.bootstrapEngine(p, seeds)
 }
 
 // schedule arms the periodic shuffle of every peer with a random phase, so
@@ -282,21 +359,24 @@ func (st *runState) bootstrap() {
 func (st *runState) schedule() {
 	st.selections = make([]int, st.cfg.N+1)
 	for _, p := range st.peers {
-		p := p
-		phase := st.rng.Int63n(st.cfg.PeriodMs)
-		var tick func()
-		tick = func() {
-			if p.Alive {
-				outs := p.Engine.Tick(st.sched.Now())
-				st.recordSelection(outs)
-				for _, s := range outs {
-					st.net.Send(p, s)
-				}
-			}
-			st.sched.After(st.cfg.PeriodMs, tick)
-		}
-		st.sched.At(phase, tick)
+		st.armTick(p, st.rng.Int63n(st.cfg.PeriodMs))
 	}
+}
+
+// armTick starts a peer's periodic shuffle loop at the given absolute time.
+func (st *runState) armTick(p *simnet.Peer, firstAt int64) {
+	var tick func()
+	tick = func() {
+		if p.Alive {
+			outs := p.Engine.Tick(st.sched.Now())
+			st.recordSelection(outs)
+			for _, s := range outs {
+				st.net.Send(p, s)
+			}
+		}
+		st.sched.After(st.cfg.PeriodMs, tick)
+	}
+	st.sched.At(firstAt, tick)
 }
 
 // recordSelection extracts the gossip target of a Tick's output: the final
@@ -331,12 +411,15 @@ func (st *runState) applyChurn() {
 }
 
 // snapshotBytesAt schedules a per-peer byte-counter snapshot at the given
-// time and returns the slice that will hold it (filled when the time comes).
-func (st *runState) snapshotBytesAt(at int64) []uint64 {
-	snap := make([]uint64, len(st.peers))
+// time and returns the slice that will hold it. The slice is sized at fire
+// time, so the population may have grown since scheduling; peers joining
+// after the snapshot simply have a zero baseline.
+func (st *runState) snapshotBytesAt(at int64) *[]uint64 {
+	snap := &[]uint64{}
 	st.sched.At(at, func() {
+		*snap = make([]uint64, len(st.peers))
 		for i, p := range st.peers {
-			snap[i] = p.BytesSent + p.BytesRecv
+			(*snap)[i] = p.BytesSent + p.BytesRecv
 		}
 	})
 	return snap
@@ -347,6 +430,13 @@ func (st *runState) snapshotBytesAt(at int64) []uint64 {
 func (st *runState) usableEdge(now int64, q *simnet.Peer, d view.Descriptor) bool {
 	target := st.net.Peer(d.ID)
 	if target == nil || !target.Alive {
+		return false
+	}
+	// While a partition holds, no datagram crosses the cut: references to
+	// the other side are stale by the paper's definition (communication
+	// with them is impossible), which is what makes the health series
+	// show the split and the heal.
+	if st.net.PartitionActive() && q.Side != target.Side {
 		return false
 	}
 	switch st.cfg.Protocol {
@@ -408,6 +498,10 @@ func (st *runState) nylonUsable(now int64, q *simnet.Peer, d view.Descriptor) bo
 		if hop == nil || !hop.Alive {
 			return false
 		}
+		// A relay chain cannot cross a partition cut either.
+		if st.net.PartitionActive() && hop.Side != cur.Side {
+			return false
+		}
 		if !st.net.ReachableEndpoint(now, cur, rvp.Addr) {
 			return false
 		}
@@ -441,7 +535,10 @@ func (st *runState) measure(end int64, warmupBytes []uint64) Result {
 		}
 		alive++
 		aliveIDs = append(aliveIDs, p.ID)
-		delta := float64(p.BytesSent + p.BytesRecv - warmupBytes[i])
+		delta := float64(p.BytesSent + p.BytesRecv)
+		if i < len(warmupBytes) {
+			delta -= float64(warmupBytes[i])
+		}
 		bytesAll += delta
 		if p.Class == ident.Public {
 			alivePublic++
@@ -482,6 +579,7 @@ func (st *runState) measure(end int64, warmupBytes []uint64) Result {
 	}
 
 	res.AlivePeers = alive
+	res.TotalPeers = len(st.peers)
 	if staleCount > 0 {
 		res.StaleFraction = staleSum / staleCount
 	}

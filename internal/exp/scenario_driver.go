@@ -1,0 +1,366 @@
+package exp
+
+import (
+	"math/rand"
+
+	"repro/internal/ident"
+	"repro/internal/scenario"
+	"repro/internal/simnet"
+	"repro/internal/xrand"
+)
+
+// Scenario RNG stream salts. Peer engine seeds are derived with the peer
+// *index* as salt (see build), so the scenario streams sit at high constants
+// no population count can collide with. Three independent streams keep the
+// scenario dimensions decoupled: changing the link model does not shift
+// which peers churn, and vice versa.
+const (
+	saltScenarioChurn uint64 = 0xc4a2_0000_0000_0001 // how many join/leave, who dies
+	saltScenarioTopo  uint64 = 0xc4a2_0000_0000_0002 // who newcomers are, partition sides
+	saltScenarioLink  uint64 = 0xc4a2_0000_0000_0003 // per-datagram jitter and loss
+)
+
+// ScenarioStats summarizes the environment timeline a scenario drove. All
+// fields stay zero for runs without a (non-quiescent) scenario.
+type ScenarioStats struct {
+	// Joins and Leaves count scenario-driven arrivals and departures
+	// (continuous churn, flash crowds, mass leaves, gateway failures).
+	Joins, Leaves uint64
+	// GatewayFailures counts failed gateway groups.
+	GatewayFailures uint64
+	// PartitionRounds is the total number of rounds a partition was in
+	// force (clamped to the run horizon).
+	PartitionRounds int
+}
+
+// scenarioDriver interprets a Scenario against the run clock. It owns every
+// stochastic scenario decision, drawing from xrand.Mix-derived streams so a
+// run stays a pure function of (Config, Scenario, Seed). It also implements
+// simnet.LinkPolicy for the jitter/loss dimension.
+type scenarioDriver struct {
+	st *runState
+	sc *scenario.Scenario
+
+	churnRNG *rand.Rand
+	topoRNG  *rand.Rand
+	linkRNG  *rand.Rand
+
+	// Live link model (mutated by set_link events).
+	jitterMs int64
+	loss     float64
+
+	// Arrival distribution for new peers (mutated by nat_shift events).
+	natRatio float64
+	mix      NATMix
+
+	// Active partition bookkeeping: partSince is the round the current
+	// partition started, -1 when none; partFraction assigns sides to
+	// peers joining mid-partition; partGen identifies the current
+	// partition so a pending auto-heal cannot end a later one.
+	partSince    int
+	partFraction float64
+	partGen      int
+
+	stats ScenarioStats
+
+	// aliveScratch is reused by the kill paths.
+	aliveScratch []*simnet.Peer
+}
+
+func newScenarioDriver(st *runState) *scenarioDriver {
+	cfg := st.cfg
+	return &scenarioDriver{
+		st:        st,
+		sc:        cfg.Scenario,
+		churnRNG:  xrand.New(xrand.Mix(cfg.Seed, saltScenarioChurn)),
+		topoRNG:   xrand.New(xrand.Mix(cfg.Seed, saltScenarioTopo)),
+		linkRNG:   xrand.New(xrand.Mix(cfg.Seed, saltScenarioLink)),
+		natRatio:  cfg.NATRatio,
+		mix:       cfg.Mix,
+		partSince: -1,
+	}
+}
+
+// arm schedules the whole timeline. Within one round boundary, events run in
+// scheduling order: the health-series sample (armed earlier) first, then the
+// round's continuous-churn draw, then explicit events in corpus order.
+func (d *scenarioDriver) arm() {
+	cfg := d.st.cfg
+	period := cfg.PeriodMs
+
+	if d.sc.NeedsLinkPolicy() {
+		if l := d.sc.Link; l != nil {
+			d.jitterMs, d.loss = l.JitterMs, l.Loss
+		}
+		d.st.net.SetLinkPolicy(d)
+	}
+
+	if c := d.sc.Churn; c != nil && (c.JoinsPerRound > 0 || c.LeavesPerRound > 0) {
+		start := c.StartRound
+		if start < 1 {
+			start = 1
+		}
+		end := c.EndRound
+		if end == 0 {
+			end = cfg.Rounds - 1
+		}
+		fn := d.churnRound
+		for r := start; r <= end; r++ {
+			d.st.sched.At(int64(r)*period, fn)
+		}
+	}
+
+	for i := range d.sc.Events {
+		ev := d.sc.Events[i]
+		d.st.sched.At(int64(ev.Round)*period, func() { d.apply(ev) })
+	}
+}
+
+// Transmit implements simnet.LinkPolicy: uniform extra delay in
+// [0, jitterMs], then an independent loss draw. The draw order is part of
+// the determinism contract — do not reorder.
+func (d *scenarioDriver) Transmit(now int64, srcEP, to ident.Endpoint, size uint64) (int64, bool) {
+	var extra int64
+	if d.jitterMs > 0 {
+		extra = d.linkRNG.Int63n(d.jitterMs + 1)
+	}
+	drop := d.loss > 0 && d.linkRNG.Float64() < d.loss
+	return extra, drop
+}
+
+// churnRound applies one round of continuous Poisson churn.
+func (d *scenarioDriver) churnRound() {
+	c := d.sc.Churn
+	joins := scenario.Poisson(d.churnRNG, c.JoinsPerRound)
+	for i := 0; i < joins; i++ {
+		d.join()
+	}
+	d.kill(scenario.Poisson(d.churnRNG, c.LeavesPerRound))
+}
+
+// apply dispatches one explicit timeline event.
+func (d *scenarioDriver) apply(ev scenario.Event) {
+	switch ev.Kind {
+	case scenario.KindFlashCrowd:
+		count := ev.Count
+		if count <= 0 {
+			count = int(ev.Fraction*float64(d.st.cfg.N) + 0.5)
+		}
+		for i := 0; i < count; i++ {
+			d.join()
+		}
+	case scenario.KindMassLeave:
+		d.kill(int(ev.Fraction*float64(d.countAlive()) + 0.5))
+	case scenario.KindGatewayFailure:
+		d.failGateways(ev.Groups)
+	case scenario.KindNATShift:
+		if ev.NATRatio != nil {
+			d.natRatio = *ev.NATRatio
+		}
+		if ev.Mix != nil {
+			d.mix = NATMix{RC: ev.Mix.RC, PRC: ev.Mix.PRC, SYM: ev.Mix.SYM}
+		}
+	case scenario.KindPartition:
+		d.partition(ev)
+	case scenario.KindHeal:
+		d.heal(ev.Round)
+	case scenario.KindSetLink:
+		d.jitterMs, d.loss = 0, 0
+		if ev.JitterMs != nil {
+			d.jitterMs = *ev.JitterMs
+		}
+		if ev.Loss != nil {
+			d.loss = *ev.Loss
+		}
+	}
+}
+
+// join attaches one new peer mid-run: class and capabilities drawn from the
+// current arrival distribution, engine seed derived from the peer index
+// exactly as at build time, view seeded like the time-zero bootstrap, and a
+// periodic shuffle armed with a random phase.
+func (d *scenarioDriver) join() {
+	st := d.st
+	cfg := st.cfg
+	idx := len(st.peers)
+	id := ident.NodeID(idx + 1)
+
+	class := ident.Public
+	upnp := false
+	if d.topoRNG.Float64() < d.natRatio {
+		class = drawClass(d.topoRNG, d.mix)
+		upnp = d.topoRNG.Float64() < cfg.UPnPFraction
+	}
+	if cfg.Protocol == ProtoStaticRVP {
+		if class == ident.Public {
+			st.publicIDs = append(st.publicIDs, id)
+		} else if len(st.publicIDs) > 0 {
+			// The strawman pins each natted peer to one fixed public RVP
+			// for life — possibly one that has already departed, which is
+			// exactly its weakness.
+			st.rvpOf[id] = st.publicIDs[d.topoRNG.Intn(len(st.publicIDs))]
+		}
+	}
+
+	st.addPeer(id, class, xrand.Mix(cfg.Seed, uint64(idx)), upnp, st.resolver)
+	p := st.peers[idx]
+	for len(st.selections) < len(st.peers)+1 {
+		st.selections = append(st.selections, 0)
+	}
+	if d.partSince >= 0 && d.topoRNG.Float64() < d.partFraction {
+		p.Side = 1
+	}
+	st.seedPeer(p, d.topoRNG)
+	st.armTick(p, st.sched.Now()+d.topoRNG.Int63n(cfg.PeriodMs))
+	d.stats.Joins++
+}
+
+// drawClass samples a NAT class from the mix.
+func drawClass(rng *rand.Rand, m NATMix) ident.NATClass {
+	r := rng.Float64()
+	switch {
+	case r < m.RC:
+		return ident.RestrictedCone
+	case r < m.RC+m.PRC:
+		return ident.PortRestrictedCone
+	default:
+		return ident.Symmetric
+	}
+}
+
+// alive rebuilds the scratch list of alive peers, in peer-index order.
+func (d *scenarioDriver) alive() []*simnet.Peer {
+	d.aliveScratch = d.aliveScratch[:0]
+	for _, p := range d.st.peers {
+		if p.Alive {
+			d.aliveScratch = append(d.aliveScratch, p)
+		}
+	}
+	return d.aliveScratch
+}
+
+func (d *scenarioDriver) countAlive() int { return len(d.alive()) }
+
+// kill removes up to k uniformly-drawn alive peers, always sparing at least
+// one so the run keeps a measurable overlay.
+func (d *scenarioDriver) kill(k int) {
+	alive := d.alive()
+	if k > len(alive)-1 {
+		k = len(alive) - 1
+	}
+	for i := 0; i < k; i++ {
+		j := d.churnRNG.Intn(len(alive))
+		d.st.net.Kill(alive[j].ID)
+		alive[j] = alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+		d.stats.Leaves++
+	}
+}
+
+// failGateways kills whole NAT-gateway groups: alive natted peers are
+// chunked, in peer-index order, into logical groups of the scenario's
+// gateway group size (the simulated network keeps one NAT device per peer,
+// so the group models the shared physical gateway), and every member of each
+// failing group dies together.
+func (d *scenarioDriver) failGateways(groups int) {
+	var natted []*simnet.Peer
+	for _, p := range d.st.peers {
+		if p.Alive && p.Class.Natted() {
+			natted = append(natted, p)
+		}
+	}
+	size := d.sc.GroupSize()
+	numGroups := (len(natted) + size - 1) / size
+	if numGroups == 0 {
+		return
+	}
+	if groups > numGroups {
+		groups = numGroups
+	}
+	perm := d.churnRNG.Perm(numGroups)
+	for _, g := range perm[:groups] {
+		lo, hi := g*size, (g+1)*size
+		if hi > len(natted) {
+			hi = len(natted)
+		}
+		for _, p := range natted[lo:hi] {
+			d.st.net.Kill(p.ID)
+			d.stats.Leaves++
+		}
+		d.stats.GatewayFailures++
+	}
+}
+
+// partition splits the alive population: a minority side of ev.Fraction
+// (clamped to keep both sides non-empty), the rest on side 0. Peers joining
+// while the partition holds are assigned a side with the same bias.
+func (d *scenarioDriver) partition(ev scenario.Event) {
+	alive := d.alive()
+	if len(alive) < 2 {
+		return
+	}
+	if d.partSince >= 0 {
+		// A new partition while one holds: close the first interval's
+		// books, then re-cut.
+		d.stats.PartitionRounds += ev.Round - d.partSince
+	}
+	k := int(ev.Fraction*float64(len(alive)) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(alive)-1 {
+		k = len(alive) - 1
+	}
+	perm := d.topoRNG.Perm(len(alive))
+	for i, j := range perm {
+		if i < k {
+			alive[j].Side = 1
+		} else {
+			alive[j].Side = 0
+		}
+	}
+	d.st.net.SetPartitionActive(true)
+	d.partSince = ev.Round
+	d.partFraction = ev.Fraction
+	d.partGen++
+	if ev.DurationRounds > 0 {
+		healRound := ev.Round + ev.DurationRounds
+		// A duration reaching past the run horizon behaves exactly like
+		// duration 0: the partition stays in force through the final
+		// measurement (a heal at the end boundary would fire just before
+		// measure() and misreport a healed overlay).
+		if healRound < d.st.cfg.Rounds {
+			gen := d.partGen
+			d.st.sched.At(int64(healRound)*d.st.cfg.PeriodMs, func() {
+				// Only heal the partition that scheduled this; a later
+				// cut owns its own lifetime.
+				if d.partGen == gen {
+					d.heal(healRound)
+				}
+			})
+		}
+	}
+}
+
+// heal ends the active partition (idempotent).
+func (d *scenarioDriver) heal(round int) {
+	if d.partSince < 0 {
+		return
+	}
+	d.stats.PartitionRounds += round - d.partSince
+	d.partSince = -1
+	d.st.net.SetPartitionActive(false)
+	for _, p := range d.st.peers {
+		p.Side = 0
+	}
+}
+
+// finishStats closes open bookkeeping (a partition still active at the end
+// of the run) and returns the run's scenario summary.
+func (d *scenarioDriver) finishStats() ScenarioStats {
+	if d.partSince >= 0 {
+		d.stats.PartitionRounds += d.st.cfg.Rounds - d.partSince
+		d.partSince = -1
+	}
+	return d.stats
+}

@@ -3,10 +3,13 @@ package exp
 import (
 	"repro/internal/graph"
 	"repro/internal/ident"
+	"repro/internal/stats"
 )
 
 // SamplePoint is one mid-run measurement of the overlay's health, taken with
-// the same usable-edge semantics as the end-of-run Result.
+// the same usable-edge semantics as the end-of-run Result. Samples fire at
+// round boundaries before that round's scenario events, so a point reflects
+// the overlay as the round begins.
 type SamplePoint struct {
 	// Round is the shuffling round at which the snapshot was taken.
 	Round int
@@ -16,6 +19,56 @@ type SamplePoint struct {
 	StaleFraction float64
 	// AlivePeers is the population at the snapshot.
 	AlivePeers int
+	// Joins and Leaves are the cumulative scenario-driven arrivals and
+	// departures up to the snapshot (zero without a scenario).
+	Joins, Leaves uint64
+}
+
+// RecoveryThreshold is the biggest-cluster fraction at which the overlay
+// counts as recovered from a disruption.
+const RecoveryThreshold = 0.95
+
+// Recovery condenses a health series into a recovery curve: how deep the
+// overlay sank and how long it took to knit itself back together.
+type Recovery struct {
+	// WorstCluster is the lowest sampled biggest-cluster fraction, and
+	// WorstRound the round it was observed.
+	WorstCluster float64
+	WorstRound   int
+	// RecoveredRound is the first sampled round after the worst point at
+	// which the cluster regained RecoveryThreshold; -1 if it never did.
+	RecoveredRound int
+	// ClusterSummary summarizes the sampled biggest-cluster fractions.
+	ClusterSummary stats.Summary
+}
+
+// recoveryFrom computes the recovery summary of a series. An empty series
+// yields the zero Recovery.
+func recoveryFrom(series []SamplePoint) Recovery {
+	if len(series) == 0 {
+		return Recovery{}
+	}
+	r := Recovery{WorstCluster: series[0].BiggestCluster, WorstRound: series[0].Round, RecoveredRound: -1}
+	clusters := make([]float64, len(series))
+	for i, pt := range series {
+		clusters[i] = pt.BiggestCluster
+		if pt.BiggestCluster < r.WorstCluster {
+			r.WorstCluster = pt.BiggestCluster
+			r.WorstRound = pt.Round
+		}
+	}
+	for _, pt := range series {
+		if pt.Round > r.WorstRound && pt.BiggestCluster >= RecoveryThreshold {
+			r.RecoveredRound = pt.Round
+			break
+		}
+	}
+	if r.WorstCluster >= RecoveryThreshold {
+		// Never disrupted below the threshold: recovered from the start.
+		r.RecoveredRound = r.WorstRound
+	}
+	r.ClusterSummary = stats.Summarize(clusters)
+	return r
 }
 
 // overlaySnapshot walks every alive peer's view once and returns the usable
@@ -55,12 +108,16 @@ func (st *runState) scheduleSeries() *[]SamplePoint {
 		st.sched.At(int64(r)*st.cfg.PeriodMs, func() {
 			now := st.sched.Now()
 			aliveIDs, edges, stale := st.overlaySnapshot(now)
-			*series = append(*series, SamplePoint{
+			pt := SamplePoint{
 				Round:          r,
 				BiggestCluster: graph.BiggestClusterFraction(aliveIDs, edges),
 				StaleFraction:  stale,
 				AlivePeers:     len(aliveIDs),
-			})
+			}
+			if st.scn != nil {
+				pt.Joins, pt.Leaves = st.scn.stats.Joins, st.scn.stats.Leaves
+			}
+			*series = append(*series, pt)
 		})
 	}
 	return series

@@ -8,6 +8,11 @@
 // expire 90 s after the last activity. Datagrams addressed to a natted peer
 // traverse its NAT device, which admits or silently drops them according to
 // its class and current filtering rules.
+//
+// Scenario runs may perturb the base model through a LinkPolicy (per-datagram
+// latency jitter and probabilistic loss) and a partition mask (cross-side
+// deliveries dropped at the cut). Without them the network stays on the
+// constant-latency, allocation-free delivery lane.
 package simnet
 
 import (
@@ -36,6 +41,10 @@ type Peer struct {
 	Device     *nat.Device    // nil for public peers
 	Engine     core.Engine
 	Alive      bool
+	// Side is the peer's partition side. It only matters while a
+	// partition is active (see SetPartitionActive): deliveries between
+	// peers on different sides are dropped.
+	Side uint8
 
 	// Traffic counters, in bytes and datagrams. Sent counts every datagram
 	// the engine emitted; Recv counts only datagrams actually delivered
@@ -58,6 +67,21 @@ type DropStats struct {
 	NoSuchAddr uint64
 	// DeadPeer datagrams reached a departed peer.
 	DeadPeer uint64
+	// LinkLost datagrams were lost in flight by the link model.
+	LinkLost uint64
+	// Partitioned datagrams were dropped at a partition cut.
+	Partitioned uint64
+}
+
+// LinkPolicy perturbs individual datagram transmissions: a scenario's link
+// model implements it to add per-datagram latency jitter and probabilistic
+// loss. Transmit is consulted once per datagram at send time and returns the
+// extra one-way delay in milliseconds (≥ 0) and whether the datagram is lost
+// in flight. Implementations draw all randomness from their own
+// deterministic stream; the network calls Transmit in a deterministic order,
+// so runs stay reproducible.
+type LinkPolicy interface {
+	Transmit(now int64, srcEP, to ident.Endpoint, size uint64) (extraDelayMs int64, drop bool)
 }
 
 // Network is the simulated network. It is not safe for concurrent use; all
@@ -83,7 +107,18 @@ type Network struct {
 	// scheduler's lane (one-way latency is constant, so deliveries
 	// complete in exactly the order they were enqueued): transmitting a
 	// datagram allocates nothing and never touches the event heap.
+	//
+	// Datagrams the link policy delays beyond the base latency are the
+	// exception: their fire times are not monotone, so they go through
+	// the scheduler's heap instead (see Send).
 	inflight sim.Ring[delivery]
+
+	// policy, when non-nil, perturbs transmissions (jitter, loss). The
+	// nil-policy path is the allocation-free fast path.
+	policy LinkPolicy
+	// partitionOn activates the partition mask: deliveries between peers
+	// whose Side differs are dropped at the cut.
+	partitionOn bool
 
 	Drops DropStats
 	// Trace, when non-nil, records every transmission, delivery and drop.
@@ -171,6 +206,19 @@ func New(sched *sim.Scheduler, latencyMs int64) *Network {
 
 // Latency returns the one-way delivery latency in milliseconds.
 func (n *Network) Latency() int64 { return n.latency }
+
+// SetLinkPolicy installs (or, with nil, removes) the transmission
+// perturbation policy. With no policy the constant-latency lane fast path is
+// used exclusively.
+func (n *Network) SetLinkPolicy(p LinkPolicy) { n.policy = p }
+
+// SetPartitionActive toggles the partition mask. Callers assign peers'
+// Side fields before activating; healing deactivates the mask (sides may be
+// left as-is, they are ignored while inactive).
+func (n *Network) SetPartitionActive(active bool) { n.partitionOn = active }
+
+// PartitionActive reports whether a partition is in force.
+func (n *Network) PartitionActive() bool { return n.partitionOn }
 
 // Scheduler returns the scheduler driving the network.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
@@ -290,6 +338,30 @@ func (n *Network) Send(from *Peer, s core.Send) {
 	if n.Trace != nil {
 		n.Trace.Record(trace.Event{At: now, Op: trace.OpSend, From: srcEP, To: s.To, Kind: uint8(s.Msg.Kind), Size: int(size)})
 	}
+	if n.policy != nil {
+		extra, drop := n.policy.Transmit(now, srcEP, s.To, size)
+		if drop {
+			// In-flight loss, accounted at send time: the sender paid
+			// the bytes, nobody receives them.
+			n.Drops.LinkLost++
+			if n.Trace != nil {
+				n.Trace.Record(trace.Event{At: now, Op: trace.OpDropLink, From: srcEP, To: s.To, Kind: uint8(s.Msg.Kind), Size: int(size)})
+			}
+			s.Msg.Release()
+			return
+		}
+		if extra > 0 {
+			// Jittered deliveries are not monotone, so they cannot ride
+			// the lane: route through the scheduler's heap. The closure
+			// allocates — acceptable, only perturbed datagrams pay it.
+			d := delivery{srcEP: srcEP, to: s.To, msg: s.Msg, size: size}
+			n.sched.At(now+n.latency+extra, func() {
+				n.deliver(d.srcEP, d.to, d.msg, d.size)
+				d.msg.Release()
+			})
+			return
+		}
+	}
 	n.inflight.Push(delivery{srcEP: srcEP, to: s.To, msg: s.Msg, size: size})
 	n.sched.LaneAt(now + n.latency)
 }
@@ -308,6 +380,17 @@ func (n *Network) deliver(srcEP, to ident.Endpoint, msg *wire.Message, size uint
 	target, ok := n.resolve(now, srcEP, to)
 	if !ok {
 		return
+	}
+	if n.partitionOn {
+		// The cut is evaluated at delivery time: datagrams in flight when
+		// the partition strikes are swallowed by it too.
+		if src, ok := n.OwnerOfIP(srcEP.IP); ok && src.Side != target.Side {
+			n.Drops.Partitioned++
+			if n.Trace != nil {
+				n.Trace.Record(trace.Event{At: now, Op: trace.OpDropPartition, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
+			}
+			return
+		}
 	}
 	if !target.Alive {
 		n.Drops.DeadPeer++

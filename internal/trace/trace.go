@@ -26,6 +26,10 @@ const (
 	OpDropAddr
 	// OpDropDead is a datagram to a departed peer.
 	OpDropDead
+	// OpDropLink is a datagram lost in flight by the link model.
+	OpDropLink
+	// OpDropPartition is a datagram dropped at a network partition cut.
+	OpDropPartition
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +45,10 @@ func (o Op) String() string {
 		return "drop-addr"
 	case OpDropDead:
 		return "drop-dead"
+	case OpDropLink:
+		return "drop-link"
+	case OpDropPartition:
+		return "drop-part"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }

@@ -17,7 +17,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-BENCH='BenchmarkSimulation1kPeers|BenchmarkViewExchange|BenchmarkNylonTick|BenchmarkWireMarshal'
+BENCH='BenchmarkSimulation1kPeers|BenchmarkScenarioChurn1k|BenchmarkViewExchange|BenchmarkNylonTick|BenchmarkWireMarshal'
 BENCHTIME="${BENCHTIME:-5x}"
 
 while [ $# -gt 0 ]; do
