@@ -10,6 +10,7 @@
 package nylon
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -323,6 +324,44 @@ func BenchmarkScenarioChurn1k(b *testing.B) {
 func BenchmarkSimulation10kPeers(b *testing.B) {
 	cfg := benchCfg(exp.ProtoNylon, 80)
 	cfg.N, cfg.Rounds = 10_000, 40
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runPoint(b, cfg, int64(i+1))
+	}
+}
+
+// BenchmarkSimulation10kPeersWorkers sweeps the sharded kernel's worker
+// count over the paper-scale run — the README "Scaling" table. Results are
+// bit-identical across the sweep (see TestWorkerCountInvariance); only the
+// wall clock moves. Skipped under -short; run with -benchtime 1x.
+func BenchmarkSimulation10kPeersWorkers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("worker sweep skipped in -short mode")
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := benchCfg(exp.ProtoNylon, 80)
+			cfg.N, cfg.Rounds = 10_000, 40
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				runPoint(b, cfg, int64(i+1))
+			}
+		})
+	}
+}
+
+// BenchmarkSimulation100kPeers is the 10×-paper-scale population the sharded
+// kernel exists for: 100,000 peers on 32 shards. One iteration finishes in
+// well under a minute per worker-saturated core-set (and in single-digit
+// minutes even sequentially). Skipped under -short (the generic CI bench
+// smoke); the dedicated CI step runs it explicitly with -benchtime 1x.
+func BenchmarkSimulation100kPeers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-peer run skipped in -short mode")
+	}
+	cfg := benchCfg(exp.ProtoNylon, 80)
+	cfg.N, cfg.Rounds = 100_000, 20
+	cfg.Shards = 32
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runPoint(b, cfg, int64(i+1))

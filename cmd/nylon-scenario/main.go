@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/scenario"
@@ -35,6 +37,7 @@ func main() {
 		merge     = flag.String("merge", "healer", "view merge: blind, healer, swapper")
 		push      = flag.Bool("push", false, "push-only propagation (default push/pull)")
 		every     = flag.Int("every", 0, "sample the health series every N rounds (0 = rounds/20)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (results are identical for any value)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -61,6 +64,7 @@ func main() {
 		PushPull:          !*push,
 		SampleEveryRounds: sample,
 		Scenario:          sc,
+		Workers:           *workers,
 	}
 	if cfg.Protocol, err = exp.ParseProtocol(*protocol); err != nil {
 		fatal(err)
@@ -72,10 +76,12 @@ func main() {
 		fatal(err)
 	}
 
+	start := time.Now()
 	res, err := exp.Run(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	wall := time.Since(start)
 
 	name := sc.Name
 	if name == "" {
@@ -110,6 +116,9 @@ func main() {
 	fmt.Printf("bytes/s per peer    %.0f (public %.0f, natted %.0f)\n",
 		res.BytesPerSecAll, res.BytesPerSecPublic, res.BytesPerSecNatted)
 	fmt.Printf("shuffle completion  %.1f%%\n", res.CompletionRate*100)
+	fmt.Printf("throughput          %d events in %v (%.0f events/s, %d workers × %d shards)\n",
+		res.EventsProcessed, wall.Round(time.Millisecond), float64(res.EventsProcessed)/wall.Seconds(),
+		res.Cfg.Workers, res.Cfg.Shards)
 }
 
 // describe renders a one-line summary of the scenario's dimensions.

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/view"
@@ -34,6 +36,8 @@ func main() {
 		churnAt   = flag.Int("churn-at", 0, "round at which churn strikes (0 = none)")
 		churnPct  = flag.Float64("churn", 0, "percentage of peers departing at churn-at")
 		traceN    = flag.Int("trace", 0, "print the last N network events (sends, deliveries, drops)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (results are identical for any value)")
+		shards    = flag.Int("shards", 0, "simulation shards (0 = default; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -47,6 +51,8 @@ func main() {
 		ChurnAtRound:  *churnAt,
 		ChurnFraction: *churnPct / 100,
 		TraceCapacity: *traceN,
+		Workers:       *workers,
+		Shards:        *shards,
 	}
 	var err error
 	if cfg.Selection, err = view.ParseSelection(*selection); err != nil {
@@ -67,10 +73,12 @@ func main() {
 		fatal(fmt.Errorf("unknown mix %q", *mix))
 	}
 
+	start := time.Now()
 	res, err := exp.Run(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	wall := time.Since(start)
 	fmt.Printf("protocol            %v (%v, %v, push/pull=%v)\n", cfg.Protocol, cfg.Selection, cfg.Merge, cfg.PushPull)
 	fmt.Printf("peers               %d (%.0f%% natted), view %d, %d rounds, seed %d\n",
 		cfg.N, *natPct, cfg.ViewSize, cfg.Rounds, cfg.Seed)
@@ -86,6 +94,9 @@ func main() {
 	fmt.Printf("alive peers         %d\n", res.AlivePeers)
 	fmt.Printf("network drops       nat-filtered %d, no-addr %d, dead %d\n",
 		res.Drops.NATFiltered, res.Drops.NoSuchAddr, res.Drops.DeadPeer)
+	fmt.Printf("throughput          %d events in %v (%.0f events/s, %d workers × %d shards)\n",
+		res.EventsProcessed, wall.Round(time.Millisecond), float64(res.EventsProcessed)/wall.Seconds(),
+		res.Cfg.Workers, res.Cfg.Shards)
 	if res.TraceDump != "" {
 		fmt.Printf("--- last %d network events ---\n%s", *traceN, res.TraceDump)
 	}

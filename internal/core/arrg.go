@@ -92,7 +92,7 @@ func (a *ARRG) buffer(m *wire.Message, buf []view.Descriptor) []view.Descriptor 
 }
 
 func (a *ARRG) request(target view.Descriptor) Send {
-	msg := newMsg(wire.KindRequest, a.Self(), target, a.Self())
+	msg := newMsg(a.cfg.Msgs, wire.KindRequest, a.Self(), target, a.Self())
 	// A fallback retry and the regular shuffle may both run this round;
 	// only the latest buffer matters for the swapper bookkeeping, so the
 	// shared scratch may be overwritten.
@@ -139,7 +139,7 @@ func (a *ARRG) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send
 		out := a.out[:0]
 		var sentResp []view.Descriptor
 		if a.cfg.PushPull {
-			resp := newMsg(wire.KindResponse, a.Self(), msg.Src, a.Self())
+			resp := newMsg(a.cfg.Msgs, wire.KindResponse, a.Self(), msg.Src, a.Self())
 			a.respSent = a.buffer(resp, a.respSent[:0])
 			sentResp = a.respSent
 			out = append(out, Send{To: from, ToID: msg.Src.ID, Msg: resp})

@@ -64,9 +64,10 @@ type Engine interface {
 	Stats() *Stats
 }
 
-// newMsg draws a message from the wire pool and stamps its routing header.
-func newMsg(kind wire.Kind, src, dst, via view.Descriptor) *wire.Message {
-	m := wire.NewMessage()
+// newMsg draws a message from the given pool (nil: the shared wire pool)
+// and stamps its routing header.
+func newMsg(p *wire.Pool, kind wire.Kind, src, dst, via view.Descriptor) *wire.Message {
+	m := p.Get()
 	m.Kind, m.Src, m.Dst, m.Via = kind, src, dst, via
 	return m
 }
@@ -134,6 +135,11 @@ type Config struct {
 	// Fig. 6 pseudocode omit it, so it defaults off for fidelity; turning
 	// it on sharply accelerates recovery from churn (ablation A5).
 	EvictUnanswered bool
+	// Msgs is the message pool the engine allocates from (and releases
+	// to). The sharded simulator hands every engine its shard's
+	// single-owner pool so message recycling never crosses cores; nil
+	// falls back to the shared concurrency-safe pool.
+	Msgs *wire.Pool
 	// RefreshRoutesOnTraffic makes Nylon extend the TTL of every route
 	// through an RVP whenever a datagram from that RVP arrives (one
 	// possible reading of §4's TTL-update rule). Off by default: it keeps

@@ -87,7 +87,7 @@ func (g *Generic) Tick(now int64) []Send {
 		return nil
 	}
 	g.stats.ShufflesInitiated++
-	msg := newMsg(wire.KindRequest, g.Self(), target, g.Self())
+	msg := newMsg(g.cfg.Msgs, wire.KindRequest, g.Self(), target, g.Self())
 	g.reqSent = g.buffer(msg, g.reqSent[:0])
 	g.pendingSent = g.reqSent
 	g.pendingTarget = target.ID
@@ -102,7 +102,7 @@ func (g *Generic) Receive(now int64, from ident.Endpoint, msg *wire.Message) []S
 		out := g.out[:0]
 		var sent []view.Descriptor
 		if g.cfg.PushPull {
-			resp := newMsg(wire.KindResponse, g.Self(), msg.Src, g.Self())
+			resp := newMsg(g.cfg.Msgs, wire.KindResponse, g.Self(), msg.Src, g.Self())
 			g.respSent = g.buffer(resp, g.respSent[:0])
 			sent = g.respSent
 			// Reply to the observed transport endpoint: the

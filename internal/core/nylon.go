@@ -245,7 +245,7 @@ func (n *Nylon) Tick(now int64) []Send {
 
 	if addr, ok := n.reachableDirect(target, now); ok {
 		// Fig. 6 line 3: target public or next_RVP(target) = target.
-		msg := newMsg(wire.KindRequest, self, target, self)
+		msg := newMsg(n.cfg.Msgs, wire.KindRequest, self, target, self)
 		n.reqSent = n.buffer(now, msg, n.reqSent[:0])
 		n.pendingSent = n.reqSent
 		n.out = append(n.out[:0], Send{To: addr, ToID: target.ID, Msg: msg})
@@ -259,7 +259,7 @@ func (n *Nylon) Tick(now int64) []Send {
 	if relayInitiate(self, target) {
 		// Fig. 6 lines 5-7: relay the REQUEST itself along the chain.
 		n.stats.Relayed++
-		msg := newMsg(wire.KindRequest, self, target, self)
+		msg := newMsg(n.cfg.Msgs, wire.KindRequest, self, target, self)
 		n.reqSent = n.buffer(now, msg, n.reqSent[:0])
 		n.pendingSent = n.reqSent
 		n.out = append(n.out[:0], Send{To: hop.Addr, ToID: hop.ID, Msg: msg})
@@ -270,14 +270,14 @@ func (n *Nylon) Tick(now int64) []Send {
 	n.pending = append(n.pending, target.ID)
 	out := append(n.out[:0], Send{
 		To: hop.Addr, ToID: hop.ID,
-		Msg: newMsg(wire.KindOpenHole, self, target, self),
+		Msg: newMsg(n.cfg.Msgs, wire.KindOpenHole, self, target, self),
 	})
 	if self.Class.Natted() {
 		// The PING opens our own NAT toward the target; the target's NAT
 		// will normally drop it, which is fine.
 		out = append(out, Send{
 			To: target.Addr, ToID: target.ID,
-			Msg: newMsg(wire.KindPing, self, target, self),
+			Msg: newMsg(n.cfg.Msgs, wire.KindPing, self, target, self),
 		})
 	}
 	n.out = out
@@ -338,12 +338,12 @@ func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Sen
 		// originator directly so both NATs now hold matching rules.
 		n.stats.ChainHopsTotal += uint64(msg.Hops) + 1
 		n.stats.ChainSamples++
-		pong := newMsg(wire.KindPong, n.Self(), msg.Src, n.Self())
+		pong := newMsg(n.cfg.Msgs, wire.KindPong, n.Self(), msg.Src, n.Self())
 		n.out = append(n.out[:0], Send{To: msg.Src.Addr, ToID: msg.Src.ID, Msg: pong})
 		return n.out
 	case wire.KindPing:
 		// Fig. 6 lines 41-43: reply to the observed endpoint.
-		pong := newMsg(wire.KindPong, n.Self(), msg.Src, n.Self())
+		pong := newMsg(n.cfg.Msgs, wire.KindPong, n.Self(), msg.Src, n.Self())
 		n.out = append(n.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: pong})
 		return n.out
 	case wire.KindPong:
@@ -353,7 +353,7 @@ func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Sen
 			return nil
 		}
 		n.stats.HolePunchesCompleted++
-		req := newMsg(wire.KindRequest, n.Self(), msg.Src, n.Self())
+		req := newMsg(n.cfg.Msgs, wire.KindRequest, n.Self(), msg.Src, n.Self())
 		n.reqSent = n.buffer(now, req, n.reqSent[:0])
 		n.pendingSent = n.reqSent
 		n.out = append(n.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: req})
@@ -374,7 +374,7 @@ func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message,
 	var sentResp []view.Descriptor
 	if n.cfg.PushPull {
 		self := n.Self()
-		resp := newMsg(wire.KindResponse, self, msg.Src, self)
+		resp := newMsg(n.cfg.Msgs, wire.KindResponse, self, msg.Src, self)
 		n.respSent = n.buffer(now, resp, n.respSent[:0])
 		sentResp = n.respSent
 		if relayRespond(self, msg.Src) {
@@ -387,7 +387,7 @@ func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message,
 				out = append(out, Send{To: hop.Addr, ToID: hop.ID, Msg: resp})
 			} else {
 				n.stats.NoRoute++
-				resp.Release()
+				n.cfg.Msgs.Put(resp)
 			}
 		} else {
 			// Fig. 6 lines 23-24. When the request arrived directly the
@@ -431,7 +431,7 @@ func (n *Nylon) forward(now int64, msg *wire.Message, via view.Descriptor) []Sen
 		return nil
 	}
 	n.stats.Forwarded++
-	fwd := msg.Clone()
+	fwd := n.cfg.Msgs.Clone(msg)
 	fwd.Hops++
 	fwd.Via = n.Self()
 	n.out = append(n.out[:0], Send{To: hop.Addr, ToID: hop.ID, Msg: fwd})

@@ -123,7 +123,7 @@ func (s *StaticRVP) Tick(now int64) []Send {
 	self := s.Self()
 	if s.cfg.Self.Class.Natted() {
 		out = append(out, Send{To: s.ownRVP.Addr, ToID: s.ownRVP.ID,
-			Msg: newMsg(wire.KindPing, self, s.ownRVP, self)})
+			Msg: newMsg(s.cfg.Msgs, wire.KindPing, self, s.ownRVP, self)})
 	}
 	target, ok := s.view.Select(s.cfg.Selection, s.cfg.RNG)
 	if !ok {
@@ -132,7 +132,7 @@ func (s *StaticRVP) Tick(now int64) []Send {
 	s.stats.ShufflesInitiated++
 	s.pendingTarget = target.ID
 	if !target.Class.Natted() {
-		msg := newMsg(wire.KindRequest, self, target, self)
+		msg := newMsg(s.cfg.Msgs, wire.KindRequest, self, target, self)
 		s.reqSent = s.buffer(msg, s.reqSent[:0])
 		s.pendingSent = s.reqSent
 		out = append(out, Send{To: target.Addr, ToID: target.ID, Msg: msg})
@@ -147,7 +147,7 @@ func (s *StaticRVP) Tick(now int64) []Send {
 		// Hole punching cannot serve symmetric combinations reliably;
 		// relay the whole exchange through the target's RVP.
 		s.stats.Relayed++
-		msg := newMsg(wire.KindRequest, self, target, self)
+		msg := newMsg(s.cfg.Msgs, wire.KindRequest, self, target, self)
 		s.reqSent = s.buffer(msg, s.reqSent[:0])
 		s.pendingSent = s.reqSent
 		out = append(out, Send{To: rvp.Addr, ToID: rvp.ID, Msg: msg})
@@ -156,10 +156,10 @@ func (s *StaticRVP) Tick(now int64) []Send {
 	s.stats.HolePunchesStarted++
 	s.pending = append(s.pending, target.ID)
 	out = append(out, Send{To: rvp.Addr, ToID: rvp.ID,
-		Msg: newMsg(wire.KindOpenHole, self, target, self)})
+		Msg: newMsg(s.cfg.Msgs, wire.KindOpenHole, self, target, self)})
 	if s.cfg.Self.Class.Natted() {
 		out = append(out, Send{To: target.Addr, ToID: target.ID,
-			Msg: newMsg(wire.KindPing, self, target, self)})
+			Msg: newMsg(s.cfg.Msgs, wire.KindPing, self, target, self)})
 	}
 	return out
 }
@@ -177,7 +177,7 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 		out := s.out[:0]
 		var sentResp []view.Descriptor
 		if s.cfg.PushPull {
-			resp := newMsg(wire.KindResponse, self, msg.Src, self)
+			resp := newMsg(s.cfg.Msgs, wire.KindResponse, self, msg.Src, self)
 			s.respSent = s.buffer(resp, s.respSent[:0])
 			sentResp = s.respSent
 			switch {
@@ -195,7 +195,7 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 					out = append(out, Send{To: msg.Src.Addr, ToID: msg.Src.ID, Msg: resp})
 				} else {
 					s.stats.NoRoute++
-					resp.Release()
+					s.cfg.Msgs.Put(resp)
 				}
 			}
 		}
@@ -224,18 +224,18 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 		s.stats.ChainHopsTotal++ // exactly one RVP by construction
 		s.stats.ChainSamples++
 		s.out = append(s.out[:0], Send{To: msg.Src.Addr, ToID: msg.Src.ID,
-			Msg: newMsg(wire.KindPong, self, msg.Src, self)})
+			Msg: newMsg(s.cfg.Msgs, wire.KindPong, self, msg.Src, self)})
 		return s.out
 	case wire.KindPing:
 		s.out = append(s.out[:0], Send{To: from, ToID: msg.Src.ID,
-			Msg: newMsg(wire.KindPong, self, msg.Src, self)})
+			Msg: newMsg(s.cfg.Msgs, wire.KindPong, self, msg.Src, self)})
 		return s.out
 	case wire.KindPong:
 		if !s.pendingPunch(msg.Src.ID) {
 			return nil
 		}
 		s.stats.HolePunchesCompleted++
-		req := newMsg(wire.KindRequest, self, msg.Src, self)
+		req := newMsg(s.cfg.Msgs, wire.KindRequest, self, msg.Src, self)
 		s.reqSent = s.buffer(req, s.reqSent[:0])
 		s.pendingSent = s.reqSent
 		s.out = append(s.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: req})
@@ -248,7 +248,7 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 // handOver forwards a datagram to the natted peer bound to this RVP.
 func (s *StaticRVP) handOver(msg *wire.Message, self view.Descriptor) []Send {
 	s.stats.Forwarded++
-	fwd := msg.Clone()
+	fwd := s.cfg.Msgs.Clone(msg)
 	fwd.Hops++
 	fwd.Via = self
 	s.out = append(s.out[:0], Send{To: s.endpointOf(msg.Dst), ToID: msg.Dst.ID, Msg: fwd})

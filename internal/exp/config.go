@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/ident"
 	"repro/internal/scenario"
@@ -158,6 +159,17 @@ type Config struct {
 	// alternative): they keep their device but advertise a permanent
 	// pinhole, making them publicly reachable. Ablation A6 sweeps it.
 	UPnPFraction float64
+
+	// Shards is the number of simulation shards (default 8, a fixed
+	// constant — never derived from the machine). Results are invariant
+	// under the shard count (see DESIGN.md §5): it is purely a throughput
+	// knob bounding how many workers can help. Tracing (TraceCapacity)
+	// forces a single shard so the event trace is totally ordered.
+	Shards int
+	// Workers is the number of OS threads executing shards in parallel
+	// (default GOMAXPROCS, clamped to Shards). Results are bit-identical
+	// for any worker count.
+	Workers int
 }
 
 // Defaults fills unset fields with the paper's parameters scaled to a
@@ -190,6 +202,12 @@ func (c Config) Defaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 8
 	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	// Zero-valued Selection/Merge already mean rand/blind; the paper's
 	// reference configuration is (rand, healer, push/pull), which callers
 	// set explicitly.
@@ -216,6 +234,12 @@ func (c Config) validate() error {
 		if c.ChurnAtRound != 0 {
 			return fmt.Errorf("exp: ChurnAtRound %d outside (0,Rounds)", c.ChurnAtRound)
 		}
+	}
+	if c.Shards < 1 || c.Shards > 4096 {
+		return fmt.Errorf("exp: Shards %d outside [1,4096]", c.Shards)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("exp: Workers must be positive (got %d)", c.Workers)
 	}
 	if err := c.Scenario.Validate(c.Rounds); err != nil {
 		return fmt.Errorf("exp: %w", err)

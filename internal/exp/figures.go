@@ -62,6 +62,13 @@ func runSeeds(cfg Config, seeds []int64) (Result, error) {
 			defer func() { <-simSlots }()
 			c := cfg
 			c.Seed = seed
+			// The sweep itself saturates the machine (one slot per
+			// core), so each point runs its sharded kernel with a single
+			// worker: inner and outer parallelism share the simSlots
+			// budget instead of multiplying into oversubscription.
+			// Results are worker-count-invariant, so this is purely a
+			// scheduling choice.
+			c.Workers = 1
 			results[i], errs[i] = Run(c)
 		}()
 	}

@@ -74,20 +74,35 @@ type Result struct {
 	// TraceDump holds the tail of the network event trace when
 	// Config.TraceCapacity is set (one event per line).
 	TraceDump string
+	// EventsProcessed is the total number of simulator events the run
+	// executed. It is part of the determinism contract: the same
+	// (Config, Scenario, Seed) executes the same events for any worker or
+	// shard count.
+	EventsProcessed uint64
+}
+
+// shardWorld is the per-shard slice of the runner's state: everything a
+// shard's events write between barriers lives here, so windows run
+// lock-free and the end-of-run merge is a simple sum.
+type shardWorld struct {
+	// selections counts, per peer, how often it was chosen as a gossip
+	// target by this shard's peers during the measurement window — the
+	// sample stream whose uniformity stands in for the paper's diehard
+	// check. Merged across shards at measurement.
+	selections []int
 }
 
 // runState carries the wiring of one simulation run.
 type runState struct {
 	cfg   Config
 	rng   *rand.Rand
-	sched *sim.Scheduler
+	kern  *sim.ShardedScheduler
 	net   *simnet.Network
 	peers []*simnet.Peer // index i holds NodeID i+1
 
-	// selections counts, per peer, how often it was chosen as a gossip
-	// target during the measurement window — the sample stream whose
-	// uniformity stands in for the paper's diehard check.
-	selections   []int
+	// shards holds the per-shard worlds, index-aligned with the kernel's
+	// and the network's shards.
+	shards       []shardWorld
 	measureAfter int64
 
 	// scn drives the environment timeline; nil when the scenario is nil
@@ -103,18 +118,30 @@ type runState struct {
 	resolver  core.RVPResolver
 }
 
-// Run executes one experiment point and returns its measurements.
+// Run executes one experiment point and returns its measurements. The run
+// is a pure function of (Config, Scenario, Seed): the worker count — and
+// even the shard count — change only how fast it finishes.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.Defaults()
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	st := &runState{
-		cfg:   cfg,
-		rng:   xrand.New(cfg.Seed),
-		sched: &sim.Scheduler{},
+	shards := cfg.Shards
+	if cfg.TraceCapacity > 0 {
+		// Tracing needs a totally ordered event log: run on one shard.
+		shards = 1
 	}
-	st.net = simnet.New(st.sched, cfg.LatencyMs)
+	st := &runState{
+		cfg:    cfg,
+		rng:    xrand.New(cfg.Seed),
+		kern:   sim.NewSharded(shards, cfg.Workers, cfg.LatencyMs),
+		shards: make([]shardWorld, shards),
+	}
+	// Echo the effective execution shape (workers clamp to shards;
+	// tracing forces one shard) so Result.Cfg reports what actually ran.
+	st.cfg.Shards = shards
+	st.cfg.Workers = st.kern.Workers()
+	st.net = simnet.NewSharded(st.kern, cfg.LatencyMs)
 	if cfg.TraceCapacity > 0 {
 		st.net.Trace = trace.New(cfg.TraceCapacity)
 	}
@@ -123,12 +150,16 @@ func Run(cfg Config) (Result, error) {
 	st.bootstrap()
 	st.schedule()
 
+	// Round-boundary work — snapshots, series samples, legacy churn, the
+	// scenario timeline — runs on the kernel's global queue: at a barrier,
+	// global events fire before any shard event of the same round, in
+	// arming order.
 	warmupBytes := st.snapshotBytesAt(int64(cfg.Rounds) / 3 * cfg.PeriodMs)
 	series := st.scheduleSeries()
 
 	if cfg.ChurnAtRound > 0 {
 		churnAt := int64(cfg.ChurnAtRound) * cfg.PeriodMs
-		st.sched.At(churnAt, func() { st.applyChurn() })
+		st.kern.Global().At(churnAt, func() { st.applyChurn() })
 	}
 	// The scenario driver is armed last: at a shared round boundary the
 	// health sample and the legacy churn fire before that round's scenario
@@ -140,11 +171,12 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	end := int64(cfg.Rounds) * cfg.PeriodMs
-	st.sched.RunUntil(end)
+	st.kern.RunUntil(end)
 
 	res := st.measure(end, *warmupBytes)
 	res.Series = *series
 	res.Recovery = recoveryFrom(res.Series)
+	res.EventsProcessed = st.kern.Processed()
 	if st.scn != nil {
 		res.Scenario = st.scn.finishStats()
 	}
@@ -220,6 +252,10 @@ func (st *runState) build() {
 	}
 }
 
+// now returns the current barrier-context virtual time (setup time, or the
+// global event being executed).
+func (st *runState) now() int64 { return st.kern.Global().Now() }
+
 func (st *runState) addPeer(id ident.NodeID, class ident.NATClass, seed int64, upnp bool, resolver core.RVPResolver) {
 	cfg := st.cfg
 	factory := func(self view.Descriptor) core.Engine {
@@ -233,6 +269,9 @@ func (st *runState) addPeer(id ident.NodeID, class ident.NATClass, seed int64, u
 			LatencyBound:    2 * cfg.LatencyMs,
 			RNG:             xrand.New(seed),
 			EvictUnanswered: cfg.EvictUnanswered,
+			// The engine allocates from (and releases to) its shard's
+			// message pool, so recycling never crosses shard boundaries.
+			Msgs: st.net.ShardPool(st.net.ShardOf(id)),
 		}
 		switch cfg.Protocol {
 		case ProtoNylon:
@@ -306,7 +345,7 @@ func (st *runState) bootstrap() {
 func (st *runState) bootstrapEngine(p *simnet.Peer, seeds []view.Descriptor) {
 	switch e := p.Engine.(type) {
 	case *core.Nylon:
-		e.Bootstrap(st.sched.Now(), seeds)
+		e.Bootstrap(st.now(), seeds)
 	case *core.Generic:
 		e.Bootstrap(seeds)
 	case *core.ARRG:
@@ -357,32 +396,42 @@ func (st *runState) seedPeer(p *simnet.Peer, rng *rand.Rand) {
 // ticks interleave rather than firing in lockstep. The runner drives engines
 // itself (rather than through Network.Tick) to observe the selected targets.
 func (st *runState) schedule() {
-	st.selections = make([]int, st.cfg.N+1)
+	for i := range st.shards {
+		st.shards[i].selections = make([]int, st.cfg.N+1)
+	}
 	for _, p := range st.peers {
 		st.armTick(p, st.rng.Int63n(st.cfg.PeriodMs))
 	}
 }
 
-// armTick starts a peer's periodic shuffle loop at the given absolute time.
+// armTick starts a peer's periodic shuffle loop at the given absolute time,
+// on the peer's shard. Every (re)arming draws the peer's next private event
+// counter value as the ordering key, so tick tie-breaks are a pure function
+// of the simulated world (see sim.Scheduler.AtKey).
 func (st *runState) armTick(p *simnet.Peer, firstAt int64) {
+	sched := st.kern.Shard(p.Shard)
+	world := &st.shards[p.Shard]
 	var tick func()
 	tick = func() {
 		if p.Alive {
-			outs := p.Engine.Tick(st.sched.Now())
-			st.recordSelection(outs)
+			outs := p.Engine.Tick(sched.Now())
+			st.recordSelection(world, sched.Now(), outs)
 			for _, s := range outs {
 				st.net.Send(p, s)
 			}
 		}
-		st.sched.After(st.cfg.PeriodMs, tick)
+		p.Seq++
+		sched.AtKey(sched.Now()+st.cfg.PeriodMs, uint64(p.ID), p.Seq, tick)
 	}
-	st.sched.At(firstAt, tick)
+	p.Seq++
+	sched.AtKey(firstAt, uint64(p.ID), p.Seq, tick)
 }
 
-// recordSelection extracts the gossip target of a Tick's output: the final
-// destination of its REQUEST or OPEN_HOLE, whichever appears first.
-func (st *runState) recordSelection(outs []core.Send) {
-	if st.sched.Now() < st.measureAfter {
+// recordSelection extracts the gossip target of a Tick's output — the final
+// destination of its REQUEST or OPEN_HOLE, whichever appears first — into
+// the ticking peer's shard world (merged across shards at measurement).
+func (st *runState) recordSelection(world *shardWorld, now int64, outs []core.Send) {
+	if now < st.measureAfter {
 		return
 	}
 	for _, s := range outs {
@@ -391,8 +440,8 @@ func (st *runState) recordSelection(outs []core.Send) {
 			continue
 		}
 		id := int(s.Msg.Dst.ID)
-		if id >= 1 && id < len(st.selections) {
-			st.selections[id]++
+		if id >= 1 && id < len(world.selections) {
+			world.selections[id]++
 		}
 		return
 	}
@@ -411,12 +460,13 @@ func (st *runState) applyChurn() {
 }
 
 // snapshotBytesAt schedules a per-peer byte-counter snapshot at the given
-// time and returns the slice that will hold it. The slice is sized at fire
-// time, so the population may have grown since scheduling; peers joining
-// after the snapshot simply have a zero baseline.
+// time (as a global barrier event — it reads every shard's peers) and
+// returns the slice that will hold it. The slice is sized at fire time, so
+// the population may have grown since scheduling; peers joining after the
+// snapshot simply have a zero baseline.
 func (st *runState) snapshotBytesAt(at int64) *[]uint64 {
 	snap := &[]uint64{}
-	st.sched.At(at, func() {
+	st.kern.Global().At(at, func() {
 		*snap = make([]uint64, len(st.peers))
 		for i, p := range st.peers {
 			(*snap)[i] = p.BytesSent + p.BytesRecv
@@ -513,10 +563,21 @@ func (st *runState) nylonUsable(now int64, q *simnet.Peer, d view.Descriptor) bo
 	return false
 }
 
-// measure computes the Result at simulation end.
+// measure computes the Result at simulation end, merging the per-shard
+// worlds (selection counts, drop statistics) without any locking: the run
+// is over, every shard has quiesced.
 func (st *runState) measure(end int64, warmupBytes []uint64) Result {
-	now := st.sched.Now()
-	res := Result{Cfg: st.cfg, Drops: st.net.Drops}
+	now := st.kern.Now()
+	res := Result{Cfg: st.cfg, Drops: st.net.Drops()}
+
+	// Merge the per-shard selection counters into one stream, indexed by
+	// NodeID.
+	selections := make([]int, len(st.peers)+1)
+	for i := range st.shards {
+		for id, c := range st.shards[i].selections {
+			selections[id] += c
+		}
+	}
 
 	var aliveIDs []ident.NodeID
 	var edges []graph.Edge
@@ -609,7 +670,7 @@ func (st *runState) measure(end int64, warmupBytes []uint64) Result {
 	// the paper uses the diehard suite on the same stream).
 	counts := make([]int, 0, len(aliveIDs))
 	for _, id := range aliveIDs {
-		counts = append(counts, st.selections[id])
+		counts = append(counts, selections[id])
 	}
 	if len(counts) > 1 {
 		if chi2, dof, err := stats.ChiSquareUniform(counts); err == nil && dof > 0 {

@@ -37,13 +37,25 @@ type ScenarioStats struct {
 // stochastic scenario decision, drawing from xrand.Mix-derived streams so a
 // run stays a pure function of (Config, Scenario, Seed). It also implements
 // simnet.LinkPolicy for the jitter/loss dimension.
+//
+// Everything except Transmit runs at barriers (on the kernel's global
+// queue), where the whole world may be touched single-threaded. Transmit
+// runs on shard goroutines mid-window, so its randomness comes from
+// per-sender streams: each peer's jitter/loss draws depend only on that
+// peer's own deterministic send sequence, never on the interleaving of
+// senders across shards.
 type scenarioDriver struct {
 	st *runState
 	sc *scenario.Scenario
 
 	churnRNG *rand.Rand
 	topoRNG  *rand.Rand
-	linkRNG  *rand.Rand
+	// linkSeed is the root of the per-sender link streams; linkRNGs[i]
+	// drives peer index i's jitter and loss draws. The slice is extended
+	// at barriers when peers join and only indexed mid-window, so shards
+	// never contend on it.
+	linkSeed int64
+	linkRNGs []*rand.Rand
 
 	// Live link model (mutated by set_link events).
 	jitterMs int64
@@ -69,15 +81,29 @@ type scenarioDriver struct {
 
 func newScenarioDriver(st *runState) *scenarioDriver {
 	cfg := st.cfg
-	return &scenarioDriver{
+	d := &scenarioDriver{
 		st:        st,
 		sc:        cfg.Scenario,
 		churnRNG:  xrand.New(xrand.Mix(cfg.Seed, saltScenarioChurn)),
 		topoRNG:   xrand.New(xrand.Mix(cfg.Seed, saltScenarioTopo)),
-		linkRNG:   xrand.New(xrand.Mix(cfg.Seed, saltScenarioLink)),
+		linkSeed:  xrand.Mix(cfg.Seed, saltScenarioLink),
 		natRatio:  cfg.NATRatio,
 		mix:       cfg.Mix,
 		partSince: -1,
+	}
+	if d.sc.NeedsLinkPolicy() {
+		d.growLinkRNGs()
+	}
+	return d
+}
+
+// growLinkRNGs extends the per-sender link streams to cover the current
+// population. Stream i is derived from (seed, link salt, i) alone, so a
+// peer's draws are independent of when it joined and of every other peer.
+func (d *scenarioDriver) growLinkRNGs() {
+	for len(d.linkRNGs) < len(d.st.peers) {
+		i := len(d.linkRNGs)
+		d.linkRNGs = append(d.linkRNGs, xrand.New(xrand.Mix(d.linkSeed, uint64(i))))
 	}
 }
 
@@ -106,25 +132,27 @@ func (d *scenarioDriver) arm() {
 		}
 		fn := d.churnRound
 		for r := start; r <= end; r++ {
-			d.st.sched.At(int64(r)*period, fn)
+			d.st.kern.Global().At(int64(r)*period, fn)
 		}
 	}
 
 	for i := range d.sc.Events {
 		ev := d.sc.Events[i]
-		d.st.sched.At(int64(ev.Round)*period, func() { d.apply(ev) })
+		d.st.kern.Global().At(int64(ev.Round)*period, func() { d.apply(ev) })
 	}
 }
 
 // Transmit implements simnet.LinkPolicy: uniform extra delay in
-// [0, jitterMs], then an independent loss draw. The draw order is part of
-// the determinism contract — do not reorder.
-func (d *scenarioDriver) Transmit(now int64, srcEP, to ident.Endpoint, size uint64) (int64, bool) {
+// [0, jitterMs], then an independent loss draw, both from the sender's
+// private stream. The per-call draw order is part of the determinism
+// contract — do not reorder.
+func (d *scenarioDriver) Transmit(now int64, from ident.NodeID, srcEP, to ident.Endpoint, size uint64) (int64, bool) {
+	rng := d.linkRNGs[int(from)-1]
 	var extra int64
 	if d.jitterMs > 0 {
-		extra = d.linkRNG.Int63n(d.jitterMs + 1)
+		extra = rng.Int63n(d.jitterMs + 1)
 	}
-	drop := d.loss > 0 && d.linkRNG.Float64() < d.loss
+	drop := d.loss > 0 && rng.Float64() < d.loss
 	return extra, drop
 }
 
@@ -204,14 +232,21 @@ func (d *scenarioDriver) join() {
 
 	st.addPeer(id, class, xrand.Mix(cfg.Seed, uint64(idx)), upnp, st.resolver)
 	p := st.peers[idx]
-	for len(st.selections) < len(st.peers)+1 {
-		st.selections = append(st.selections, 0)
+	// Joins happen at barriers, so growing every shard's world (and the
+	// per-sender link streams) is race-free.
+	for i := range st.shards {
+		for len(st.shards[i].selections) < len(st.peers)+1 {
+			st.shards[i].selections = append(st.shards[i].selections, 0)
+		}
+	}
+	if d.sc.NeedsLinkPolicy() {
+		d.growLinkRNGs()
 	}
 	if d.partSince >= 0 && d.topoRNG.Float64() < d.partFraction {
 		p.Side = 1
 	}
 	st.seedPeer(p, d.topoRNG)
-	st.armTick(p, st.sched.Now()+d.topoRNG.Int63n(cfg.PeriodMs))
+	st.armTick(p, st.now()+d.topoRNG.Int63n(cfg.PeriodMs))
 	d.stats.Joins++
 }
 
@@ -331,7 +366,7 @@ func (d *scenarioDriver) partition(ev scenario.Event) {
 		// measure() and misreport a healed overlay).
 		if healRound < d.st.cfg.Rounds {
 			gen := d.partGen
-			d.st.sched.At(int64(healRound)*d.st.cfg.PeriodMs, func() {
+			d.st.kern.Global().At(int64(healRound)*d.st.cfg.PeriodMs, func() {
 				// Only heal the partition that scheduled this; a later
 				// cut owns its own lifetime.
 				if d.partGen == gen {

@@ -96,8 +96,9 @@ func (st *runState) overlaySnapshot(now int64) (aliveIDs []ident.NodeID, edges [
 	return aliveIDs, edges, staleFraction
 }
 
-// scheduleSeries arms periodic snapshots every SampleEveryRounds rounds and
-// returns the slice the run will fill.
+// scheduleSeries arms periodic snapshots every SampleEveryRounds rounds (as
+// global barrier events: a snapshot walks every shard's peers) and returns
+// the slice the run will fill.
 func (st *runState) scheduleSeries() *[]SamplePoint {
 	series := &[]SamplePoint{}
 	if st.cfg.SampleEveryRounds <= 0 {
@@ -105,8 +106,8 @@ func (st *runState) scheduleSeries() *[]SamplePoint {
 	}
 	for r := st.cfg.SampleEveryRounds; r <= st.cfg.Rounds; r += st.cfg.SampleEveryRounds {
 		r := r
-		st.sched.At(int64(r)*st.cfg.PeriodMs, func() {
-			now := st.sched.Now()
+		st.kern.Global().At(int64(r)*st.cfg.PeriodMs, func() {
+			now := st.now()
 			aliveIDs, edges, stale := st.overlaySnapshot(now)
 			pt := SamplePoint{
 				Round:          r,

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/view"
+)
+
+// The cross-worker determinism corpus: the satellite acceptance tests of the
+// sharded kernel. A run must be a pure function of (Config, Scenario, Seed)
+// — bit-identical Results (including ScenarioStats, the recovery series and
+// the executed event count) whatever the worker count, and even whatever the
+// shard count.
+
+// corpusCfg is the shared corpus configuration: big enough that every shard
+// owns a meaningful population and the partition/churn machinery engages,
+// small enough for the test budget.
+func corpusCfg() Config {
+	return Config{
+		N: 240, Rounds: 40, NATRatio: 0.7, Protocol: ProtoNylon,
+		Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
+		EvictUnanswered: true, Seed: 99, SampleEveryRounds: 5,
+		ChurnAtRound: 25, ChurnFraction: 0.3,
+	}
+}
+
+// normalize strips the echoed Cfg (it carries the Workers/Shards knobs that
+// legitimately differ between corpus legs) so DeepEqual compares only
+// measured quantities.
+func normalize(r Result) Result {
+	r.Cfg = Config{}
+	return r
+}
+
+func runCorpus(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsProcessed == 0 {
+		t.Fatal("run executed no events")
+	}
+	return normalize(res)
+}
+
+// TestWorkerCountInvariance locks in the kernel's headline guarantee: the
+// same (Config, Scenario, Seed) at workers = 1, 2 and 8 produces a
+// bit-identical Result, for a quiescent run and for the storm corpus
+// scenario (continuous churn, mid-run joins, a partition/heal cycle, and
+// lossy jittered links — every stochastic dimension at once).
+func TestWorkerCountInvariance(t *testing.T) {
+	storm, err := scenario.Load("../../examples/scenario-lab/storm.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leg := range []struct {
+		name     string
+		scenario *scenario.Scenario
+		rounds   int
+	}{
+		{"quiescent", nil, 0},
+		{"storm", storm, 80}, // past the round-70 flash crowd
+	} {
+		leg := leg
+		t.Run(leg.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := corpusCfg()
+			cfg.Scenario = leg.scenario
+			if leg.rounds > 0 {
+				cfg.Rounds = leg.rounds
+			}
+			cfg.Workers = 1
+			want := runCorpus(t, cfg)
+			for _, workers := range []int{2, 8} {
+				cfg.Workers = workers
+				got := runCorpus(t, cfg)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("workers=%d diverged from workers=1:\n 1: %+v\n%2d: %+v", workers, want, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardCountInvariance pins the stronger property the stable event keys
+// buy: the shard count is pure structure, not behavior — results are
+// bit-identical whether the world runs on one shard or sixteen.
+func TestShardCountInvariance(t *testing.T) {
+	storm, err := scenario.Load("../../examples/scenario-lab/storm.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := corpusCfg()
+	cfg.Rounds = 80 // past the round-70 flash crowd
+	cfg.Scenario = storm
+	cfg.Workers = 2
+	cfg.Shards = 1
+	want := runCorpus(t, cfg)
+	for _, shards := range []int{3, 16} {
+		cfg.Shards = shards
+		got := runCorpus(t, cfg)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shards=%d diverged from shards=1:\n  1: %+v\n %2d: %+v", shards, want, shards, got)
+		}
+	}
+}

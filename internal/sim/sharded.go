@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedScheduler is the sharded, conservatively-synchronized parallel
+// kernel. It partitions the simulated world into S shards, each driven by
+// its own Scheduler, and advances virtual time in safe windows derived from
+// the minimum cross-shard event latency (classic conservative-PDES
+// lookahead: with a constant one-way link latency L, events executed in the
+// window [T, T+L) can only schedule cross-shard work at or after T+L, so
+// shards never need to look at each other mid-window). Within a window the
+// shards run in parallel on a small worker pool; at each barrier the host
+// (the simulated network) merges cross-shard traffic in a deterministic
+// order and the kernel runs its global events.
+//
+// Determinism contract: a run is a pure function of the simulated world and
+// its seeds — never of the worker count or the shard count. Three rules
+// deliver that:
+//
+//  1. Every shard event carries a (time, actor, per-actor seq) key (see
+//     Scheduler.AtKey). Actors are peers; their counters advance only with
+//     their own deterministic execution, so keys never depend on scheduler
+//     state or on which worker ran the shard.
+//  2. Cross-shard messages merge at barriers in sorted key order (the host
+//     sorts each batch), so arrival order is the same no matter which shard
+//     — or how many shards — staged the messages.
+//  3. Global events (round samples, churn, the scenario timeline) run on a
+//     single global queue at barrier times, strictly before any shard event
+//     at the same virtual time; barrier times themselves depend only on the
+//     window size and the global timeline.
+//
+// Shard state (peers, their engines, NAT devices, per-shard pools) must be
+// touched only by the shard's events or at barriers; the kernel's phase
+// hand-offs provide the happens-before edges that make barrier-time access
+// race-free.
+type ShardedScheduler struct {
+	window int64 // lookahead: safe window length in virtual ms
+	now    int64 // last completed barrier time
+	shards []*Scheduler
+	global Scheduler
+	// barrierFn, when set, runs single-threaded at every barrier after the
+	// global events and before the next window's shard events: the network
+	// drains its cross-shard mailboxes here.
+	barrierFn func()
+
+	workers   int
+	deadline  int64 // phase parameters, published before waking workers
+	inclusive bool
+	next      atomic.Int64
+	wg        sync.WaitGroup
+	wake      []chan struct{}
+}
+
+// NewSharded creates a kernel with the given shard and worker counts and
+// lookahead window in virtual milliseconds. workers < 1 defaults to
+// GOMAXPROCS; it is clamped to the shard count. The shard count and window
+// are part of the simulation's structure, not of its observable behavior:
+// results are invariant under both (see the determinism contract above),
+// so hosts pick them purely for throughput.
+func NewSharded(shards, workers int, windowMs int64) *ShardedScheduler {
+	if shards < 1 {
+		panic("sim: NewSharded needs at least one shard")
+	}
+	if shards > 1 && windowMs < 1 {
+		panic("sim: NewSharded needs a positive lookahead window for more than one shard")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	k := &ShardedScheduler{window: windowMs, workers: workers}
+	k.shards = make([]*Scheduler, shards)
+	for i := range k.shards {
+		k.shards[i] = &Scheduler{}
+	}
+	return k
+}
+
+// Shards returns the number of shards.
+func (k *ShardedScheduler) Shards() int { return len(k.shards) }
+
+// Workers returns the effective worker count.
+func (k *ShardedScheduler) Workers() int { return k.workers }
+
+// Shard returns shard i's scheduler. Schedule on it only from the shard's
+// own events or at barriers.
+func (k *ShardedScheduler) Shard(i int) *Scheduler { return k.shards[i] }
+
+// Global returns the global event queue. Global events run single-threaded
+// at barriers, before same-time shard events; schedule on it only from
+// setup code or from other global events.
+func (k *ShardedScheduler) Global() *Scheduler { return &k.global }
+
+// SetBarrierFn installs the host's barrier hook (cross-shard mailbox
+// drain). It runs single-threaded at every barrier, after the barrier's
+// global events.
+func (k *ShardedScheduler) SetBarrierFn(fn func()) { k.barrierFn = fn }
+
+// Now returns the last completed barrier time. Between barriers, shard
+// clocks may be ahead of it (within the current window).
+func (k *ShardedScheduler) Now() int64 { return k.now }
+
+// Processed returns the total number of events executed across all shards
+// and the global queue. It is itself deterministic: the same run executes
+// the same events whatever the worker or shard count.
+func (k *ShardedScheduler) Processed() uint64 {
+	total := k.global.Processed()
+	for _, s := range k.shards {
+		total += s.Processed()
+	}
+	return total
+}
+
+// Pending returns the number of events not yet executed, excluding traffic
+// still staged in host mailboxes.
+func (k *ShardedScheduler) Pending() int {
+	total := k.global.Pending()
+	for _, s := range k.shards {
+		total += s.Pending()
+	}
+	return total
+}
+
+// RunUntil drives the kernel to the given virtual time: windows of shard
+// events bounded by the lookahead, barriers running global events and the
+// host's mailbox drain between them. Events at exactly end run (global ones
+// first), matching Scheduler.RunUntil.
+func (k *ShardedScheduler) RunUntil(end int64) {
+	parallel := k.workers > 1 && len(k.shards) > 1
+	if parallel {
+		k.startWorkers()
+		defer k.stopWorkers()
+	}
+	for {
+		k.global.RunUntil(k.now)
+		if k.barrierFn != nil {
+			k.barrierFn()
+		}
+		if k.now >= end {
+			k.phase(end, true, parallel)
+			return
+		}
+		b := end
+		if k.window > 0 && k.now+k.window < b {
+			b = k.now + k.window
+		}
+		// Global events define extra barriers: the next window must not
+		// run shard events past one.
+		if g, ok := k.global.NextAt(); ok && g < b {
+			b = g
+		}
+		k.phase(b, false, parallel)
+		k.now = b
+	}
+}
+
+// phase executes one window on every shard: events strictly before deadline
+// (or up to and including it, for the final phase), advancing each shard
+// clock to deadline.
+func (k *ShardedScheduler) phase(deadline int64, inclusive bool, parallel bool) {
+	if !parallel {
+		for _, s := range k.shards {
+			runPhase(s, deadline, inclusive)
+		}
+		return
+	}
+	k.deadline, k.inclusive = deadline, inclusive
+	k.next.Store(0)
+	k.wg.Add(len(k.wake))
+	for _, c := range k.wake {
+		c <- struct{}{}
+	}
+	k.wg.Wait()
+}
+
+func runPhase(s *Scheduler, deadline int64, inclusive bool) {
+	if inclusive {
+		s.RunUntil(deadline)
+	} else {
+		s.RunBefore(deadline)
+	}
+}
+
+// startWorkers spins up the persistent phase workers. Shards are claimed
+// through an atomic counter, so any worker may run any shard: shard state
+// isolation makes the outcome independent of the assignment.
+func (k *ShardedScheduler) startWorkers() {
+	k.wake = make([]chan struct{}, k.workers)
+	for i := range k.wake {
+		c := make(chan struct{}, 1)
+		k.wake[i] = c
+		go func() {
+			for range c {
+				for {
+					i := int(k.next.Add(1)) - 1
+					if i >= len(k.shards) {
+						break
+					}
+					runPhase(k.shards[i], k.deadline, k.inclusive)
+				}
+				k.wg.Done()
+			}
+		}()
+	}
+}
+
+func (k *ShardedScheduler) stopWorkers() {
+	for _, c := range k.wake {
+		close(c)
+	}
+	k.wake = nil
+}

@@ -19,31 +19,45 @@
 // events — the scheduler additionally offers a lane: a flat FIFO ring that
 // is merged with the heap at pop time in exact (time, sequence) order, so
 // those events never pay heap costs at all.
+//
+// Sharded simulations (see ShardedScheduler) run one Scheduler per shard and
+// need an event order that does not depend on how many shards or workers
+// execute the run. For them every event carries an explicit (actor, seq) key
+// — the scheduling peer and its private event counter — instead of the
+// scheduler-local sequence number: ties at one virtual time resolve by
+// (actor, seq), which is a pure function of the simulated world. The legacy
+// At/LaneAt entry points keep the scheduler-local counter (with actor 0), so
+// single-scheduler hosts behave exactly as before.
 package sim
 
 // event is a scheduled callback, stored inline in the heap slice.
 type event struct {
-	at  int64 // virtual time, ms
-	seq uint64
-	fn  func()
+	at    int64 // virtual time, ms
+	actor uint64
+	seq   uint64
+	fn    func()
 }
 
 // before reports whether e fires before o: earlier time, then earlier
-// scheduling order.
+// (actor, seq) key.
 func (e *event) before(o *event) bool {
 	if e.at != o.at {
 		return e.at < o.at
+	}
+	if e.actor != o.actor {
+		return e.actor < o.actor
 	}
 	return e.seq < o.seq
 }
 
 // Scheduler is a discrete-event loop over virtual time. The zero Scheduler is
-// ready to use. It is not safe for concurrent use: simulations are
-// single-threaded by design.
+// ready to use. It is not safe for concurrent use: a Scheduler is always
+// driven by one goroutine at a time (the whole simulation's, or its shard's
+// current worker under a ShardedScheduler).
 type Scheduler struct {
 	now     int64
 	seq     uint64
-	pending []event // 4-ary min-heap ordered by (at, seq)
+	pending []event // 4-ary min-heap ordered by (at, actor, seq)
 	// lane is the monotone FIFO source (see SetLaneFn); laneFn runs for
 	// each of its events.
 	lane   Ring[laneEntry]
@@ -55,8 +69,20 @@ type Scheduler struct {
 // laneEntry is one lane event: only its firing coordinates are stored, the
 // callback is the shared laneFn.
 type laneEntry struct {
-	at  int64
-	seq uint64
+	at    int64
+	actor uint64
+	seq   uint64
+}
+
+// laneBefore reports whether l fires before the (at, actor, seq) key.
+func (l *laneEntry) laneBefore(at int64, actor, seq uint64) bool {
+	if l.at != at {
+		return l.at < at
+	}
+	if l.actor != actor {
+		return l.actor < actor
+	}
+	return l.seq < seq
 }
 
 // Ring is a growable FIFO ring buffer. Hosts with their own monotone event
@@ -140,6 +166,24 @@ func (s *Scheduler) LaneAt(t int64) {
 	s.lane.Push(laneEntry{at: t, seq: s.seq})
 }
 
+// LaneAtKey schedules one lane event at time t with an explicit (actor, seq)
+// ordering key. The full key must be monotone: not before the key of any
+// lane event still pending. The sharded network's barrier merge pushes its
+// sorted per-window batches through here; batches from successive windows
+// never overlap in time, so the invariant holds by construction.
+func (s *Scheduler) LaneAtKey(t int64, actor, seq uint64) {
+	if s.laneFn == nil {
+		panic("sim: LaneAtKey without SetLaneFn")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	if s.lane.Len() > 0 && !s.lane.tail().laneBefore(t, actor, seq) {
+		panic("sim: LaneAtKey key regressed")
+	}
+	s.lane.Push(laneEntry{at: t, actor: actor, seq: seq})
+}
+
 // Now returns the current virtual time in milliseconds.
 func (s *Scheduler) Now() int64 { return s.now }
 
@@ -162,6 +206,23 @@ func (s *Scheduler) At(t int64, fn func()) {
 	}
 	s.seq++
 	s.pending = append(s.pending, event{at: t, seq: s.seq, fn: fn})
+	s.siftUp(len(s.pending) - 1)
+}
+
+// AtKey schedules fn at time t with an explicit (actor, seq) ordering key.
+// Sharded hosts use it for every event so that same-time ties resolve by a
+// key derived from the simulated world (the scheduling peer and its private
+// event counter), never from scheduler-local state: the resulting order is
+// invariant under the shard and worker count. Keys must be unique per
+// (t, actor); actors 0 is reserved for the legacy At/LaneAt counter.
+func (s *Scheduler) AtKey(t int64, actor, seq uint64, fn func()) {
+	if fn == nil {
+		panic("sim: AtKey called with nil fn")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.pending = append(s.pending, event{at: t, actor: actor, seq: seq, fn: fn})
 	s.siftUp(len(s.pending) - 1)
 }
 
@@ -241,10 +302,17 @@ func (s *Scheduler) next() (at int64, fromLane bool, ok bool) {
 		return s.pending[0].at, false, true
 	}
 	h, l := &s.pending[0], s.lane.Peek()
-	if l.at < h.at || (l.at == h.at && l.seq < h.seq) {
+	if l.at < h.at || (l.at == h.at && (l.actor < h.actor || (l.actor == h.actor && l.seq < h.seq))) {
 		return l.at, true, true
 	}
 	return h.at, false, true
+}
+
+// NextAt returns the fire time of the earliest pending event without
+// executing it; ok is false when nothing is pending.
+func (s *Scheduler) NextAt() (at int64, ok bool) {
+	at, _, ok = s.next()
+	return at, ok
 }
 
 // runNext executes the earliest pending event.
@@ -269,6 +337,23 @@ func (s *Scheduler) RunUntil(deadline int64) {
 	for {
 		at, fromLane, ok := s.next()
 		if !ok || at > deadline {
+			break
+		}
+		s.runNext(fromLane)
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunBefore executes events in order while they fire strictly before
+// deadline, then advances the clock to deadline. It is the window-phase
+// primitive of the sharded kernel: events at exactly deadline belong to the
+// next window (they run after the barrier's global events).
+func (s *Scheduler) RunBefore(deadline int64) {
+	for {
+		at, fromLane, ok := s.next()
+		if !ok || at >= deadline {
 			break
 		}
 		s.runNext(fromLane)

@@ -51,7 +51,7 @@ type scriptedPolicy struct {
 	calls  int
 }
 
-func (p *scriptedPolicy) Transmit(int64, ident.Endpoint, ident.Endpoint, uint64) (int64, bool) {
+func (p *scriptedPolicy) Transmit(int64, ident.NodeID, ident.Endpoint, ident.Endpoint, uint64) (int64, bool) {
 	i := p.calls
 	p.calls++
 	var d int64
@@ -80,8 +80,8 @@ func TestLinkPolicyLossDropsInFlight(t *testing.T) {
 	if got := (*engines)[1].received; got != 1 {
 		t.Errorf("delivered %d datagrams, want 1 (two lost)", got)
 	}
-	if net.Drops.LinkLost != 2 {
-		t.Errorf("LinkLost = %d, want 2", net.Drops.LinkLost)
+	if net.Drops().LinkLost != 2 {
+		t.Errorf("LinkLost = %d, want 2", net.Drops().LinkLost)
 	}
 	if a.MsgsSent != 3 || b.MsgsRecv != 1 {
 		t.Errorf("sent/recv counters = %d/%d, want 3/1 (lost datagrams still cost the sender)", a.MsgsSent, b.MsgsRecv)
@@ -113,8 +113,8 @@ func TestLinkPolicyJitterRoutesThroughHeap(t *testing.T) {
 	if got := (*engines)[1].received; got != 3 {
 		t.Fatalf("finally delivered %d, want all 3", got)
 	}
-	if net.Drops != (DropStats{}) {
-		t.Errorf("unexpected drops: %+v", net.Drops)
+	if net.Drops() != (DropStats{}) {
+		t.Errorf("unexpected drops: %+v", net.Drops())
 	}
 }
 
@@ -138,8 +138,8 @@ func TestPartitionMaskDropsAcrossCut(t *testing.T) {
 	if got := (*engines)[0].received; got != 1 {
 		t.Errorf("same-side datagram not delivered (%d)", got)
 	}
-	if net.Drops.Partitioned != 1 {
-		t.Errorf("Partitioned = %d, want 1", net.Drops.Partitioned)
+	if net.Drops().Partitioned != 1 {
+		t.Errorf("Partitioned = %d, want 1", net.Drops().Partitioned)
 	}
 
 	// Healing restores delivery; stale Side values are ignored.
@@ -167,8 +167,8 @@ func TestPartitionAppliesToInFlight(t *testing.T) {
 	if got := (*engines)[1].received; got != 0 {
 		t.Errorf("in-flight datagram crossed a partition that struck before delivery")
 	}
-	if net.Drops.Partitioned != 1 {
-		t.Errorf("Partitioned = %d, want 1", net.Drops.Partitioned)
+	if net.Drops().Partitioned != 1 {
+		t.Errorf("Partitioned = %d, want 1", net.Drops().Partitioned)
 	}
 }
 

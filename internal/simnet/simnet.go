@@ -13,10 +13,24 @@
 // latency jitter and probabilistic loss) and a partition mask (cross-side
 // deliveries dropped at the cut). Without them the network stays on the
 // constant-latency, allocation-free delivery lane.
+//
+// The network is sharded to match the kernel it runs on (see
+// sim.ShardedScheduler and DESIGN.md §5): peers partition across shards by
+// NodeID, each shard owns a constant-latency delivery lane, a wire message
+// pool and its own drop counters, and cross-shard traffic stages in per-shard
+// outboxes that the kernel's barrier drains in deterministic
+// (time, sender, per-sender seq) order. A peer's state — engine, NAT device,
+// traffic counters — is touched only by its own shard's events or at
+// barriers, so windows run lock-free.
+//
+// The standalone constructor New attaches a single-shard network directly to
+// one sim.Scheduler with immediate (non-staged) delivery; unit tests and
+// small hosts drive that exactly as before the kernel existed.
 package simnet
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/ident"
@@ -45,6 +59,15 @@ type Peer struct {
 	// partition is active (see SetPartitionActive): deliveries between
 	// peers on different sides are dropped.
 	Side uint8
+	// Shard is the index of the shard owning the peer (NodeID mod shard
+	// count). Only the owning shard's events touch the peer's state
+	// between barriers.
+	Shard int
+	// Seq is the peer's private event counter: every event the peer
+	// schedules (a periodic tick, a datagram transmission) draws the next
+	// value as its ordering key, making same-time tie-breaks a pure
+	// function of the simulated world (see sim.Scheduler.AtKey).
+	Seq uint64
 
 	// Traffic counters, in bytes and datagrams. Sent counts every datagram
 	// the engine emitted; Recv counts only datagrams actually delivered
@@ -73,21 +96,32 @@ type DropStats struct {
 	Partitioned uint64
 }
 
+func (d *DropStats) add(o DropStats) {
+	d.NATFiltered += o.NATFiltered
+	d.NoSuchAddr += o.NoSuchAddr
+	d.DeadPeer += o.DeadPeer
+	d.LinkLost += o.LinkLost
+	d.Partitioned += o.Partitioned
+}
+
 // LinkPolicy perturbs individual datagram transmissions: a scenario's link
 // model implements it to add per-datagram latency jitter and probabilistic
 // loss. Transmit is consulted once per datagram at send time and returns the
 // extra one-way delay in milliseconds (≥ 0) and whether the datagram is lost
-// in flight. Implementations draw all randomness from their own
-// deterministic stream; the network calls Transmit in a deterministic order,
-// so runs stay reproducible.
+// in flight. from identifies the sending peer: implementations must draw all
+// randomness from deterministic per-sender streams, because under the
+// sharded kernel senders on different shards transmit concurrently — only
+// the per-sender call order is deterministic, the interleaving across
+// senders is not.
 type LinkPolicy interface {
-	Transmit(now int64, srcEP, to ident.Endpoint, size uint64) (extraDelayMs int64, drop bool)
+	Transmit(now int64, from ident.NodeID, srcEP, to ident.Endpoint, size uint64) (extraDelayMs int64, drop bool)
 }
 
-// Network is the simulated network. It is not safe for concurrent use; all
-// access happens from scheduler callbacks.
+// Network is the simulated network. Global state (the address maps, the
+// peers) is mutated only at barriers; everything on the per-datagram path
+// lives in per-shard state, so shards run lock-free between barriers.
 type Network struct {
-	sched   *sim.Scheduler
+	kern    *sim.ShardedScheduler // nil in standalone mode
 	latency int64
 
 	peers map[ident.NodeID]*Peer
@@ -103,15 +137,7 @@ type Network struct {
 	nextPublicIP  uint32
 	nextPrivateIP uint32
 
-	// In-flight datagrams wait in a FIFO ring and fire through the
-	// scheduler's lane (one-way latency is constant, so deliveries
-	// complete in exactly the order they were enqueued): transmitting a
-	// datagram allocates nothing and never touches the event heap.
-	//
-	// Datagrams the link policy delays beyond the base latency are the
-	// exception: their fire times are not monotone, so they go through
-	// the scheduler's heap instead (see Send).
-	inflight sim.Ring[delivery]
+	shards []netShard
 
 	// policy, when non-nil, perturbs transmissions (jitter, loss). The
 	// nil-policy path is the allocation-free fast path.
@@ -120,9 +146,37 @@ type Network struct {
 	// whose Side differs are dropped at the cut.
 	partitionOn bool
 
-	Drops DropStats
 	// Trace, when non-nil, records every transmission, delivery and drop.
+	// Tracing requires a single shard (the host forces one): a shared ring
+	// written from parallel shards would race and interleave
+	// nondeterministically.
 	Trace *trace.Ring
+}
+
+// netShard is the per-shard half of the network. Only the shard's events
+// (and barrier code) touch it.
+type netShard struct {
+	sched *sim.Scheduler
+	// pool recycles wire messages consumed on this shard. It is nil in
+	// standalone mode, where the shared wire pool serves (a nil *wire.Pool
+	// delegates to it).
+	pool *wire.Pool
+
+	// In-flight constant-latency datagrams wait in a FIFO ring and fire
+	// through the shard scheduler's lane in exact key order: delivering
+	// allocates nothing and never touches the event heap. Datagrams the
+	// link policy delays beyond the base latency are the exception: their
+	// fire times are not monotone, so they go through the shard's heap.
+	inflight sim.Ring[delivery]
+
+	// out stages datagrams sent by this shard's peers, one slice per
+	// destination shard; the barrier drains them (see flush). Unused in
+	// standalone mode, which delivers immediately.
+	out [][]outEntry
+	// merge is the barrier's reusable gather-and-sort scratch.
+	merge []outEntry
+
+	drops DropStats
 }
 
 // delivery is one in-flight datagram.
@@ -130,6 +184,37 @@ type delivery struct {
 	srcEP, to ident.Endpoint
 	msg       *wire.Message
 	size      uint64
+}
+
+// outEntry is one staged cross-barrier datagram: the delivery plus its
+// deterministic ordering key and arrival time.
+type outEntry struct {
+	at         int64 // arrival time, including any link-policy delay
+	actor, seq uint64
+	jittered   bool // true: arrives later than the base latency → heap
+	d          delivery
+}
+
+// keyCompare orders staged datagrams by (arrival, sender, per-sender seq) —
+// the worker- and shard-count-invariant merge order of the barrier.
+func keyCompare(a, b outEntry) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.actor != b.actor:
+		if a.actor < b.actor {
+			return -1
+		}
+		return 1
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
 }
 
 // bootstrapDst is the well-known endpoint natted peers "contact" at join time
@@ -187,25 +272,79 @@ func (n *Network) privatePeerAt(ep ident.Endpoint) *Peer {
 	return nil
 }
 
-// New creates an empty network driven by the given scheduler with the given
-// one-way latency in milliseconds.
+// New creates an empty standalone network driven directly by the given
+// scheduler with the given one-way latency in milliseconds: one shard,
+// immediate delivery scheduling, the shared wire pool. Unit tests and
+// single-threaded hosts use it; experiment runs go through NewSharded.
 func New(sched *sim.Scheduler, latencyMs int64) *Network {
+	n := newNetwork(nil, []*sim.Scheduler{sched}, latencyMs)
+	return n
+}
+
+// NewSharded creates an empty network over the sharded kernel: one network
+// shard per kernel shard, per-shard wire pools, and cross-shard traffic
+// staged in outboxes that drain at the kernel's barriers.
+func NewSharded(kern *sim.ShardedScheduler, latencyMs int64) *Network {
+	scheds := make([]*sim.Scheduler, kern.Shards())
+	for i := range scheds {
+		scheds[i] = kern.Shard(i)
+	}
+	n := newNetwork(kern, scheds, latencyMs)
+	kern.SetBarrierFn(n.flush)
+	return n
+}
+
+func newNetwork(kern *sim.ShardedScheduler, scheds []*sim.Scheduler, latencyMs int64) *Network {
 	if latencyMs < 0 {
 		panic("simnet: negative latency")
 	}
 	n := &Network{
-		sched:         sched,
+		kern:          kern,
 		latency:       latencyMs,
 		peers:         make(map[ident.NodeID]*Peer),
 		nextPublicIP:  pubIPBase,
 		nextPrivateIP: privIPBase,
+		shards:        make([]netShard, len(scheds)),
 	}
-	sched.SetLaneFn(n.deliverNext)
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.sched = scheds[i]
+		if kern != nil {
+			sh.pool = &wire.Pool{}
+			sh.out = make([][]outEntry, len(scheds))
+		}
+		i := i
+		sh.sched.SetLaneFn(func() { n.deliverNext(i) })
+	}
 	return n
 }
 
 // Latency returns the one-way delivery latency in milliseconds.
 func (n *Network) Latency() int64 { return n.latency }
+
+// Shards returns the shard count.
+func (n *Network) Shards() int { return len(n.shards) }
+
+// ShardOf returns the shard index owning the given peer ID. The mapping is
+// a pure function of (ID, shard count), so consecutive IDs spread
+// round-robin and population growth stays balanced.
+func (n *Network) ShardOf(id ident.NodeID) int {
+	return int(uint64(id-1) % uint64(len(n.shards)))
+}
+
+// ShardPool returns shard i's wire message pool (nil in standalone mode,
+// meaning the shared pool). Engines built for a shard's peers must allocate
+// from it.
+func (n *Network) ShardPool(i int) *wire.Pool { return n.shards[i].pool }
+
+// Drops returns the datagram drop counters aggregated across shards.
+func (n *Network) Drops() DropStats {
+	var total DropStats
+	for i := range n.shards {
+		total.add(n.shards[i].drops)
+	}
+	return total
+}
 
 // SetLinkPolicy installs (or, with nil, removes) the transmission
 // perturbation policy. With no policy the constant-latency lane fast path is
@@ -220,8 +359,12 @@ func (n *Network) SetPartitionActive(active bool) { n.partitionOn = active }
 // PartitionActive reports whether a partition is in force.
 func (n *Network) PartitionActive() bool { return n.partitionOn }
 
-// Scheduler returns the scheduler driving the network.
-func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+// Scheduler returns shard 0's scheduler — the scheduler, in standalone mode.
+func (n *Network) Scheduler() *sim.Scheduler { return n.shards[0].sched }
+
+// barrierNow returns the current virtual time for barrier-context and setup
+// code (all shard clocks agree there).
+func (n *Network) barrierNow() int64 { return n.shards[0].sched.Now() }
 
 // EngineFactory builds a peer's engine once the network has assigned its
 // descriptor.
@@ -231,12 +374,13 @@ type EngineFactory func(self view.Descriptor) core.Engine
 // dedicated NAT device is created (one peer per NAT, as in the paper) and the
 // peer's advertised endpoint is the mapping allocated by a join-time
 // handshake with the bootstrap introducer. ruleTTL is the NAT rule lifetime
-// in milliseconds (ignored for public peers).
+// in milliseconds (ignored for public peers). Peers may only be added at
+// barriers (or before the run starts).
 func (n *Network) AddPeer(id ident.NodeID, class ident.NATClass, ruleTTL int64, f EngineFactory) *Peer {
 	if _, dup := n.peers[id]; dup {
 		panic(fmt.Sprintf("simnet: duplicate peer %v", id))
 	}
-	p := &Peer{ID: id, Class: class, Advertised: class, Alive: true}
+	p := &Peer{ID: id, Class: class, Advertised: class, Alive: true, Shard: n.ShardOf(id)}
 	if class == ident.Public {
 		ip := ident.IP(n.nextPublicIP)
 		n.nextPublicIP++
@@ -253,7 +397,7 @@ func (n *Network) AddPeer(id ident.NodeID, class ident.NATClass, ruleTTL int64, 
 		n.pubs = append(n.pubs, pubSlot{dev: p.Device, owner: p})
 		n.privs = append(n.privs, p)
 		// Join handshake: allocate the advertised mapping.
-		p.Addr = p.Device.Outbound(n.sched.Now(), p.Priv, bootstrapDst)
+		p.Addr = p.Device.Outbound(n.barrierNow(), p.Priv, bootstrapDst)
 	}
 	p.Engine = f(p.Descriptor())
 	n.peers[id] = p
@@ -272,7 +416,7 @@ func (n *Network) AddPeerUPnP(id ident.NodeID, class ident.NATClass, ruleTTL int
 	if _, dup := n.peers[id]; dup {
 		panic(fmt.Sprintf("simnet: duplicate peer %v", id))
 	}
-	p := &Peer{ID: id, Class: class, Advertised: ident.Public, Alive: true}
+	p := &Peer{ID: id, Class: class, Advertised: ident.Public, Alive: true, Shard: n.ShardOf(id)}
 	privIP := ident.IP(n.nextPrivateIP)
 	n.nextPrivateIP++
 	pubIP := ident.IP(n.nextPublicIP)
@@ -297,9 +441,10 @@ func (n *Network) Peers() map[ident.NodeID]*Peer { return n.peers }
 // both NAT devices (if any) get filtering rules admitting the other side,
 // as if each had sent the other one datagram through an introducer. The
 // experiment runners use it to realize the paper's bootstrap, in which
-// initial views are usable.
+// initial views are usable. Barrier-context only: it touches both peers'
+// devices.
 func (n *Network) InstallHole(a, b *Peer) {
-	now := n.sched.Now()
+	now := n.barrierNow()
 	if a.Device != nil {
 		a.Device.Outbound(now, a.Priv, b.Addr)
 	}
@@ -310,7 +455,7 @@ func (n *Network) InstallHole(a, b *Peer) {
 
 // Kill marks the peer as departed: it stops ticking (the runner checks
 // Alive) and every datagram addressed to it is dropped. Its NAT device state
-// remains, as a real abandoned NAT box's would.
+// remains, as a real abandoned NAT box's would. Barrier-context only.
 func (n *Network) Kill(id ident.NodeID) {
 	if p := n.peers[id]; p != nil {
 		p.Alive = false
@@ -320,17 +465,19 @@ func (n *Network) Kill(id ident.NodeID) {
 // Send transmits one engine command from the given peer: the datagram leaves
 // through the peer's NAT device (allocating/refreshing the mapping) and is
 // delivered — or dropped — one latency later. The network takes ownership of
-// the message and recycles it into the wire pool once consumed.
+// the message and recycles it into the consuming shard's pool once consumed.
+// Send runs in the sending peer's shard context.
 func (n *Network) Send(from *Peer, s core.Send) {
+	sh := &n.shards[from.Shard]
 	if !from.Alive {
-		s.Msg.Release()
+		sh.pool.Put(s.Msg)
 		return
 	}
 	size := uint64(s.Msg.Size())
 	from.BytesSent += size
 	from.MsgsSent++
 
-	now := n.sched.Now()
+	now := sh.sched.Now()
 	srcEP := from.Priv
 	if from.Device != nil {
 		srcEP = from.Device.Outbound(now, from.Priv, s.To)
@@ -338,46 +485,120 @@ func (n *Network) Send(from *Peer, s core.Send) {
 	if n.Trace != nil {
 		n.Trace.Record(trace.Event{At: now, Op: trace.OpSend, From: srcEP, To: s.To, Kind: uint8(s.Msg.Kind), Size: int(size)})
 	}
+	var extra int64
 	if n.policy != nil {
-		extra, drop := n.policy.Transmit(now, srcEP, s.To, size)
+		var drop bool
+		extra, drop = n.policy.Transmit(now, from.ID, srcEP, s.To, size)
 		if drop {
 			// In-flight loss, accounted at send time: the sender paid
 			// the bytes, nobody receives them.
-			n.Drops.LinkLost++
+			sh.drops.LinkLost++
 			if n.Trace != nil {
 				n.Trace.Record(trace.Event{At: now, Op: trace.OpDropLink, From: srcEP, To: s.To, Kind: uint8(s.Msg.Kind), Size: int(size)})
 			}
-			s.Msg.Release()
+			sh.pool.Put(s.Msg)
 			return
 		}
+	}
+	at := now + n.latency + extra
+	d := delivery{srcEP: srcEP, to: s.To, msg: s.Msg, size: size}
+
+	if n.kern == nil {
+		// Standalone mode: schedule delivery immediately on the single
+		// scheduler, exactly as before the kernel existed.
 		if extra > 0 {
 			// Jittered deliveries are not monotone, so they cannot ride
 			// the lane: route through the scheduler's heap. The closure
 			// allocates — acceptable, only perturbed datagrams pay it.
-			d := delivery{srcEP: srcEP, to: s.To, msg: s.Msg, size: size}
-			n.sched.At(now+n.latency+extra, func() {
-				n.deliver(d.srcEP, d.to, d.msg, d.size)
-				d.msg.Release()
+			n.shards[0].sched.At(at, func() {
+				n.deliver(0, d.srcEP, d.to, d.msg, d.size)
+				n.shards[0].pool.Put(d.msg)
 			})
 			return
 		}
+		sh.inflight.Push(d)
+		sh.sched.LaneAt(at)
+		return
 	}
-	n.inflight.Push(delivery{srcEP: srcEP, to: s.To, msg: s.Msg, size: size})
-	n.sched.LaneAt(now + n.latency)
+
+	// Sharded mode: stage into the destination shard's mailbox; the
+	// barrier merges and schedules it. The destination shard is the
+	// endpoint owner's — ownership never changes once an IP is allocated,
+	// so resolving the shard at send time is safe (NAT admission still
+	// happens at delivery time, on the owning shard).
+	from.Seq++
+	owner, ok := n.OwnerOfIP(s.To.IP)
+	if !ok {
+		// No owner now means none ever: IPs are allocated once and never
+		// reassigned. Account the drop at send time.
+		sh.drops.NoSuchAddr++
+		if n.Trace != nil {
+			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: s.To})
+		}
+		sh.pool.Put(s.Msg)
+		return
+	}
+	sh.out[owner.Shard] = append(sh.out[owner.Shard], outEntry{
+		at: at, actor: uint64(from.ID), seq: from.Seq, jittered: extra > 0, d: d,
+	})
 }
 
-// deliverNext completes the oldest in-flight datagram: with a constant
-// latency, delivery events fire in enqueue order, so the queue head is
-// always the datagram the event belongs to.
-func (n *Network) deliverNext() {
-	d := n.inflight.Pop()
-	n.deliver(d.srcEP, d.to, d.msg, d.size)
-	d.msg.Release()
+// flush is the kernel's barrier hook: it drains every outbox into its
+// destination shard in deterministic (arrival, sender, per-sender seq)
+// order. Constant-latency datagrams append to the shard's lane — batches
+// from successive windows never overlap in time, so the lane stays monotone
+// — and jittered ones go through the shard's heap with the same key.
+func (n *Network) flush() {
+	for di := range n.shards {
+		dst := &n.shards[di]
+		batch := dst.merge[:0]
+		for si := range n.shards {
+			src := &n.shards[si]
+			if len(src.out[di]) > 0 {
+				batch = append(batch, src.out[di]...)
+				src.out[di] = src.out[di][:0]
+			}
+		}
+		if len(batch) > 0 {
+			slices.SortFunc(batch, keyCompare)
+			for i := range batch {
+				e := batch[i]
+				if e.jittered {
+					di, d := di, e.d
+					dst.sched.AtKey(e.at, e.actor, e.seq, func() {
+						n.deliver(di, d.srcEP, d.to, d.msg, d.size)
+						n.shards[di].pool.Put(d.msg)
+					})
+				} else {
+					dst.inflight.Push(e.d)
+					dst.sched.LaneAtKey(e.at, e.actor, e.seq)
+				}
+			}
+			// Drop message references from the scratch so stale slots
+			// never alias live pool entries.
+			for i := range batch {
+				batch[i].d.msg = nil
+			}
+		}
+		dst.merge = batch[:0]
+	}
 }
 
-func (n *Network) deliver(srcEP, to ident.Endpoint, msg *wire.Message, size uint64) {
-	now := n.sched.Now()
-	target, ok := n.resolve(now, srcEP, to)
+// deliverNext completes shard i's oldest in-flight datagram: lane events
+// fire in exact key order, which is the order the ring was filled, so the
+// queue head is always the datagram the event belongs to.
+func (n *Network) deliverNext(i int) {
+	sh := &n.shards[i]
+	d := sh.inflight.Pop()
+	n.deliver(i, d.srcEP, d.to, d.msg, d.size)
+	sh.pool.Put(d.msg)
+}
+
+// deliver completes one datagram on shard si (the destination's shard).
+func (n *Network) deliver(si int, srcEP, to ident.Endpoint, msg *wire.Message, size uint64) {
+	sh := &n.shards[si]
+	now := sh.sched.Now()
+	target, ok := n.resolve(sh, now, srcEP, to)
 	if !ok {
 		return
 	}
@@ -385,7 +606,7 @@ func (n *Network) deliver(srcEP, to ident.Endpoint, msg *wire.Message, size uint
 		// The cut is evaluated at delivery time: datagrams in flight when
 		// the partition strikes are swallowed by it too.
 		if src, ok := n.OwnerOfIP(srcEP.IP); ok && src.Side != target.Side {
-			n.Drops.Partitioned++
+			sh.drops.Partitioned++
 			if n.Trace != nil {
 				n.Trace.Record(trace.Event{At: now, Op: trace.OpDropPartition, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
 			}
@@ -393,7 +614,7 @@ func (n *Network) deliver(srcEP, to ident.Endpoint, msg *wire.Message, size uint
 		}
 	}
 	if !target.Alive {
-		n.Drops.DeadPeer++
+		sh.drops.DeadPeer++
 		if n.Trace != nil {
 			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropDead, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
 		}
@@ -411,8 +632,9 @@ func (n *Network) deliver(srcEP, to ident.Endpoint, msg *wire.Message, size uint
 }
 
 // resolve finds the live owner of a destination endpoint, applying NAT
-// admission. It updates drop statistics and the trace on failure.
-func (n *Network) resolve(now int64, srcEP, to ident.Endpoint) (*Peer, bool) {
+// admission. It updates the shard's drop statistics and the trace on
+// failure.
+func (n *Network) resolve(sh *netShard, now int64, srcEP, to ident.Endpoint) (*Peer, bool) {
 	var dev *nat.Device
 	if s := n.pubSlotFor(to.IP); s != nil {
 		if s.peer != nil && s.peer.Addr == to {
@@ -421,7 +643,7 @@ func (n *Network) resolve(now int64, srcEP, to ident.Endpoint) (*Peer, bool) {
 		dev = s.dev
 	}
 	if dev == nil {
-		n.Drops.NoSuchAddr++
+		sh.drops.NoSuchAddr++
 		if n.Trace != nil {
 			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
 		}
@@ -429,7 +651,7 @@ func (n *Network) resolve(now int64, srcEP, to ident.Endpoint) (*Peer, bool) {
 	}
 	priv, ok := dev.Inbound(now, srcEP, to)
 	if !ok {
-		n.Drops.NATFiltered++
+		sh.drops.NATFiltered++
 		if n.Trace != nil {
 			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropNAT, From: srcEP, To: to})
 		}
@@ -437,7 +659,7 @@ func (n *Network) resolve(now int64, srcEP, to ident.Endpoint) (*Peer, bool) {
 	}
 	p := n.privatePeerAt(priv)
 	if p == nil {
-		n.Drops.NoSuchAddr++
+		sh.drops.NoSuchAddr++
 		if n.Trace != nil {
 			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
 		}
@@ -447,12 +669,12 @@ func (n *Network) resolve(now int64, srcEP, to ident.Endpoint) (*Peer, bool) {
 }
 
 // Tick runs one shuffling period for the peer and transmits the resulting
-// messages. The runner schedules it periodically.
+// messages. The runner schedules it on the peer's shard.
 func (n *Network) Tick(p *Peer) {
 	if !p.Alive {
 		return
 	}
-	for _, s := range p.Engine.Tick(n.sched.Now()) {
+	for _, s := range p.Engine.Tick(n.shards[p.Shard].sched.Now()) {
 		n.Send(p, s)
 	}
 }
@@ -460,7 +682,8 @@ func (n *Network) Tick(p *Peer) {
 // Reachable reports whether a datagram sent now by q to the descriptor d
 // would be admitted by d's NAT (or d is public). It never mutates NAT state:
 // it is the paper's "stale reference" test (a reference is stale when
-// communication with it is impossible).
+// communication with it is impossible). Barrier-context only: it reads both
+// peers' devices.
 func (n *Network) Reachable(now int64, q *Peer, d view.Descriptor) bool {
 	if !d.Class.Natted() {
 		return true
@@ -514,7 +737,7 @@ func (n *Network) publicIPOf(q *Peer) ident.IP {
 }
 
 // OwnerOfIP returns the peer owning the given public IP (either directly or
-// through its NAT device), for diagnostics.
+// through its NAT device).
 func (n *Network) OwnerOfIP(ip ident.IP) (*Peer, bool) {
 	s := n.pubSlotFor(ip)
 	if s == nil {

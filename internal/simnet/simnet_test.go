@@ -86,8 +86,8 @@ func TestBaselineDroppedAtNAT(t *testing.T) {
 	if b.MsgsRecv != 0 {
 		t.Errorf("natted peer received %d datagrams, want 0", b.MsgsRecv)
 	}
-	if net.Drops.NATFiltered != 1 {
-		t.Errorf("NATFiltered = %d, want 1", net.Drops.NATFiltered)
+	if net.Drops().NATFiltered != 1 {
+		t.Errorf("NATFiltered = %d, want 1", net.Drops().NATFiltered)
 	}
 	if a.Engine.Stats().ShufflesCompleted != 0 {
 		t.Error("initiator claims completion despite drop")
@@ -144,7 +144,7 @@ func TestNylonHolePunchEndToEnd(t *testing.T) {
 	sched.RunUntil(10_000)
 
 	if got := n4.Engine.Stats().HolePunchesCompleted; got != 1 {
-		t.Fatalf("hole punch did not complete: %d (drops: %+v)", got, net.Drops)
+		t.Fatalf("hole punch did not complete: %d (drops: %+v)", got, net.Drops())
 	}
 	if n4.Engine.Stats().ShufflesCompleted != 1 {
 		t.Error("shuffle after punch did not complete")
@@ -190,7 +190,7 @@ func TestNylonSymmetricRelayEndToEnd(t *testing.T) {
 	sched.RunUntil(10_000)
 
 	if s.Engine.Stats().ShufflesCompleted != 1 {
-		t.Fatalf("symmetric relayed shuffle did not complete (drops %+v)", net.Drops)
+		t.Fatalf("symmetric relayed shuffle did not complete (drops %+v)", net.Drops())
 	}
 	if !tgt.Engine.View().Contains(1) {
 		t.Error("target did not merge the symmetric initiator")
@@ -208,8 +208,8 @@ func TestKillDropsTraffic(t *testing.T) {
 	net.Kill(2)
 	net.Tick(a)
 	sched.RunUntil(1000)
-	if net.Drops.DeadPeer != 1 {
-		t.Errorf("DeadPeer drops = %d, want 1", net.Drops.DeadPeer)
+	if net.Drops().DeadPeer != 1 {
+		t.Errorf("DeadPeer drops = %d, want 1", net.Drops().DeadPeer)
 	}
 	if a.Engine.Stats().ShufflesCompleted != 0 {
 		t.Error("shuffle with dead peer completed")
@@ -280,8 +280,8 @@ func TestUnknownAddressDrop(t *testing.T) {
 	msg := &wire.Message{Kind: wire.KindPing, Src: a.Descriptor(), Dst: a.Descriptor(), Via: a.Descriptor()}
 	net.Send(a, core.Send{To: ident.Endpoint{IP: 0x7e000001, Port: 1}, ToID: 99, Msg: msg})
 	sched.RunUntil(1000)
-	if net.Drops.NoSuchAddr != 1 {
-		t.Errorf("NoSuchAddr = %d, want 1", net.Drops.NoSuchAddr)
+	if net.Drops().NoSuchAddr != 1 {
+		t.Errorf("NoSuchAddr = %d, want 1", net.Drops().NoSuchAddr)
 	}
 }
 
@@ -319,11 +319,11 @@ func TestFullConeBehavesLikePublic(t *testing.T) {
 	// But the mapping must be alive: after the rule TTL it goes dark (the
 	// device still owns the IP, so the drop counts as NAT-filtered).
 	sched.RunUntil(sched.Now() + 2*holeTimeout)
-	before := net.Drops.NATFiltered
+	before := net.Drops().NATFiltered
 	net.Tick(a)
 	sched.RunUntil(sched.Now() + 1000)
-	if net.Drops.NATFiltered != before+1 {
-		t.Errorf("expired full-cone mapping still routed (drops %d -> %d)", before, net.Drops.NATFiltered)
+	if net.Drops().NATFiltered != before+1 {
+		t.Errorf("expired full-cone mapping still routed (drops %d -> %d)", before, net.Drops().NATFiltered)
 	}
 }
 

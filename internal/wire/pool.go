@@ -1,0 +1,55 @@
+package wire
+
+// Pool is a single-owner message free list. The sharded simulation gives
+// each shard its own Pool so that the per-datagram allocate/release cycle —
+// the hottest allocation site of a run — never crosses cores: a shard's
+// engines draw from the shard's pool, and the network returns every message
+// consumed on that shard to the same pool, whichever shard sent it.
+//
+// A Pool must only be used by its owning shard's events (or at barriers);
+// it does no locking. A nil *Pool is valid and falls back to the shared,
+// concurrency-safe sync.Pool behind NewMessage/Release, which is what
+// engines outside the sharded simulation (real nodes, unit tests) use.
+type Pool struct {
+	free []*Message
+}
+
+// Get returns an empty message, reusing a pooled one (and its Entries
+// capacity) when available.
+func (p *Pool) Get() *Message {
+	if p == nil {
+		return NewMessage()
+	}
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return m
+	}
+	return new(Message)
+}
+
+// Put resets the message and returns it to the pool. The caller must be the
+// sole owner, exactly as for Message.Release.
+func (p *Pool) Put(m *Message) {
+	if p == nil {
+		m.Release()
+		return
+	}
+	entries := m.Entries[:0]
+	*m = Message{Entries: entries}
+	p.free = append(p.free, m)
+}
+
+// Clone returns a deep copy of m drawn from the pool, preserving the pooled
+// Entries backing array exactly as Message.Clone does.
+func (p *Pool) Clone(m *Message) *Message {
+	if p == nil {
+		return m.Clone()
+	}
+	c := p.Get()
+	entries := c.Entries
+	*c = *m
+	c.Entries = append(entries[:0], m.Entries...)
+	return c
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# Guards the tracked 1k-peer simulation benchmark against wall-time
+# regressions: runs it several times through scripts/bench.sh, takes the
+# median ns/op, and compares it against the committed baseline
+# (scripts/bench_baseline.txt), failing when the median is more than
+# TOLERANCE percent slower.
+#
+#   scripts/bench_check.sh            # compare against the baseline
+#   scripts/bench_check.sh -update    # re-measure and rewrite the baseline
+#   TOLERANCE=25 scripts/bench_check.sh
+#
+# The baseline is hardware-dependent. Regenerate it with -update when the
+# reference machine changes; CI uses the committed number as a coarse guard
+# (the median over several runs plus a generous tolerance absorbs runner
+# noise, not runner generations — bump TOLERANCE in ci.yml if the fleet
+# changes).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH='BenchmarkSimulation1kPeers'
+BASELINE="${BASELINE:-scripts/bench_baseline.txt}"
+TOLERANCE="${TOLERANCE:-15}"
+COUNT="${COUNT:-5}"
+
+update=0
+[ "${1:-}" = "-update" ] && update=1
+
+out="$(COUNT="$COUNT" scripts/bench.sh -bench "$BENCH\$")"
+echo "$out"
+
+# Median ns/op across the benchmark lines (field 3 of Go's bench format).
+median="$(echo "$out" | awk -v b="$BENCH" '$1 ~ "^"b {print $3}' | sort -n |
+  awk '{v[NR]=$1} END {if (NR==0) exit 1; print v[int((NR+1)/2)]}')"
+
+if [ "$update" = 1 ]; then
+  printf '%s %s\n' "$BENCH" "$median" > "$BASELINE"
+  echo "bench_check: baseline updated: $BENCH $median ns/op"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "bench_check: no baseline at $BASELINE (run with -update first)" >&2
+  exit 2
+fi
+
+base="$(awk -v b="$BENCH" '$1 == b {print $2}' "$BASELINE")"
+if [ -z "$base" ]; then
+  echo "bench_check: $BENCH missing from $BASELINE" >&2
+  exit 2
+fi
+
+awk -v new="$median" -v old="$base" -v tol="$TOLERANCE" 'BEGIN {
+  pct = (new - old) * 100.0 / old
+  printf "bench_check: %s median %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %s%%)\n",
+         "'"$BENCH"'", new, old, pct, tol
+  exit (pct > tol) ? 1 : 0
+}' || { echo "bench_check: FAIL — wall-time regression beyond tolerance" >&2; exit 1; }
