@@ -24,15 +24,16 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: "+strings.Join(exp.FigureOrder, ", ")+" or 'all'")
-		n      = flag.Int("n", 600, "number of peers (paper: 10000)")
-		rounds = flag.Int("rounds", 210, "shuffling rounds to simulate (paper: ~2000 for churn)")
-		seeds  = flag.Int("seeds", 3, "number of seeds to average (paper: 30)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		fig     = flag.String("fig", "all", "figure to regenerate: "+strings.Join(exp.FigureOrder, ", ")+" or 'all'")
+		n       = flag.Int("n", 600, "number of peers (paper: 10000)")
+		rounds  = flag.Int("rounds", 210, "shuffling rounds to simulate (paper: ~2000 for churn)")
+		seeds   = flag.Int("seeds", 3, "number of seeds to average (paper: 30)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		workers = flag.Int("workers", 0, "parallel simulation runs (0 = one per core; results are identical for any value)")
 	)
 	flag.Parse()
 
-	params := exp.Params{N: *n, Rounds: *rounds, Seeds: seedList(*seeds)}
+	params := exp.Params{N: *n, Rounds: *rounds, Seeds: exp.SeedList(*seeds), Workers: *workers}
 
 	ids := exp.FigureOrder
 	if *fig != "all" {
@@ -56,12 +57,4 @@ func main() {
 			}
 		}
 	}
-}
-
-func seedList(n int) []int64 {
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = int64(i + 1)
-	}
-	return out
 }

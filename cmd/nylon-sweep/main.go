@@ -1,0 +1,133 @@
+// Command nylon-sweep runs a scenario sweep: a declarative JSON spec (see
+// internal/sweep) naming a scenario corpus, a seed set, and protocol
+// variants expands into a deterministic job grid, executes across a worker
+// pool with content-addressed result caching, and aggregates the recovery
+// behavior of every (scenario, variant) cell into p10/p50/p90 quantile
+// bands.
+//
+// Example — the committed corpus sweep:
+//
+//	nylon-sweep -spec examples/scenario-lab/sweep.json -out /tmp/lab
+//
+// The run directory holds one result file per job plus the aggregated
+// artifacts (sweep.json, summary.csv, bands.csv); the text report goes to
+// stdout. Runs are resumable: a killed sweep rerun with the same spec and
+// flags skips every completed job, and a finished sweep re-aggregates
+// without running anything. The artifact is a pure function of (spec,
+// scenario files, seeds) — byte-identical however often the sweep was
+// interrupted and for any -workers value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "sweep spec JSON file (required)")
+		out      = flag.String("out", "", "run directory (default sweep-out/<spec name>)")
+		workers  = flag.Int("workers", 0, "parallel jobs (0 = one per core; results are identical for any value)")
+		seeds    = flag.Int("seeds", 0, "override the spec's seed count with seeds 1..N")
+		n        = flag.Int("n", 0, "override the spec's base peer count")
+		rounds   = flag.Int("rounds", 0, "override the spec's base round count")
+		resume   = flag.Bool("resume", false, "require an existing run directory for this exact spec (fails on a hash mismatch instead of silently starting over)")
+		verbose  = flag.Bool("v", false, "log each executed job")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fatal(fmt.Errorf("-spec sweep.json is required"))
+	}
+
+	spec, err := sweep.LoadSpec(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *seeds > 0 {
+		spec.Seeds, spec.SeedList = *seeds, nil
+	}
+	if *n > 0 {
+		spec.Base.N = *n
+	}
+	if *rounds > 0 {
+		spec.Base.Rounds = *rounds
+	}
+
+	grid, err := sweep.Expand(spec, filepath.Dir(*specPath))
+	if err != nil {
+		fatal(err)
+	}
+
+	dir := *out
+	if dir == "" {
+		name := spec.Name
+		if name == "" {
+			name = "sweep"
+		}
+		dir = filepath.Join("sweep-out", name)
+	}
+	markerPath := filepath.Join(dir, "spec.hash")
+	if *resume {
+		prev, err := os.ReadFile(markerPath)
+		if err != nil {
+			fatal(fmt.Errorf("-resume: no resumable run in %s (%w)", dir, err))
+		}
+		if string(prev) != grid.SpecHash {
+			fatal(fmt.Errorf("-resume: %s was produced by a different spec (hash %.12s…, want %.12s…)",
+				dir, prev, grid.SpecHash))
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(markerPath, []byte(grid.SpecHash), 0o644); err != nil {
+		fatal(err)
+	}
+
+	opts := sweep.Options{Workers: *workers}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	start := time.Now()
+	results, stats, err := sweep.Execute(grid, dir, opts)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+
+	art, err := sweep.Aggregate(grid, results)
+	if err != nil {
+		fatal(err)
+	}
+	artJSON, err := art.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{"sweep.json", artJSON},
+		{"summary.csv", []byte(art.SummaryCSV())},
+		{"bands.csv", []byte(art.BandsCSV())},
+	} {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("# sweep %q: %d scenarios × %d variants × %d seeds (spec %.12s…)\n",
+		spec.Name, len(grid.Scenarios), len(spec.Variants), len(grid.Seeds), grid.SpecHash)
+	fmt.Printf("# %s in %v (%d workers) → %s\n\n", stats, wall.Round(time.Millisecond), stats.Workers, dir)
+	fmt.Print(art.Text())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nylon-sweep:", err)
+	os.Exit(1)
+}

@@ -2,8 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/view"
 )
@@ -19,6 +17,9 @@ type Params struct {
 	NATPcts []int
 	// ViewSizes are the view sizes compared (paper: 15 and 27).
 	ViewSizes []int
+	// Workers bounds how many simulations run at once (0 = one per core).
+	// Results are identical for any value.
+	Workers int
 }
 
 func (p Params) defaults() Params {
@@ -40,104 +41,13 @@ func (p Params) defaults() Params {
 	return p
 }
 
-// simSlots bounds the number of simulation runs executing at once, across
-// every experiment point of every figure: points are submitted eagerly (see
-// submit) and drain through this one pool, so the sweep saturates the
-// machine even when a figure's points are unevenly sized or a point has
-// fewer seeds than there are cores.
-var simSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
-
-// runSeeds executes one configuration across all seeds through the shared
-// pool and returns the per-field mean of the results.
-func runSeeds(cfg Config, seeds []int64) (Result, error) {
-	results := make([]Result, len(seeds))
-	errs := make([]error, len(seeds))
-	var wg sync.WaitGroup
-	for i, seed := range seeds {
-		i, seed := i, seed
-		wg.Add(1)
-		simSlots <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-simSlots }()
-			c := cfg
-			c.Seed = seed
-			// The sweep itself saturates the machine (one slot per
-			// core), so each point runs its sharded kernel with a single
-			// worker: inner and outer parallelism share the simSlots
-			// budget instead of multiplying into oversubscription.
-			// Results are worker-count-invariant, so this is purely a
-			// scheduling choice.
-			c.Workers = 1
-			results[i], errs[i] = Run(c)
-		}()
+// executor picks the pool figure points run through: the shared machine-wide
+// default, or a private one when the caller bounded Workers explicitly.
+func (p Params) executor() *Executor {
+	if p.Workers <= 0 {
+		return defaultExecutor
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
-	}
-	return meanResult(results), nil
-}
-
-// future is the deferred Result of one experiment point. Each peer gets an
-// independently derived RNG stream (see xrand.Mix in the runner), so which
-// worker executes a point cannot influence its outcome.
-type future struct {
-	wg  sync.WaitGroup
-	res Result
-	err error
-}
-
-// submit starts one experiment point (all its seeds) in the background.
-// Figures submit every point of a sweep first and only then collect, which
-// is what parallelizes independent points across the pool.
-func submit(cfg Config, seeds []int64) *future {
-	f := &future{}
-	f.wg.Add(1)
-	go func() {
-		defer f.wg.Done()
-		f.res, f.err = runSeeds(cfg, seeds)
-	}()
-	return f
-}
-
-// get blocks until the point has run and returns its mean result.
-func (f *future) get() (Result, error) {
-	f.wg.Wait()
-	return f.res, f.err
-}
-
-func meanResult(rs []Result) Result {
-	if len(rs) == 0 {
-		return Result{}
-	}
-	out := rs[0]
-	n := float64(len(rs))
-	sum := func(f func(Result) float64) float64 {
-		var s float64
-		for _, r := range rs {
-			s += f(r)
-		}
-		return s / n
-	}
-	out.BiggestCluster = sum(func(r Result) float64 { return r.BiggestCluster })
-	out.StaleFraction = sum(func(r Result) float64 { return r.StaleFraction })
-	out.NattedNonStale = sum(func(r Result) float64 { return r.NattedNonStale })
-	out.BytesPerSecAll = sum(func(r Result) float64 { return r.BytesPerSecAll })
-	out.BytesPerSecPublic = sum(func(r Result) float64 { return r.BytesPerSecPublic })
-	out.BytesPerSecNatted = sum(func(r Result) float64 { return r.BytesPerSecNatted })
-	out.AvgChainLen = sum(func(r Result) float64 { return r.AvgChainLen })
-	out.ChiSquareStat = sum(func(r Result) float64 { return r.ChiSquareStat })
-	out.CompletionRate = sum(func(r Result) float64 { return r.CompletionRate })
-	out.NoRouteRate = sum(func(r Result) float64 { return r.NoRouteRate })
-	ok := true
-	for _, r := range rs {
-		ok = ok && r.ChiSquareOK
-	}
-	out.ChiSquareOK = ok
-	return out
+	return NewExecutor(p.Workers)
 }
 
 // combo names one baseline configuration of Fig. 2.
@@ -165,13 +75,14 @@ var prcOnly = NATMix{PRC: 1.0}
 // configurations versus NAT percentage, one table per view size.
 func Fig2(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	nats := filterMin(p.NATPcts, 40) // the paper's x-axis starts at 40%
 	// Submit every point of the sweep, then collect in presentation order.
-	var futures []*future
+	var futures []*Future
 	for _, vs := range p.ViewSizes {
 		for _, nat := range nats {
 			for _, c := range fig2Combos {
-				futures = append(futures, submit(Config{
+				futures = append(futures, ex.Submit(Config{
 					N: p.N, Rounds: p.Rounds, ViewSize: vs,
 					NATRatio: float64(nat) / 100, Mix: prcOnly,
 					Protocol: ProtoGeneric, Selection: c.sel, Merge: c.mrg, PushPull: true,
@@ -192,7 +103,7 @@ func Fig2(p Params) ([]Table, error) {
 		for _, nat := range nats {
 			row := Row{Label: fmt.Sprintf("%d", nat)}
 			for range fig2Combos {
-				res, err := futures[k].get()
+				res, err := futures[k].Get()
 				k++
 				if err != nil {
 					return nil, err
@@ -222,14 +133,15 @@ func Fig4(p Params) ([]Table, error) {
 
 func baselineSweep(p Params, title string, metric func(Result) float64) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	t := Table{Title: title, Columns: []string{"nat%"}}
 	for _, vs := range p.ViewSizes {
 		t.Columns = append(t.Columns, fmt.Sprintf("view=%d", vs))
 	}
-	var futures []*future
+	var futures []*Future
 	for _, nat := range p.NATPcts {
 		for _, vs := range p.ViewSizes {
-			futures = append(futures, submit(Config{
+			futures = append(futures, ex.Submit(Config{
 				N: p.N, Rounds: p.Rounds, ViewSize: vs,
 				NATRatio: float64(nat) / 100, Mix: prcOnly,
 				Protocol: ProtoGeneric, Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
@@ -240,7 +152,7 @@ func baselineSweep(p Params, title string, metric func(Result) float64) ([]Table
 	for _, nat := range p.NATPcts {
 		row := Row{Label: fmt.Sprintf("%d", nat)}
 		for range p.ViewSizes {
-			res, err := futures[k].get()
+			res, err := futures[k].Get()
 			k++
 			if err != nil {
 				return nil, err
@@ -257,16 +169,17 @@ func baselineSweep(p Params, title string, metric func(Result) float64) ([]Table
 // NAT-free baseline, across NAT percentages.
 func Correctness(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	t := Table{
 		Title:   "§5 Correctness — Nylon: partitions, stale refs, randomness",
 		Columns: []string{"nat%", "cluster%", "stale%", "natted-nonstale%", "chi2/dof", "completion%"},
 	}
-	var futures []*future
+	var futures []*Future
 	for _, nat := range p.NATPcts {
-		futures = append(futures, submit(nylonCfg(p, nat, 15), p.Seeds))
+		futures = append(futures, ex.Submit(nylonCfg(p, nat, 15), p.Seeds))
 	}
 	for i, nat := range p.NATPcts {
-		res, err := futures[i].get()
+		res, err := futures[i].Get()
 		if err != nil {
 			return nil, err
 		}
@@ -299,23 +212,24 @@ func nylonCfg(p Params, natPct, viewSize int) Config {
 // percentage.
 func Fig7(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	t := Table{
 		Title:   "Fig. 7 — bytes/s per peer vs NAT%",
 		Columns: []string{"nat%", "nylon", "reference"},
 	}
-	var nylonF, refF []*future
+	var nylonF, refF []*Future
 	for _, nat := range p.NATPcts {
-		nylonF = append(nylonF, submit(nylonCfg(p, nat, 15), p.Seeds))
+		nylonF = append(nylonF, ex.Submit(nylonCfg(p, nat, 15), p.Seeds))
 		refCfg := nylonCfg(p, nat, 15)
 		refCfg.Protocol = ProtoGeneric
-		refF = append(refF, submit(refCfg, p.Seeds))
+		refF = append(refF, ex.Submit(refCfg, p.Seeds))
 	}
 	for i, nat := range p.NATPcts {
-		nylon, err := nylonF[i].get()
+		nylon, err := nylonF[i].Get()
 		if err != nil {
 			return nil, err
 		}
-		ref, err := refF[i].get()
+		ref, err := refF[i].Get()
 		if err != nil {
 			return nil, err
 		}
@@ -331,21 +245,22 @@ func Fig7(p Params) ([]Table, error) {
 // under Nylon, versus NAT percentage.
 func Fig8(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	t := Table{
 		Title:   "Fig. 8 — bytes/s public vs natted peers (Nylon)",
 		Columns: []string{"nat%", "public", "natted"},
 	}
-	var futures []*future
+	var futures []*Future
 	var nats []int
 	for _, nat := range p.NATPcts {
 		if nat == 0 || nat == 100 {
 			continue // both populations must exist
 		}
 		nats = append(nats, nat)
-		futures = append(futures, submit(nylonCfg(p, nat, 15), p.Seeds))
+		futures = append(futures, ex.Submit(nylonCfg(p, nat, 15), p.Seeds))
 	}
 	for i, nat := range nats {
-		res, err := futures[i].get()
+		res, err := futures[i].Get()
 		if err != nil {
 			return nil, err
 		}
@@ -361,11 +276,12 @@ func Fig8(p Params) ([]Table, error) {
 // destinations versus NAT percentage, per view size.
 func Fig9(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	t := Table{Title: "Fig. 9 — average number of RVPs vs NAT%", Columns: []string{"nat%"}}
 	for _, vs := range p.ViewSizes {
 		t.Columns = append(t.Columns, fmt.Sprintf("view=%d", vs))
 	}
-	var futures []*future
+	var futures []*Future
 	var nats []int
 	for _, nat := range p.NATPcts {
 		if nat == 0 {
@@ -373,14 +289,14 @@ func Fig9(p Params) ([]Table, error) {
 		}
 		nats = append(nats, nat)
 		for _, vs := range p.ViewSizes {
-			futures = append(futures, submit(nylonCfg(p, nat, vs), p.Seeds))
+			futures = append(futures, ex.Submit(nylonCfg(p, nat, vs), p.Seeds))
 		}
 	}
 	k := 0
 	for _, nat := range nats {
 		row := Row{Label: fmt.Sprintf("%d", nat)}
 		for range p.ViewSizes {
-			res, err := futures[k].get()
+			res, err := futures[k].Get()
 			k++
 			if err != nil {
 				return nil, err
@@ -397,26 +313,27 @@ func Fig9(p Params) ([]Table, error) {
 // later; the same 1:3 split is applied to the configured round budget.
 func Fig10(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	natPcts := []int{40, 50, 60, 70, 80}
 	departures := []int{50, 60, 70, 75, 80}
 	t := Table{Title: "Fig. 10 — biggest cluster (%) after massive churn", Columns: []string{"departed%"}}
 	for _, nat := range natPcts {
 		t.Columns = append(t.Columns, fmt.Sprintf("%d%% NATs", nat))
 	}
-	var futures []*future
+	var futures []*Future
 	for _, dep := range departures {
 		for _, nat := range natPcts {
 			cfg := nylonCfg(p, nat, 15)
 			cfg.ChurnAtRound = p.Rounds / 4
 			cfg.ChurnFraction = float64(dep) / 100
-			futures = append(futures, submit(cfg, p.Seeds))
+			futures = append(futures, ex.Submit(cfg, p.Seeds))
 		}
 	}
 	k := 0
 	for _, dep := range departures {
 		row := Row{Label: fmt.Sprintf("%d", dep)}
 		for range natPcts {
-			res, err := futures[k].get()
+			res, err := futures[k].Get()
 			k++
 			if err != nil {
 				return nil, err
@@ -433,28 +350,29 @@ func Fig10(p Params) ([]Table, error) {
 // natted peers under both schemes.
 func AblationStaticRVP(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	t := Table{
 		Title:   "A1 — load balance: Nylon vs static public RVPs (bytes/s)",
 		Columns: []string{"nat%", "nylon-public", "nylon-natted", "static-public", "static-natted"},
 	}
-	var nylonF, staticF []*future
+	var nylonF, staticF []*Future
 	var nats []int
 	for _, nat := range p.NATPcts {
 		if nat == 0 || nat == 100 {
 			continue
 		}
 		nats = append(nats, nat)
-		nylonF = append(nylonF, submit(nylonCfg(p, nat, 15), p.Seeds))
+		nylonF = append(nylonF, ex.Submit(nylonCfg(p, nat, 15), p.Seeds))
 		cfg := nylonCfg(p, nat, 15)
 		cfg.Protocol = ProtoStaticRVP
-		staticF = append(staticF, submit(cfg, p.Seeds))
+		staticF = append(staticF, ex.Submit(cfg, p.Seeds))
 	}
 	for i, nat := range nats {
-		nylon, err := nylonF[i].get()
+		nylon, err := nylonF[i].Get()
 		if err != nil {
 			return nil, err
 		}
-		static, err := staticF[i].get()
+		static, err := staticF[i].Get()
 		if err != nil {
 			return nil, err
 		}
@@ -475,24 +393,25 @@ func AblationStaticRVP(p Params) ([]Table, error) {
 // connected".
 func AblationARRG(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	t := Table{
 		Title:   "A2 — Nylon vs ARRG cache: cluster% and stale%",
 		Columns: []string{"nat%", "nylon-cluster", "arrg-cluster", "nylon-stale", "arrg-stale"},
 	}
-	var nylonF, arrgF []*future
+	var nylonF, arrgF []*Future
 	for _, nat := range p.NATPcts {
-		nylonF = append(nylonF, submit(nylonCfg(p, nat, 15), p.Seeds))
+		nylonF = append(nylonF, ex.Submit(nylonCfg(p, nat, 15), p.Seeds))
 		cfg := nylonCfg(p, nat, 15)
 		cfg.Protocol = ProtoARRG
 		cfg.Mix = prcOnly
-		arrgF = append(arrgF, submit(cfg, p.Seeds))
+		arrgF = append(arrgF, ex.Submit(cfg, p.Seeds))
 	}
 	for i, nat := range p.NATPcts {
-		nylon, err := nylonF[i].get()
+		nylon, err := nylonF[i].Get()
 		if err != nil {
 			return nil, err
 		}
-		arrg, err := arrgF[i].get()
+		arrg, err := arrgF[i].Get()
 		if err != nil {
 			return nil, err
 		}
@@ -512,19 +431,20 @@ func AblationARRG(p Params) ([]Table, error) {
 // degrading Nylon's completion rate.
 func AblationHoleTimeout(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	timeouts := []int64{15_000, 30_000, 60_000, 90_000, 180_000}
 	t := Table{
 		Title:   "A3 — Nylon sensitivity to the hole timeout (80% NATs)",
 		Columns: []string{"timeout_s", "cluster%", "stale%", "completion%", "chain"},
 	}
-	var futures []*future
+	var futures []*Future
 	for _, timeout := range timeouts {
 		cfg := nylonCfg(p, 80, 15)
 		cfg.HoleTimeoutMs = timeout
-		futures = append(futures, submit(cfg, p.Seeds))
+		futures = append(futures, ex.Submit(cfg, p.Seeds))
 	}
 	for i, timeout := range timeouts {
-		res, err := futures[i].get()
+		res, err := futures[i].Get()
 		if err != nil {
 			return nil, err
 		}
@@ -544,16 +464,17 @@ func AblationHoleTimeout(p Params) ([]Table, error) {
 // performances", ablation A4).
 func AblationPush(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	t := Table{
 		Title: "A4 — push vs push/pull baseline (PRC NATs): cluster% and sampling chi2/dof",
 		Columns: []string{
 			"nat%", "pushpull-cluster", "push-cluster", "pushpull-chi2", "push-chi2",
 		},
 	}
-	var futures []*future
+	var futures []*Future
 	for _, nat := range p.NATPcts {
 		for _, pushPull := range []bool{true, false} {
-			futures = append(futures, submit(Config{
+			futures = append(futures, ex.Submit(Config{
 				N: p.N, Rounds: p.Rounds, ViewSize: 15,
 				NATRatio: float64(nat) / 100, Mix: prcOnly,
 				Protocol: ProtoGeneric, Selection: view.SelectRand, Merge: view.MergeHealer,
@@ -565,7 +486,7 @@ func AblationPush(p Params) ([]Table, error) {
 	for _, nat := range p.NATPcts {
 		var clusters, chis []float64
 		for range []bool{true, false} {
-			res, err := futures[k].get()
+			res, err := futures[k].Get()
 			k++
 			if err != nil {
 				return nil, err
@@ -586,20 +507,21 @@ func AblationPush(p Params) ([]Table, error) {
 // with and without eviction.
 func AblationEviction(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	t := Table{
 		Title:   "A5 — no-reply eviction vs churn recovery (80% departures, 60% NATs)",
 		Columns: []string{"evict", "cluster%", "stale%", "completion%"},
 	}
-	var futures []*future
+	var futures []*Future
 	for _, evict := range []bool{false, true} {
 		cfg := nylonCfg(p, 60, 15)
 		cfg.EvictUnanswered = evict
 		cfg.ChurnAtRound = p.Rounds / 4
 		cfg.ChurnFraction = 0.8
-		futures = append(futures, submit(cfg, p.Seeds))
+		futures = append(futures, ex.Submit(cfg, p.Seeds))
 	}
 	for i, evict := range []bool{false, true} {
-		res, err := futures[i].get()
+		res, err := futures[i].Get()
 		if err != nil {
 			return nil, err
 		}
@@ -622,14 +544,15 @@ func AblationEviction(p Params) ([]Table, error) {
 // PRC NATs, compared to Nylon needing none?
 func AblationUPnP(p Params) ([]Table, error) {
 	p = p.defaults()
+	ex := p.executor()
 	t := Table{
 		Title:   "A6 — baseline rescue by UPnP deployment (80% PRC NATs)",
 		Columns: []string{"upnp%", "cluster%", "stale%", "natted-nonstale%", "completion%"},
 	}
 	pcts := []int{0, 25, 50, 75, 100}
-	var futures []*future
+	var futures []*Future
 	for _, pct := range pcts {
-		futures = append(futures, submit(Config{
+		futures = append(futures, ex.Submit(Config{
 			N: p.N, Rounds: p.Rounds, ViewSize: 15,
 			NATRatio: 0.8, Mix: prcOnly,
 			Protocol: ProtoGeneric, Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
@@ -637,7 +560,7 @@ func AblationUPnP(p Params) ([]Table, error) {
 		}, p.Seeds))
 	}
 	for i, pct := range pcts {
-		res, err := futures[i].get()
+		res, err := futures[i].Get()
 		if err != nil {
 			return nil, err
 		}

@@ -257,12 +257,60 @@ func TestMeanResult(t *testing.T) {
 func TestRunSeedsAverages(t *testing.T) {
 	cfg := fastCfg(ProtoGeneric, 0.5)
 	cfg.N, cfg.Rounds = 100, 40
-	res, err := runSeeds(cfg, []int64{1, 2})
+	res, err := NewExecutor(2).Submit(cfg, []int64{1, 2}).Get()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.BytesPerSecAll <= 0 {
 		t.Error("averaged result lost bandwidth metric")
+	}
+}
+
+// TestExecutorRunPoint pins the shared executor's contract: per-seed results
+// in seed order, each bit-identical to a direct single-worker Run, and the
+// submitted Future agreeing with their mean.
+func TestExecutorRunPoint(t *testing.T) {
+	cfg := fastCfg(ProtoGeneric, 0.5)
+	cfg.N, cfg.Rounds = 100, 40
+	seeds := []int64{3, 1}
+	ex := NewExecutor(2)
+	results, err := ex.RunPoint(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(seeds) {
+		t.Fatalf("RunPoint returned %d results for %d seeds", len(results), len(seeds))
+	}
+	for i, seed := range seeds {
+		direct := cfg
+		direct.Seed = seed
+		direct.Workers = 1
+		want, err := Run(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Errorf("seed %d result differs from direct run", seed)
+		}
+	}
+	mean, err := ex.Submit(cfg, seeds).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := meanResult(results); mean.BiggestCluster != want.BiggestCluster || mean.BytesPerSecAll != want.BytesPerSecAll {
+		t.Errorf("Submit mean %+v differs from meanResult %+v", mean, want)
+	}
+}
+
+func TestSeedList(t *testing.T) {
+	if got := SeedList(3); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("SeedList(3) = %v", got)
+	}
+	if got := SeedList(0); len(got) != 0 {
+		t.Errorf("SeedList(0) = %v", got)
+	}
+	if got := SeedList(-1); len(got) != 0 {
+		t.Errorf("SeedList(-1) = %v", got)
 	}
 }
 

@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CorpusEntry is one scenario loaded from a corpus on disk, with enough
+// provenance for content addressing: sweep job keys hash Raw, so editing a
+// scenario file invalidates exactly the cached results that depend on it.
+type CorpusEntry struct {
+	// Path is the file the scenario was loaded from.
+	Path string
+	// Name identifies the scenario in grids and output: the scenario's own
+	// Name, or the file's base name without extension when unset.
+	Name string
+	// Raw is the verbatim file content.
+	Raw []byte
+	// Scenario is the parsed timeline.
+	Scenario *Scenario
+}
+
+// LoadCorpus loads every scenario matching the glob patterns, resolved
+// relative to baseDir (absolute patterns are taken as-is). Matches are
+// deduplicated and returned sorted by path, so a corpus listing is a pure
+// function of the directory contents. A pattern matching nothing is an
+// error — a corpus silently shrinking to zero hides typos — and so are two
+// entries resolving to the same Name, which would collide in result grids.
+func LoadCorpus(baseDir string, patterns []string) ([]CorpusEntry, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("scenario: corpus has no patterns")
+	}
+	seen := make(map[string]bool)
+	var paths []string
+	for _, pat := range patterns {
+		if !filepath.IsAbs(pat) {
+			pat = filepath.Join(baseDir, pat)
+		}
+		matches, err := filepath.Glob(pat)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: corpus pattern %q: %w", pat, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("scenario: corpus pattern %q matches no files", pat)
+		}
+		for _, m := range matches {
+			if !seen[m] {
+				seen[m] = true
+				paths = append(paths, m)
+			}
+		}
+	}
+	sort.Strings(paths)
+
+	entries := make([]CorpusEntry, 0, len(paths))
+	byName := make(map[string]string, len(paths))
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		sc, err := Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w (in %s)", err, p)
+		}
+		name := sc.Name
+		if name == "" {
+			base := filepath.Base(p)
+			name = base[:len(base)-len(filepath.Ext(base))]
+		}
+		if prev, dup := byName[name]; dup {
+			return nil, fmt.Errorf("scenario: corpus name %q used by both %s and %s", name, prev, p)
+		}
+		byName[name] = p
+		entries = append(entries, CorpusEntry{Path: p, Name: name, Raw: raw, Scenario: sc})
+	}
+	return entries, nil
+}

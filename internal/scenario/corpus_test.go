@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCorpusFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadCorpus(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpusFile(t, dir, "b.json", `{"name":"bravo","events":[{"round":2,"kind":"heal"}]}`)
+	writeCorpusFile(t, dir, "a.json", `{"churn":{"joins_per_round":1}}`)
+
+	entries, err := LoadCorpus(dir, []string{"*.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(entries))
+	}
+	// Sorted by path; names fall back to the base name without extension.
+	if entries[0].Name != "a" || entries[1].Name != "bravo" {
+		t.Errorf("names = %q, %q", entries[0].Name, entries[1].Name)
+	}
+	if entries[0].Scenario.Churn == nil || len(entries[1].Scenario.Events) != 1 {
+		t.Error("scenarios not parsed")
+	}
+	if len(entries[0].Raw) == 0 {
+		t.Error("raw content not retained")
+	}
+
+	// Overlapping patterns deduplicate.
+	entries, err = LoadCorpus(dir, []string{"*.json", "a.json"})
+	if err != nil || len(entries) != 2 {
+		t.Errorf("overlapping patterns: %d entries, err %v", len(entries), err)
+	}
+}
+
+func TestLoadCorpusErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCorpus(dir, nil); err == nil {
+		t.Error("empty pattern list accepted")
+	}
+	if _, err := LoadCorpus(dir, []string{"missing-*.json"}); err == nil || !strings.Contains(err.Error(), "matches no files") {
+		t.Errorf("no-match pattern: err = %v", err)
+	}
+
+	writeCorpusFile(t, dir, "bad.json", `{"nope":1}`)
+	if _, err := LoadCorpus(dir, []string{"bad.json"}); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("unparseable scenario: err = %v", err)
+	}
+
+	// Two files resolving to one grid name collide.
+	writeCorpusFile(t, dir, "x.json", `{"name":"same"}`)
+	writeCorpusFile(t, dir, "y.json", `{"name":"same"}`)
+	if _, err := LoadCorpus(dir, []string{"x.json", "y.json"}); err == nil || !strings.Contains(err.Error(), "same") {
+		t.Errorf("duplicate names: err = %v", err)
+	}
+}

@@ -170,6 +170,84 @@ func Summarize(series []float64) Summary {
 	}
 }
 
+// Quantile returns the q-quantile of xs using linear interpolation between
+// order statistics (the "R-7" definition shared by numpy and R). NaN samples
+// are ignored; q is clamped to [0,1]. With no remaining samples the result is
+// NaN — quantiles of nothing are not a number, and callers aggregating empty
+// cells should detect that rather than mistake a silent 0 for data.
+func Quantile(xs []float64, q float64) float64 {
+	return quantileSorted(sortedClean(xs), q)
+}
+
+// Quantiles evaluates several quantiles of xs with one sort. The result is
+// index-aligned with qs; every entry is NaN when xs has no non-NaN samples.
+func Quantiles(xs []float64, qs []float64) []float64 {
+	s := sortedClean(xs)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+// PerRoundQuantiles computes quantile bands across aligned series: out[r][i]
+// is the qs[i]-quantile of the runs' values at index r — e.g. the p10/p50/p90
+// biggest-cluster band at each sampled round across the seeds of a sweep
+// cell. Ragged runs contribute to the indices they reach; an index no run
+// reaches yields NaNs. Nil or empty input yields an empty (non-nil) band.
+func PerRoundQuantiles(runs [][]float64, qs []float64) [][]float64 {
+	rounds := 0
+	for _, run := range runs {
+		if len(run) > rounds {
+			rounds = len(run)
+		}
+	}
+	out := make([][]float64, rounds)
+	col := make([]float64, 0, len(runs))
+	for r := range out {
+		col = col[:0]
+		for _, run := range runs {
+			if r < len(run) {
+				col = append(col, run[r])
+			}
+		}
+		out[r] = Quantiles(col, qs)
+	}
+	return out
+}
+
+// sortedClean returns a sorted copy of xs with NaNs removed.
+func sortedClean(xs []float64) []float64 {
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
+	sort.Float64s(s)
+	return s
+}
+
+// quantileSorted evaluates one quantile of an already-sorted, NaN-free slice.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if frac == 0 || lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
 // Mean returns the arithmetic mean, or 0 for empty input.
 func Mean(series []float64) float64 {
 	if len(series) == 0 {

@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// band quantiles: the p10/p50/p90 triple every cell reports.
+var bandQs = []float64{0.10, 0.50, 0.90}
+
+// Band is a p10/p50/p90 quantile triple.
+type Band struct {
+	P10 float64 `json:"p10"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+}
+
+func bandOf(xs []float64) Band {
+	q := stats.Quantiles(xs, bandQs)
+	return Band{P10: clean(q[0]), P50: clean(q[1]), P90: clean(q[2])}
+}
+
+// clean maps NaN to 0 so the artifact stays valid JSON (encoding/json
+// rejects NaN). Cells are aggregated from at least one seed, so NaN only
+// arises for defined-empty distributions (e.g. recovery rounds when no seed
+// recovered), where the companion count/fraction field disambiguates.
+func clean(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	return x
+}
+
+// BandPoint is one sampled round of a cell's aggregated health series.
+type BandPoint struct {
+	Round int `json:"round"`
+	// Cluster is the biggest-cluster fraction band across seeds.
+	Cluster Band `json:"cluster"`
+	// StaleP50 is the median stale-reference fraction.
+	StaleP50 float64 `json:"stale_p50"`
+	// AliveP50 is the median alive population.
+	AliveP50 float64 `json:"alive_p50"`
+}
+
+// Cell is the aggregate of one (scenario, variant) pair across seeds.
+type Cell struct {
+	Scenario string  `json:"scenario"`
+	Variant  string  `json:"variant"`
+	Seeds    []int64 `json:"seeds"`
+
+	// FinalCluster and WorstCluster are biggest-cluster fraction bands at
+	// the end of the run and at each seed's worst sampled point.
+	FinalCluster Band `json:"final_cluster"`
+	WorstCluster Band `json:"worst_cluster"`
+	// FinalStaleP50 is the median end-of-run stale fraction.
+	FinalStaleP50 float64 `json:"final_stale_p50"`
+	// CompletionP50 is the median shuffle completion rate.
+	CompletionP50 float64 `json:"completion_p50"`
+
+	// RecoveredFraction is the share of seeds whose overlay regained the
+	// recovery threshold after its worst point; RecoveryRounds summarizes
+	// worst→recovered durations over those seeds (all-zero when none
+	// recovered — check RecoveredFraction first).
+	RecoveredFraction float64 `json:"recovered_fraction"`
+	RecoveryRounds    Band    `json:"recovery_rounds"`
+
+	// Series is the per-round quantile band of the cell's health series.
+	Series []BandPoint `json:"series"`
+}
+
+// Artifact is the aggregated output of one sweep — a pure function of
+// (spec, scenario files, seeds), marshaled deterministically: running the
+// same sweep twice yields byte-identical JSON.
+type Artifact struct {
+	Name      string   `json:"name"`
+	SpecHash  string   `json:"spec_hash"`
+	Scenarios []string `json:"scenarios"`
+	Variants  []string `json:"variants"`
+	Seeds     []int64  `json:"seeds"`
+	Cells     []Cell   `json:"cells"`
+}
+
+// Aggregate folds the grid's results (in grid order, as returned by
+// Execute) into per-cell summaries and per-round bands.
+func Aggregate(g *Grid, results []*JobResult) (*Artifact, error) {
+	if len(results) != len(g.Jobs) {
+		return nil, fmt.Errorf("sweep: %d results for %d jobs", len(results), len(g.Jobs))
+	}
+	art := &Artifact{
+		Name:      g.Spec.Name,
+		SpecHash:  g.SpecHash,
+		Scenarios: g.ScenarioNames(),
+		Variants:  g.VariantNames(),
+		Seeds:     g.Seeds,
+	}
+	nSeeds := len(g.Seeds)
+	k := 0
+	for _, sc := range art.Scenarios {
+		for _, v := range art.Variants {
+			cellResults := results[k : k+nSeeds]
+			k += nSeeds
+			cell, err := aggregateCell(sc, v, g.Seeds, cellResults)
+			if err != nil {
+				return nil, err
+			}
+			art.Cells = append(art.Cells, cell)
+		}
+	}
+	return art, nil
+}
+
+func aggregateCell(scenarioName, variant string, seeds []int64, results []*JobResult) (Cell, error) {
+	cell := Cell{Scenario: scenarioName, Variant: variant, Seeds: seeds}
+	var (
+		finals, worsts, stales, completions []float64
+		recoveryRounds                      []float64
+		recovered                           int
+	)
+	clusterRuns := make([][]float64, len(results))
+	staleRuns := make([][]float64, len(results))
+	aliveRuns := make([][]float64, len(results))
+	var rounds []int
+	for i, jr := range results {
+		if jr == nil {
+			return Cell{}, fmt.Errorf("sweep: cell (%s, %s) missing result for seed %d", scenarioName, variant, seeds[i])
+		}
+		finals = append(finals, jr.BiggestCluster)
+		worsts = append(worsts, jr.WorstCluster)
+		stales = append(stales, jr.StaleFraction)
+		completions = append(completions, jr.CompletionRate)
+		if jr.RecoveredRound >= 0 {
+			recovered++
+			recoveryRounds = append(recoveryRounds, float64(jr.RecoveredRound-jr.WorstRound))
+		}
+		// Series alignment: every seed of a cell runs the same config, so
+		// the sampled rounds must agree; a mismatch means the cache holds
+		// results from a different spec and must not be averaged silently.
+		if i == 0 {
+			rounds = make([]int, len(jr.Series))
+			for j, pt := range jr.Series {
+				rounds[j] = pt.Round
+			}
+		} else if len(jr.Series) != len(rounds) {
+			return Cell{}, fmt.Errorf("sweep: cell (%s, %s): seed %d sampled %d rounds, seed %d sampled %d",
+				scenarioName, variant, seeds[0], len(rounds), seeds[i], len(jr.Series))
+		}
+		clusterRuns[i] = make([]float64, len(jr.Series))
+		staleRuns[i] = make([]float64, len(jr.Series))
+		aliveRuns[i] = make([]float64, len(jr.Series))
+		for j, pt := range jr.Series {
+			if pt.Round != rounds[j] {
+				return Cell{}, fmt.Errorf("sweep: cell (%s, %s): seed %d sampled round %d where seed %d sampled %d",
+					scenarioName, variant, seeds[i], pt.Round, seeds[0], rounds[j])
+			}
+			clusterRuns[i][j] = pt.Cluster
+			staleRuns[i][j] = pt.Stale
+			aliveRuns[i][j] = float64(pt.Alive)
+		}
+	}
+	cell.FinalCluster = bandOf(finals)
+	cell.WorstCluster = bandOf(worsts)
+	cell.FinalStaleP50 = clean(stats.Quantile(stales, 0.5))
+	cell.CompletionP50 = clean(stats.Quantile(completions, 0.5))
+	cell.RecoveredFraction = float64(recovered) / float64(len(results))
+	cell.RecoveryRounds = bandOf(recoveryRounds)
+
+	clusterBand := stats.PerRoundQuantiles(clusterRuns, bandQs)
+	staleBand := stats.PerRoundQuantiles(staleRuns, []float64{0.5})
+	aliveBand := stats.PerRoundQuantiles(aliveRuns, []float64{0.5})
+	cell.Series = make([]BandPoint, len(rounds))
+	for j, r := range rounds {
+		cell.Series[j] = BandPoint{
+			Round:    r,
+			Cluster:  Band{P10: clean(clusterBand[j][0]), P50: clean(clusterBand[j][1]), P90: clean(clusterBand[j][2])},
+			StaleP50: clean(staleBand[j][0]),
+			AliveP50: clean(aliveBand[j][0]),
+		}
+	}
+	return cell, nil
+}

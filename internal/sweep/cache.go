@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/exp"
+)
+
+// JobResult is the cached outcome of one job: the slice of exp.Result a
+// sweep aggregates, in a stable JSON shape. One file per job lives under
+// <run dir>/results/<key>.json; because the file is named by the job's
+// content address, a restarted sweep can trust any file it finds.
+type JobResult struct {
+	Key      string `json:"key"`
+	Scenario string `json:"scenario"`
+	Variant  string `json:"variant"`
+	Seed     int64  `json:"seed"`
+
+	// End-of-run health (fractions in [0,1]).
+	BiggestCluster float64 `json:"biggest_cluster"`
+	StaleFraction  float64 `json:"stale_fraction"`
+	CompletionRate float64 `json:"completion_rate"`
+	AlivePeers     int     `json:"alive_peers"`
+	TotalPeers     int     `json:"total_peers"`
+
+	// Scenario bookkeeping.
+	Joins           uint64 `json:"joins"`
+	Leaves          uint64 `json:"leaves"`
+	GatewayFailures uint64 `json:"gateway_failures"`
+	PartitionRounds int    `json:"partition_rounds"`
+
+	// Recovery curve condensed from the series.
+	WorstCluster   float64 `json:"worst_cluster"`
+	WorstRound     int     `json:"worst_round"`
+	RecoveredRound int     `json:"recovered_round"`
+
+	// Series is the periodic health series the per-round bands aggregate.
+	Series []SeriesPoint `json:"series"`
+
+	// EventsProcessed pins the run's determinism contract into the cache:
+	// re-running the job must reproduce it exactly.
+	EventsProcessed uint64 `json:"events_processed"`
+}
+
+// SeriesPoint is one sampled round in the cached series.
+type SeriesPoint struct {
+	Round   int     `json:"round"`
+	Alive   int     `json:"alive"`
+	Cluster float64 `json:"cluster"`
+	Stale   float64 `json:"stale"`
+}
+
+// resultOf condenses a run's Result into the cacheable JobResult.
+func resultOf(job Job, res exp.Result) *JobResult {
+	jr := &JobResult{
+		Key:             job.Key,
+		Scenario:        job.Scenario,
+		Variant:         job.Variant,
+		Seed:            job.Seed,
+		BiggestCluster:  res.BiggestCluster,
+		StaleFraction:   res.StaleFraction,
+		CompletionRate:  res.CompletionRate,
+		AlivePeers:      res.AlivePeers,
+		TotalPeers:      res.TotalPeers,
+		Joins:           res.Scenario.Joins,
+		Leaves:          res.Scenario.Leaves,
+		GatewayFailures: res.Scenario.GatewayFailures,
+		PartitionRounds: res.Scenario.PartitionRounds,
+		WorstCluster:    res.Recovery.WorstCluster,
+		WorstRound:      res.Recovery.WorstRound,
+		RecoveredRound:  res.Recovery.RecoveredRound,
+		Series:          make([]SeriesPoint, len(res.Series)),
+		EventsProcessed: res.EventsProcessed,
+	}
+	for i, pt := range res.Series {
+		jr.Series[i] = SeriesPoint{Round: pt.Round, Alive: pt.AlivePeers, Cluster: pt.BiggestCluster, Stale: pt.StaleFraction}
+	}
+	return jr
+}
+
+// Cache is the content-addressed result store of one run directory.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) the result store under dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, "results", key+".json")
+}
+
+// Load returns the cached result for key, or (nil, false) when absent or
+// unreadable — a truncated file from a killed run is treated as a miss and
+// recomputed, never trusted.
+func (c *Cache) Load(key string) (*JobResult, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var jr JobResult
+	if err := json.Unmarshal(data, &jr); err != nil || jr.Key != key {
+		return nil, false
+	}
+	return &jr, true
+}
+
+// Store persists one result atomically (write-temp + rename), so a kill
+// mid-write leaves a miss, not a corrupt hit.
+func (c *Cache) Store(jr *JobResult) error {
+	data, err := json.MarshalIndent(jr, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: marshal result: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(c.dir, "results"), "."+jr.Key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(jr.Key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// JSON renders the artifact deterministically (indented, trailing newline).
+func (a *Artifact) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal artifact: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// cell looks up one cell of the grid (grid order guarantees presence).
+func (a *Artifact) cell(scenarioName, variant string) *Cell {
+	for i := range a.Cells {
+		if a.Cells[i].Scenario == scenarioName && a.Cells[i].Variant == variant {
+			return &a.Cells[i]
+		}
+	}
+	return nil
+}
+
+// GridTables renders the cross-variant recovery grid: one table per metric,
+// scenarios as rows, variants as columns.
+func (a *Artifact) GridTables() []exp.Table {
+	metrics := []struct {
+		title string
+		value func(*Cell) float64
+	}{
+		{"sweep — final biggest cluster (%) p50", func(c *Cell) float64 { return c.FinalCluster.P50 * 100 }},
+		{"sweep — worst sampled cluster (%) p50", func(c *Cell) float64 { return c.WorstCluster.P50 * 100 }},
+		{"sweep — recovered seeds (%)", func(c *Cell) float64 { return c.RecoveredFraction * 100 }},
+		{"sweep — recovery rounds (worst→recovered) p50", func(c *Cell) float64 { return c.RecoveryRounds.P50 }},
+	}
+	tables := make([]exp.Table, 0, len(metrics))
+	for _, m := range metrics {
+		t := exp.Table{Title: m.title, Columns: append([]string{"scenario"}, a.Variants...)}
+		for _, sc := range a.Scenarios {
+			row := exp.Row{Label: sc}
+			for _, v := range a.Variants {
+				row.Values = append(row.Values, m.value(a.cell(sc, v)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// SummaryTables renders one per-scenario table with the quantile bands:
+// variants as rows, the cell summary statistics as columns.
+func (a *Artifact) SummaryTables() []exp.Table {
+	tables := make([]exp.Table, 0, len(a.Scenarios))
+	for _, sc := range a.Scenarios {
+		t := exp.Table{
+			Title: fmt.Sprintf("scenario %q — per-variant summary over %d seeds", sc, len(a.Seeds)),
+			Columns: []string{"variant",
+				"final%p10", "final%p50", "final%p90",
+				"worst%p50", "stale%p50", "recov%", "recov-rounds-p50"},
+		}
+		for _, v := range a.Variants {
+			c := a.cell(sc, v)
+			t.Rows = append(t.Rows, exp.Row{Label: v, Values: []float64{
+				c.FinalCluster.P10 * 100, c.FinalCluster.P50 * 100, c.FinalCluster.P90 * 100,
+				c.WorstCluster.P50 * 100, c.FinalStaleP50 * 100,
+				c.RecoveredFraction * 100, c.RecoveryRounds.P50,
+			}})
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// BandTables renders each cell's per-round quantile band as a table
+// (round, cluster p10/p50/p90, stale p50, alive p50).
+func (a *Artifact) BandTables() []exp.Table {
+	tables := make([]exp.Table, 0, len(a.Cells))
+	for i := range a.Cells {
+		c := &a.Cells[i]
+		t := exp.Table{
+			Title:   fmt.Sprintf("band (%s, %s) — biggest cluster (%%) per round", c.Scenario, c.Variant),
+			Columns: []string{"round", "p10", "p50", "p90", "stale%p50", "alive-p50"},
+		}
+		for _, pt := range c.Series {
+			t.Rows = append(t.Rows, exp.Row{Label: fmt.Sprintf("%d", pt.Round), Values: []float64{
+				pt.Cluster.P10 * 100, pt.Cluster.P50 * 100, pt.Cluster.P90 * 100,
+				pt.StaleP50 * 100, pt.AliveP50,
+			}})
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Text renders the full aligned-text report: the cross-variant grids, the
+// per-scenario summaries, then the per-cell bands.
+func (a *Artifact) Text() string {
+	var b strings.Builder
+	for _, t := range a.GridTables() {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, t := range a.SummaryTables() {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, t := range a.BandTables() {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SummaryCSV renders one row per cell with the summary statistics.
+func (a *Artifact) SummaryCSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,variant,seeds,final_cluster_p10,final_cluster_p50,final_cluster_p90," +
+		"worst_cluster_p10,worst_cluster_p50,worst_cluster_p90,final_stale_p50,completion_p50," +
+		"recovered_fraction,recovery_rounds_p10,recovery_rounds_p50,recovery_rounds_p90\n")
+	for i := range a.Cells {
+		c := &a.Cells[i]
+		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
+			c.Scenario, c.Variant, len(c.Seeds),
+			c.FinalCluster.P10, c.FinalCluster.P50, c.FinalCluster.P90,
+			c.WorstCluster.P10, c.WorstCluster.P50, c.WorstCluster.P90,
+			c.FinalStaleP50, c.CompletionP50,
+			c.RecoveredFraction, c.RecoveryRounds.P10, c.RecoveryRounds.P50, c.RecoveryRounds.P90)
+	}
+	return b.String()
+}
+
+// BandsCSV renders one row per (cell, round) with the per-round band.
+func (a *Artifact) BandsCSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,variant,round,cluster_p10,cluster_p50,cluster_p90,stale_p50,alive_p50\n")
+	for i := range a.Cells {
+		c := &a.Cells[i]
+		for _, pt := range c.Series {
+			fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%g,%g\n",
+				c.Scenario, c.Variant, pt.Round,
+				pt.Cluster.P10, pt.Cluster.P50, pt.Cluster.P90, pt.StaleP50, pt.AliveP50)
+		}
+	}
+	return b.String()
+}

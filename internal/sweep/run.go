@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/exp"
+)
+
+// Options tunes one sweep execution.
+type Options struct {
+	// Workers is the outer parallelism: how many jobs execute at once
+	// (0 = one per core). Each job's kernel runs at Workers=1 through the
+	// shared experiment executor, so outer parallelism alone saturates the
+	// machine without oversubscribing it. Results are identical for any
+	// value.
+	Workers int
+	// StopAfter, when positive, stops dequeuing new jobs after that many
+	// have been executed (cache hits do not count). The run returns
+	// ErrStopped with the completed jobs persisted — the test hook that
+	// simulates a killed sweep deterministically.
+	StopAfter int
+	// Log, when non-nil, receives one line per executed job.
+	Log io.Writer
+}
+
+// Stats reports how a sweep execution went.
+type Stats struct {
+	// Total is the grid size; Ran were executed this invocation; Cached
+	// were reused from the run directory.
+	Total, Ran, Cached int
+	// Workers is the resolved outer parallelism the execution actually
+	// used (Options.Workers with 0 resolved to one per core).
+	Workers int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("jobs: %d total, %d ran, %d cached", s.Total, s.Ran, s.Cached)
+}
+
+// ErrStopped reports a sweep that hit Options.StopAfter before finishing.
+var ErrStopped = errors.New("sweep: stopped before completing the grid")
+
+// Execute runs every job of the grid, reusing the run directory's
+// content-addressed cache, and returns the results in grid order. A job
+// found in the cache is not re-run; a job executed is persisted before it
+// counts as done, so killing the process at any point loses at most the
+// jobs in flight and a rerun completes the remainder without recomputing.
+func Execute(g *Grid, dir string, opts Options) ([]*JobResult, Stats, error) {
+	cache, err := OpenCache(dir)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{Total: len(g.Jobs)}
+	results := make([]*JobResult, len(g.Jobs))
+
+	// Resolve cache hits first, so StopAfter counts executed jobs only and
+	// the progress log reflects real work.
+	var missing []int
+	for i, job := range g.Jobs {
+		if jr, ok := cache.Load(job.Key); ok {
+			results[i] = jr
+			stats.Cached++
+		} else {
+			missing = append(missing, i)
+		}
+	}
+
+	ex := exp.NewExecutor(opts.Workers)
+	workers := ex.Workers()
+	stats.Workers = workers
+	jobs := make(chan int)
+	var (
+		mu       sync.Mutex
+		started  int
+		firstErr error
+		stopped  bool
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				job := g.Jobs[i]
+				res, err := ex.Run(job.Cfg)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sweep: job (%s, %s, seed %d): %w", job.Scenario, job.Variant, job.Seed, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				jr := resultOf(job, res)
+				if err := cache.Store(jr); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				results[i] = jr
+				stats.Ran++
+				mu.Unlock()
+				if opts.Log != nil {
+					fmt.Fprintf(opts.Log, "ran (%s, %s, seed %d) → cluster %.1f%%\n",
+						job.Scenario, job.Variant, job.Seed, jr.BiggestCluster*100)
+				}
+			}
+		}()
+	}
+	for _, i := range missing {
+		mu.Lock()
+		abort := firstErr != nil
+		if opts.StopAfter > 0 && started >= opts.StopAfter {
+			stopped = true
+			abort = true
+		}
+		started++
+		mu.Unlock()
+		if abort {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	if stopped {
+		return nil, stats, ErrStopped
+	}
+	return results, stats, nil
+}

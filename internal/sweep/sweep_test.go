@@ -1,0 +1,339 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testCorpus writes a tiny two-scenario corpus and returns its directory.
+func testCorpus(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"crash.json": `{
+			"name": "crash",
+			"events": [{"round": 4, "kind": "mass_leave", "fraction": 0.5}]
+		}`,
+		"split.json": `{
+			"name": "split",
+			"events": [{"round": 3, "kind": "partition", "fraction": 0.3, "duration_rounds": 4}]
+		}`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// testSpec is a 2 scenarios × 2 variants × 2 seeds sweep small enough for
+// the unit suite: 8 jobs of 60 peers × 12 rounds.
+func testSpec() *Spec {
+	nat := 60.0
+	return &Spec{
+		Name:      "unit",
+		Scenarios: []string{"*.json"},
+		SeedList:  []int64{1, 2},
+		Base: Overrides{
+			N: 60, Rounds: 12, ViewSize: 6, NATPct: &nat, SampleEvery: 3,
+		},
+		Variants: []Variant{
+			{Name: "nylon", Overrides: Overrides{Protocol: "nylon"}},
+			{Name: "generic", Overrides: Overrides{Protocol: "generic"}},
+		},
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	dir := testCorpus(t)
+	a, err := Expand(testSpec(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(testSpec(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != 8 {
+		t.Fatalf("expanded %d jobs, want 8", len(a.Jobs))
+	}
+	if a.SpecHash != b.SpecHash {
+		t.Error("same spec produced different hashes")
+	}
+	keys := make(map[string]bool)
+	for i, job := range a.Jobs {
+		if job.Key != b.Jobs[i].Key {
+			t.Errorf("job %d key differs between expansions", i)
+		}
+		if keys[job.Key] {
+			t.Errorf("duplicate job key %s", job.Key)
+		}
+		keys[job.Key] = true
+	}
+	// Grid order is scenario-major (corpus sorted by path), then variant
+	// (spec order), then seed.
+	want := []struct {
+		sc, v string
+		seed  int64
+	}{
+		{"crash", "nylon", 1}, {"crash", "nylon", 2},
+		{"crash", "generic", 1}, {"crash", "generic", 2},
+		{"split", "nylon", 1}, {"split", "nylon", 2},
+		{"split", "generic", 1}, {"split", "generic", 2},
+	}
+	for i, w := range want {
+		j := a.Jobs[i]
+		if j.Scenario != w.sc || j.Variant != w.v || j.Seed != w.seed {
+			t.Errorf("job %d = (%s, %s, %d), want (%s, %s, %d)", i, j.Scenario, j.Variant, j.Seed, w.sc, w.v, w.seed)
+		}
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	dir := testCorpus(t)
+	base, err := Expand(testSpec(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Editing a scenario file changes exactly that scenario's job keys.
+	if err := os.WriteFile(filepath.Join(dir, "crash.json"),
+		[]byte(`{"name":"crash","events":[{"round":4,"kind":"mass_leave","fraction":0.6}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited, err := Expand(testSpec(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Jobs {
+		same := base.Jobs[i].Key == edited.Jobs[i].Key
+		if base.Jobs[i].Scenario == "crash" && same {
+			t.Errorf("job %d (crash) key survived a scenario edit", i)
+		}
+		if base.Jobs[i].Scenario == "split" && !same {
+			t.Errorf("job %d (split) key changed by an unrelated scenario edit", i)
+		}
+	}
+	if base.SpecHash == edited.SpecHash {
+		t.Error("spec hash survived a scenario edit")
+	}
+
+	// Changing a variant knob changes only that variant's keys.
+	spec := testSpec()
+	spec.Variants[0].ViewSize = 8
+	varied, err := Expand(spec, testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAgain, err := Expand(testSpec(), testCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range baseAgain.Jobs {
+		same := baseAgain.Jobs[i].Key == varied.Jobs[i].Key
+		if baseAgain.Jobs[i].Variant == "nylon" && same {
+			t.Errorf("job %d (nylon) key survived a variant edit", i)
+		}
+		if baseAgain.Jobs[i].Variant == "generic" && !same {
+			t.Errorf("job %d (generic) key changed by an unrelated variant edit", i)
+		}
+	}
+}
+
+// sweepOnce expands and executes the test sweep in dir, returning the
+// artifact JSON and the execution stats.
+func sweepOnce(t *testing.T, corpus, run string, opts Options) ([]byte, Stats) {
+	t.Helper()
+	g, err := Expand(testSpec(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, st, err := Execute(g, run, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := Aggregate(g, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := art.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, st
+}
+
+func TestSweepArtifactByteIdentical(t *testing.T) {
+	corpus := testCorpus(t)
+	a, stA := sweepOnce(t, corpus, t.TempDir(), Options{Workers: 4})
+	b, stB := sweepOnce(t, corpus, t.TempDir(), Options{Workers: 1})
+	if !bytes.Equal(a, b) {
+		t.Errorf("fresh runs produced different artifacts:\n%s\n---\n%s", a, b)
+	}
+	if stA.Ran != 8 || stA.Cached != 0 || stB.Ran != 8 {
+		t.Errorf("fresh runs: stats %+v, %+v", stA, stB)
+	}
+
+	// Sanity on content: every cell and band present, cluster fractions in
+	// range.
+	s := string(a)
+	for _, want := range []string{`"crash"`, `"split"`, `"nylon"`, `"generic"`, `"p10"`, `"p50"`, `"p90"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("artifact missing %s", want)
+		}
+	}
+}
+
+func TestSweepResume(t *testing.T) {
+	corpus := testCorpus(t)
+	run := t.TempDir()
+
+	// A sweep killed after 3 of 8 jobs: exactly the first three missing
+	// jobs (workers=1 dequeues in grid order) are persisted.
+	g, err := Expand(testSpec(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := Execute(g, run, Options{Workers: 1, StopAfter: 3})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("StopAfter run: err = %v, want ErrStopped", err)
+	}
+	if st.Ran != 3 || st.Cached != 0 {
+		t.Fatalf("StopAfter run stats %+v, want 3 ran", st)
+	}
+
+	// The rerun completes the remaining 5 without touching the first 3 and
+	// aggregates to the same bytes as an uninterrupted sweep.
+	resumed, st := sweepOnce(t, corpus, run, Options{Workers: 2})
+	if st.Ran != 5 || st.Cached != 3 {
+		t.Errorf("resume stats %+v, want 5 ran / 3 cached", st)
+	}
+	fresh, _ := sweepOnce(t, corpus, t.TempDir(), Options{Workers: 4})
+	if !bytes.Equal(resumed, fresh) {
+		t.Error("resumed artifact differs from an uninterrupted sweep")
+	}
+
+	// A third invocation re-runs nothing and re-aggregates instantly.
+	again, st := sweepOnce(t, corpus, run, Options{Workers: 2})
+	if st.Ran != 0 || st.Cached != 8 {
+		t.Errorf("warm rerun stats %+v, want 0 ran / 8 cached", st)
+	}
+	if !bytes.Equal(again, fresh) {
+		t.Error("warm rerun artifact differs")
+	}
+}
+
+func TestCacheIgnoresCorruptFiles(t *testing.T) {
+	run := t.TempDir()
+	cache, err := OpenCache(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := &JobResult{Key: "k1", Scenario: "s", Variant: "v", Seed: 1, BiggestCluster: 0.5}
+	if err := cache.Store(jr); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Load("k1")
+	if !ok || got.BiggestCluster != 0.5 {
+		t.Fatalf("round trip failed: %+v, %v", got, ok)
+	}
+	if _, ok := cache.Load("absent"); ok {
+		t.Error("absent key reported as hit")
+	}
+	// A truncated file (killed mid-write without the atomic rename) and a
+	// file whose content does not match its name are both misses.
+	if err := os.WriteFile(filepath.Join(run, "results", "k2.json"), []byte(`{"key":"k2","scen`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Load("k2"); ok {
+		t.Error("truncated file reported as hit")
+	}
+	if err := os.WriteFile(filepath.Join(run, "results", "k3.json"), []byte(`{"key":"other"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Load("k3"); ok {
+		t.Error("mismatched key reported as hit")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"no scenarios", `{"variants":[{"name":"a"}],"seeds":1}`},
+		{"no variants", `{"scenarios":["*.json"],"seeds":1}`},
+		{"no seeds", `{"scenarios":["*.json"],"variants":[{"name":"a"}]}`},
+		{"negative seeds", `{"scenarios":["*.json"],"seeds":-1,"variants":[{"name":"a"}]}`},
+		{"unnamed variant", `{"scenarios":["*.json"],"seeds":1,"variants":[{}]}`},
+		{"duplicate variant", `{"scenarios":["*.json"],"seeds":1,"variants":[{"name":"a"},{"name":"a"}]}`},
+		{"duplicate seed", `{"scenarios":["*.json"],"seed_list":[1,1],"variants":[{"name":"a"}]}`},
+		{"unknown field", `{"scenarios":["*.json"],"seeds":1,"variants":[{"name":"a"}],"typo":1}`},
+		{"bad protocol", `{"scenarios":["*.json"],"seeds":1,"variants":[{"name":"a","protocol":"nope"}]}`},
+	}
+	for _, c := range cases {
+		spec, err := ParseSpec([]byte(c.json))
+		if err == nil {
+			// Protocol names are resolved at expansion.
+			if _, err = Expand(spec, t.TempDir()); err == nil {
+				t.Errorf("%s: accepted", c.name)
+			}
+		}
+	}
+}
+
+func TestExpandRejectsHorizonViolation(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "late.json"),
+		[]byte(`{"name":"late","events":[{"round":50,"kind":"heal"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec() // rounds 12 < event round 50
+	spec.Scenarios = []string{"late.json"}
+	if _, err := Expand(spec, dir); err == nil || !strings.Contains(err.Error(), "late") {
+		t.Errorf("horizon violation: err = %v", err)
+	}
+}
+
+func TestReportRenderings(t *testing.T) {
+	corpus := testCorpus(t)
+	g, err := Expand(testSpec(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := Execute(g, t.TempDir(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := Aggregate(g, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	text := art.Text()
+	for _, want := range []string{"crash", "split", "nylon", "generic", "p10", "p50", "p90", "band ("} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q", want)
+		}
+	}
+	summary := art.SummaryCSV()
+	if lines := strings.Count(summary, "\n"); lines != 1+len(art.Cells) {
+		t.Errorf("summary CSV has %d lines, want %d", lines, 1+len(art.Cells))
+	}
+	bands := art.BandsCSV()
+	wantRows := 0
+	for _, c := range art.Cells {
+		wantRows += len(c.Series)
+	}
+	if lines := strings.Count(bands, "\n"); lines != 1+wantRows {
+		t.Errorf("bands CSV has %d lines, want %d", lines, 1+wantRows)
+	}
+	if wantRows == 0 {
+		t.Error("no band rows at all — series sampling broken")
+	}
+}
