@@ -12,6 +12,7 @@ package nylon
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -290,8 +291,23 @@ func BenchmarkSimulation1kPeers(b *testing.B) {
 	cfg := benchCfg(exp.ProtoNylon, 80)
 	cfg.N, cfg.Rounds = 1000, 40
 	b.ReportAllocs()
+	defer reportBytesPerPeer(b, cfg.N)()
 	for i := 0; i < b.N; i++ {
 		runPoint(b, cfg, int64(i+1))
+	}
+}
+
+// reportBytesPerPeer reports the total bytes allocated per simulated peer
+// over the benchmark loop: the deferred completion reads the monotone
+// TotalAlloc counter, so GC cannot hide anything. B/peer is the memory
+// headline the scale benchmarks track (scripts/bench_check.sh guards it).
+func reportBytesPerPeer(b *testing.B, peers int) func() {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	return func() {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(b.N)/float64(peers), "B/peer")
 	}
 }
 
@@ -325,6 +341,7 @@ func BenchmarkSimulation10kPeers(b *testing.B) {
 	cfg := benchCfg(exp.ProtoNylon, 80)
 	cfg.N, cfg.Rounds = 10_000, 40
 	b.ReportAllocs()
+	defer reportBytesPerPeer(b, cfg.N)()
 	for i := 0; i < b.N; i++ {
 		runPoint(b, cfg, int64(i+1))
 	}
@@ -363,7 +380,37 @@ func BenchmarkSimulation100kPeers(b *testing.B) {
 	cfg.N, cfg.Rounds = 100_000, 20
 	cfg.Shards = 32
 	b.ReportAllocs()
+	defer reportBytesPerPeer(b, cfg.N)()
 	for i := 0; i < b.N; i++ {
 		runPoint(b, cfg, int64(i+1))
 	}
+}
+
+// BenchmarkSimulation1MPeers is the paper-exceeding scale target of the
+// memory-compaction work (DESIGN.md §7): one million peers for 20 rounds,
+// which must fit in 8 GB of heap. Expect ~10 minutes per iteration per core;
+// run with -benchtime 1x. Skipped under -short. The shard count is lower
+// than the 100k benchmark's relative to the population on purpose: each
+// shard's descriptor intern table scales with the distinct peers that shard
+// hears about (approaching N in a well-mixed overlay), so at 1M peers extra
+// shards buy parallelism at a measurable memory price.
+func BenchmarkSimulation1MPeers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-peer run skipped in -short mode")
+	}
+	cfg := benchCfg(exp.ProtoNylon, 80)
+	cfg.N, cfg.Rounds = 1_000_000, 20
+	cfg.Shards = 16
+	b.ReportAllocs()
+	defer reportBytesPerPeer(b, cfg.N)()
+	var peak uint64
+	for i := 0; i < b.N; i++ {
+		runPoint(b, cfg, int64(i+1))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapInuse > peak {
+			peak = ms.HeapInuse
+		}
+	}
+	b.ReportMetric(float64(peak)/(1<<30), "heap-GB")
 }

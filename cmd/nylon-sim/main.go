@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/exp"
@@ -38,8 +39,22 @@ func main() {
 		traceN    = flag.Int("trace", 0, "print the last N network events (sends, deliveries, drops)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (results are identical for any value)")
 		shards    = flag.Int("shards", 0, "simulation shards (0 = default; results are identical for any value)")
+		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file (pprof format)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := exp.Config{
 		N:             *n,
@@ -99,6 +114,21 @@ func main() {
 		res.Cfg.Workers, res.Cfg.Shards)
 	if res.TraceDump != "" {
 		fmt.Printf("--- last %d network events ---\n%s", *traceN, res.TraceDump)
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		// One final collection so the profile reflects the run's
+		// allocations, not a mid-GC snapshot.
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("allocation profile      %s (inspect: go tool pprof -top -alloc_space %s)\n", *memProf, *memProf)
 	}
 }
 

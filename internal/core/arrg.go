@@ -28,11 +28,10 @@ type ARRG struct {
 	pending     ident.NodeID
 	pendingSent []view.Descriptor
 	stats       Stats
-	// Reusable scratch, per the Engine ownership contract.
-	reqSent  []view.Descriptor
-	respSent []view.Descriptor
-	recv     []view.Descriptor
-	out      []Send
+	// reqSent backs pendingSent across rounds, so it stays per-engine; the
+	// per-call scratch lives in sh, shared across the shard's engines.
+	reqSent []view.Descriptor
+	sh      *Shared
 }
 
 var _ Engine = (*ARRG)(nil)
@@ -44,7 +43,8 @@ func NewARRG(cfg Config, cacheSize int) *ARRG {
 	if cacheSize <= 0 {
 		panic("core: ARRG cacheSize must be positive")
 	}
-	return &ARRG{cfg: cfg, cacheSize: cacheSize, view: view.New(cfg.Self.ID, cfg.ViewSize)}
+	sh := cfg.shared()
+	return &ARRG{cfg: cfg, cacheSize: cacheSize, sh: sh, view: view.NewShared(cfg.Self.ID, cfg.ViewSize, sh.View)}
 }
 
 // Self implements Engine.
@@ -105,7 +105,7 @@ func (a *ARRG) request(target view.Descriptor) Send {
 // this round additionally retries against a random cache member.
 func (a *ARRG) Tick(now int64) []Send {
 	defer a.view.IncreaseAge()
-	out := a.out[:0]
+	out := a.sh.out[:0]
 	if !a.pending.IsNil() {
 		// Last round's target never answered: evict it (ARRG always
 		// does — detecting unreachable peers is its point) and retry
@@ -123,7 +123,7 @@ func (a *ARRG) Tick(now int64) []Send {
 		a.pending = target.ID
 		out = append(out, a.request(target))
 	}
-	a.out = out
+	a.sh.out = out
 	return out
 }
 
@@ -136,27 +136,27 @@ func (a *ARRG) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send
 	switch msg.Kind {
 	case wire.KindRequest:
 		a.cacheAdd(observed)
-		out := a.out[:0]
+		out := a.sh.out[:0]
 		var sentResp []view.Descriptor
 		if a.cfg.PushPull {
 			resp := newMsg(a.cfg.Msgs, wire.KindResponse, a.Self(), msg.Src, a.Self())
-			a.respSent = a.buffer(resp, a.respSent[:0])
-			sentResp = a.respSent
+			a.sh.resp = a.buffer(resp, a.sh.resp[:0])
+			sentResp = a.sh.resp
 			out = append(out, Send{To: from, ToID: msg.Src.ID, Msg: resp})
 		}
-		a.recv = msg.AppendDescriptors(a.recv[:0])
-		a.view.ApplyExchange(a.cfg.Merge, a.recv, sentResp, a.cfg.RNG)
+		a.sh.recv = msg.AppendDescriptors(a.sh.recv[:0])
+		a.view.ApplyExchange(a.cfg.Merge, a.sh.recv, sentResp, a.cfg.RNG)
 		a.view.IncreaseAge()
 		a.stats.ShufflesAnswered++
-		a.out = out
+		a.sh.out = out
 		return out
 	case wire.KindResponse:
 		a.cacheAdd(observed)
 		if msg.Src.ID == a.pending {
 			a.pending = ident.Nil
 		}
-		a.recv = msg.AppendDescriptors(a.recv[:0])
-		a.view.ApplyExchange(a.cfg.Merge, a.recv, a.pendingSent, a.cfg.RNG)
+		a.sh.recv = msg.AppendDescriptors(a.sh.recv[:0])
+		a.view.ApplyExchange(a.cfg.Merge, a.sh.recv, a.pendingSent, a.cfg.RNG)
 		a.pendingSent = nil
 		a.stats.ShufflesCompleted++
 		return nil

@@ -22,9 +22,41 @@ import (
 	"math/rand"
 
 	"repro/internal/ident"
+	"repro/internal/intern"
 	"repro/internal/view"
 	"repro/internal/wire"
 )
+
+// Shared is state an engine may share with every other engine whose calls
+// are serialized on one goroutine — in the simulator, all engines of one
+// shard. It exists purely for memory: at simulation scale the per-engine
+// exchange scratch and descriptor copies dominate the heap, and almost all
+// of it is only live during a single engine call. Sharing changes nothing
+// observable (the per-shard equivalence tests pin it).
+//
+// A nil Config.Shared gives the engine private instances, which is the right
+// default for real nodes and unit tests.
+type Shared struct {
+	// Intern is the descriptor intern table backing the Nylon routing
+	// tables of the shard: one stored copy per distinct descriptor instead
+	// of one per routing row.
+	Intern *intern.Descriptors
+	// View is the view-exchange working scratch.
+	View *view.Scratch
+	// Per-call scratch: the responder-side swapper buffer, the received
+	// descriptors, and the returned command slice. None of them outlive one
+	// engine call (the initiator-side buffer, which must survive until the
+	// RESPONSE arrives, stays per-engine).
+	resp []view.Descriptor
+	recv []view.Descriptor
+	out  []Send
+}
+
+// NewShared returns an empty Shared ready to hand to every engine of one
+// shard.
+func NewShared() *Shared {
+	return &Shared{Intern: &intern.Descriptors{}, View: &view.Scratch{}}
+}
 
 // Send instructs the host to transmit one datagram to a transport endpoint.
 type Send struct {
@@ -145,6 +177,18 @@ type Config struct {
 	// possible reading of §4's TTL-update rule). Off by default: it keeps
 	// routes alive whose onward legs are dead (see ablation A3).
 	RefreshRoutesOnTraffic bool
+	// Shared, when non-nil, is the per-shard shared scratch and intern
+	// state (see Shared). All engines handed the same instance must have
+	// their calls serialized on one goroutine.
+	Shared *Shared
+}
+
+// shared returns the configured Shared or a fresh private one.
+func (c Config) shared() *Shared {
+	if c.Shared != nil {
+		return c.Shared
+	}
+	return NewShared()
 }
 
 func (c Config) validate() {

@@ -25,15 +25,12 @@ type Generic struct {
 	pendingSent   []view.Descriptor
 	pendingTarget ident.NodeID
 	stats         Stats
-	// Reusable scratch, so steady-state ticks and receives allocate only
-	// the outgoing message: reqSent backs pendingSent across rounds,
-	// respSent the responder-side swapper bookkeeping, recv the incoming
-	// descriptors, out the returned command slice (valid until the next
-	// engine call, per the Engine contract).
-	reqSent  []view.Descriptor
-	respSent []view.Descriptor
-	recv     []view.Descriptor
-	out      []Send
+	// reqSent backs pendingSent across rounds, so it must stay per-engine;
+	// the per-call scratch (responder swapper buffer, received descriptors,
+	// returned command slice) lives in sh, shared across the shard's
+	// engines.
+	reqSent []view.Descriptor
+	sh      *Shared
 }
 
 var _ Engine = (*Generic)(nil)
@@ -41,7 +38,8 @@ var _ Engine = (*Generic)(nil)
 // NewGeneric builds a baseline engine. It panics on an invalid Config.
 func NewGeneric(cfg Config) *Generic {
 	cfg.validate()
-	return &Generic{cfg: cfg, view: view.New(cfg.Self.ID, cfg.ViewSize)}
+	sh := cfg.shared()
+	return &Generic{cfg: cfg, sh: sh, view: view.NewShared(cfg.Self.ID, cfg.ViewSize, sh.View)}
 }
 
 // Self implements Engine.
@@ -91,37 +89,37 @@ func (g *Generic) Tick(now int64) []Send {
 	g.reqSent = g.buffer(msg, g.reqSent[:0])
 	g.pendingSent = g.reqSent
 	g.pendingTarget = target.ID
-	g.out = append(g.out[:0], Send{To: target.Addr, ToID: target.ID, Msg: msg})
-	return g.out
+	g.sh.out = append(g.sh.out[:0], Send{To: target.Addr, ToID: target.ID, Msg: msg})
+	return g.sh.out
 }
 
 // Receive implements Engine (Fig. 1, lines 8-12).
 func (g *Generic) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send {
 	switch msg.Kind {
 	case wire.KindRequest:
-		out := g.out[:0]
+		out := g.sh.out[:0]
 		var sent []view.Descriptor
 		if g.cfg.PushPull {
 			resp := newMsg(g.cfg.Msgs, wire.KindResponse, g.Self(), msg.Src, g.Self())
-			g.respSent = g.buffer(resp, g.respSent[:0])
-			sent = g.respSent
+			g.sh.resp = g.buffer(resp, g.sh.resp[:0])
+			sent = g.sh.resp
 			// Reply to the observed transport endpoint: the
 			// requester's NAT session toward us admits exactly this
 			// return path.
 			out = append(out, Send{To: from, ToID: msg.Src.ID, Msg: resp})
 		}
-		g.recv = msg.AppendDescriptors(g.recv[:0])
-		g.view.ApplyExchange(g.cfg.Merge, g.recv, sent, g.cfg.RNG)
+		g.sh.recv = msg.AppendDescriptors(g.sh.recv[:0])
+		g.view.ApplyExchange(g.cfg.Merge, g.sh.recv, sent, g.cfg.RNG)
 		g.view.IncreaseAge()
 		g.stats.ShufflesAnswered++
-		g.out = out
+		g.sh.out = out
 		return out
 	case wire.KindResponse:
 		if msg.Src.ID == g.pendingTarget {
 			g.pendingTarget = ident.Nil
 		}
-		g.recv = msg.AppendDescriptors(g.recv[:0])
-		g.view.ApplyExchange(g.cfg.Merge, g.recv, g.pendingSent, g.cfg.RNG)
+		g.sh.recv = msg.AppendDescriptors(g.sh.recv[:0])
+		g.view.ApplyExchange(g.cfg.Merge, g.sh.recv, g.pendingSent, g.cfg.RNG)
 		g.pendingSent = nil
 		g.stats.ShufflesCompleted++
 		return nil

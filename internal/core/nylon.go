@@ -45,29 +45,13 @@ type Nylon struct {
 	pendingSent   []view.Descriptor
 	pendingTarget ident.NodeID
 	stats         Stats
-	// Reusable scratch, so steady-state ticks and receives allocate only
-	// the outgoing messages: reqSent backs pendingSent across rounds,
-	// respSent the responder-side swapper bookkeeping (kept separate so
-	// answering a request never clobbers an exchange still in flight),
-	// recv the incoming descriptors, out the returned command slice (valid
-	// until the next engine call, per the Engine contract).
-	reqSent  []view.Descriptor
-	respSent []view.Descriptor
-	recv     []view.Descriptor
-	out      []Send
-	// ticks counts shuffling periods, pacing the full routing-table purge.
-	ticks uint64
+	// reqSent backs pendingSent across rounds (it must survive until the
+	// RESPONSE arrives), so it stays per-engine; the per-call scratch — the
+	// responder-side swapper buffer, the received descriptors, the returned
+	// command slice — lives in sh, shared across the shard's engines.
+	reqSent []view.Descriptor
+	sh      *Shared
 }
-
-// purgeEvery is how many shuffling periods pass between full routing-table
-// purges. Every read of the table checks expiry, so purging is purely
-// housekeeping — spacing it out trades a slightly larger table for not
-// rescanning it every period. Observable protocol behaviour is unchanged,
-// with one exception handled in Tick: RefreshVia is the only table
-// operation that does not check expiry (it would resurrect expired rows),
-// so engines running with RefreshRoutesOnTraffic purge every period, as
-// the pre-optimization code did.
-const purgeEvery = 4
 
 var _ Engine = (*Nylon)(nil)
 
@@ -77,10 +61,12 @@ func NewNylon(cfg Config) *Nylon {
 	if cfg.HoleTimeout <= 0 {
 		panic("core: Nylon requires a positive HoleTimeout")
 	}
+	sh := cfg.shared()
 	return &Nylon{
 		cfg:    cfg,
-		view:   view.New(cfg.Self.ID, cfg.ViewSize),
-		routes: rt.New(cfg.Self.ID),
+		sh:     sh,
+		view:   view.NewShared(cfg.Self.ID, cfg.ViewSize, sh.View),
+		routes: rt.NewShared(cfg.Self.ID, sh.Intern),
 	}
 }
 
@@ -220,10 +206,11 @@ func relayRespond(self, src view.Descriptor) bool {
 
 // Tick implements Engine: Fig. 6 lines 1-14.
 func (n *Nylon) Tick(now int64) []Send {
-	if n.cfg.RefreshRoutesOnTraffic || n.ticks%purgeEvery == 0 {
-		n.routes.Purge(now)
-	}
-	n.ticks++
+	// Purge every period: expired rows are already invisible to every read
+	// (so the cadence changes nothing observable), and dropping them
+	// promptly keeps the table at its live size — at simulation scale the
+	// routing tables are the largest per-peer state.
+	n.routes.Purge(now)
 	// Hole punches from previous periods are void: each PONG must map to a
 	// punch from the current round.
 	n.pending = n.pending[:0]
@@ -248,8 +235,8 @@ func (n *Nylon) Tick(now int64) []Send {
 		msg := newMsg(n.cfg.Msgs, wire.KindRequest, self, target, self)
 		n.reqSent = n.buffer(now, msg, n.reqSent[:0])
 		n.pendingSent = n.reqSent
-		n.out = append(n.out[:0], Send{To: addr, ToID: target.ID, Msg: msg})
-		return n.out
+		n.sh.out = append(n.sh.out[:0], Send{To: addr, ToID: target.ID, Msg: msg})
+		return n.sh.out
 	}
 	hop, ok := n.resolveHop(target, now)
 	if !ok {
@@ -262,13 +249,13 @@ func (n *Nylon) Tick(now int64) []Send {
 		msg := newMsg(n.cfg.Msgs, wire.KindRequest, self, target, self)
 		n.reqSent = n.buffer(now, msg, n.reqSent[:0])
 		n.pendingSent = n.reqSent
-		n.out = append(n.out[:0], Send{To: hop.Addr, ToID: hop.ID, Msg: msg})
-		return n.out
+		n.sh.out = append(n.sh.out[:0], Send{To: hop.Addr, ToID: hop.ID, Msg: msg})
+		return n.sh.out
 	}
 	// Fig. 6 lines 8-12: reactive hole punching.
 	n.stats.HolePunchesStarted++
 	n.pending = append(n.pending, target.ID)
-	out := append(n.out[:0], Send{
+	out := append(n.sh.out[:0], Send{
 		To: hop.Addr, ToID: hop.ID,
 		Msg: newMsg(n.cfg.Msgs, wire.KindOpenHole, self, target, self),
 	})
@@ -280,7 +267,7 @@ func (n *Nylon) Tick(now int64) []Send {
 			Msg: newMsg(n.cfg.Msgs, wire.KindPing, self, target, self),
 		})
 	}
-	n.out = out
+	n.sh.out = out
 	return out
 }
 
@@ -324,8 +311,8 @@ func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Sen
 		if msg.Src.ID == n.pendingTarget {
 			n.pendingTarget = ident.Nil
 		}
-		n.recv = msg.AppendDescriptors(n.recv[:0])
-		n.view.ApplyExchange(n.cfg.Merge, n.recv, n.pendingSent, n.cfg.RNG)
+		n.sh.recv = msg.AppendDescriptors(n.sh.recv[:0])
+		n.view.ApplyExchange(n.cfg.Merge, n.sh.recv, n.pendingSent, n.cfg.RNG)
 		n.pendingSent = nil
 		n.installRoutes(now, msg.Entries, via)
 		n.stats.ShufflesCompleted++
@@ -339,13 +326,13 @@ func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Sen
 		n.stats.ChainHopsTotal += uint64(msg.Hops) + 1
 		n.stats.ChainSamples++
 		pong := newMsg(n.cfg.Msgs, wire.KindPong, n.Self(), msg.Src, n.Self())
-		n.out = append(n.out[:0], Send{To: msg.Src.Addr, ToID: msg.Src.ID, Msg: pong})
-		return n.out
+		n.sh.out = append(n.sh.out[:0], Send{To: msg.Src.Addr, ToID: msg.Src.ID, Msg: pong})
+		return n.sh.out
 	case wire.KindPing:
 		// Fig. 6 lines 41-43: reply to the observed endpoint.
 		pong := newMsg(n.cfg.Msgs, wire.KindPong, n.Self(), msg.Src, n.Self())
-		n.out = append(n.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: pong})
-		return n.out
+		n.sh.out = append(n.sh.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: pong})
+		return n.sh.out
 	case wire.KindPong:
 		// Fig. 6 lines 44-46: the hole is open; gossip through it. Only
 		// punches from the current period are honoured.
@@ -356,8 +343,8 @@ func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Sen
 		req := newMsg(n.cfg.Msgs, wire.KindRequest, n.Self(), msg.Src, n.Self())
 		n.reqSent = n.buffer(now, req, n.reqSent[:0])
 		n.pendingSent = n.reqSent
-		n.out = append(n.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: req})
-		return n.out
+		n.sh.out = append(n.sh.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: req})
+		return n.sh.out
 	default:
 		return nil
 	}
@@ -370,13 +357,13 @@ func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message,
 		n.stats.ChainHopsTotal += uint64(msg.Hops)
 		n.stats.ChainSamples++
 	}
-	out := n.out[:0]
+	out := n.sh.out[:0]
 	var sentResp []view.Descriptor
 	if n.cfg.PushPull {
 		self := n.Self()
 		resp := newMsg(n.cfg.Msgs, wire.KindResponse, self, msg.Src, self)
-		n.respSent = n.buffer(now, resp, n.respSent[:0])
-		sentResp = n.respSent
+		n.sh.resp = n.buffer(now, resp, n.sh.resp[:0])
+		sentResp = n.sh.resp
 		if relayRespond(self, msg.Src) {
 			// Fig. 6 lines 20-22: the response must travel back along
 			// the chain.
@@ -401,12 +388,12 @@ func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message,
 			out = append(out, Send{To: addr, ToID: msg.Src.ID, Msg: resp})
 		}
 	}
-	n.recv = msg.AppendDescriptors(n.recv[:0])
-	n.view.ApplyExchange(n.cfg.Merge, n.recv, sentResp, n.cfg.RNG)
+	n.sh.recv = msg.AppendDescriptors(n.sh.recv[:0])
+	n.view.ApplyExchange(n.cfg.Merge, n.sh.recv, sentResp, n.cfg.RNG)
 	n.view.IncreaseAge()
 	n.installRoutes(now, msg.Entries, via)
 	n.stats.ShufflesAnswered++
-	n.out = out
+	n.sh.out = out
 	return out
 }
 
@@ -434,6 +421,6 @@ func (n *Nylon) forward(now int64, msg *wire.Message, via view.Descriptor) []Sen
 	fwd := n.cfg.Msgs.Clone(msg)
 	fwd.Hops++
 	fwd.Via = n.Self()
-	n.out = append(n.out[:0], Send{To: hop.Addr, ToID: hop.ID, Msg: fwd})
-	return n.out
+	n.sh.out = append(n.sh.out[:0], Send{To: hop.Addr, ToID: hop.ID, Msg: fwd})
+	return n.sh.out
 }

@@ -31,11 +31,10 @@ type StaticRVP struct {
 	pendingSent   []view.Descriptor
 	pendingTarget ident.NodeID
 	stats         Stats
-	// Reusable scratch, per the Engine ownership contract.
-	reqSent  []view.Descriptor
-	respSent []view.Descriptor
-	recv     []view.Descriptor
-	out      []Send
+	// reqSent backs pendingSent across rounds, so it stays per-engine; the
+	// per-call scratch lives in sh, shared across the shard's engines.
+	reqSent []view.Descriptor
+	sh      *Shared
 }
 
 var _ Engine = (*StaticRVP)(nil)
@@ -51,9 +50,11 @@ func NewStaticRVP(cfg Config, ownRVP view.Descriptor, resolve RVPResolver) *Stat
 	if cfg.Self.Class.Natted() && ownRVP.ID.IsNil() {
 		panic("core: natted StaticRVP peer requires an RVP")
 	}
+	sh := cfg.shared()
 	return &StaticRVP{
 		cfg:     cfg,
-		view:    view.New(cfg.Self.ID, cfg.ViewSize),
+		sh:      sh,
+		view:    view.NewShared(cfg.Self.ID, cfg.ViewSize, sh.View),
 		ownRVP:  ownRVP,
 		resolve: resolve,
 		clients: make(map[ident.NodeID]ident.Endpoint),
@@ -118,8 +119,8 @@ func (s *StaticRVP) Tick(now int64) []Send {
 		s.view.Remove(s.pendingTarget)
 	}
 	s.pendingTarget = ident.Nil
-	out := s.out[:0]
-	defer func() { s.out = out }()
+	out := s.sh.out[:0]
+	defer func() { s.sh.out = out }()
 	self := s.Self()
 	if s.cfg.Self.Class.Natted() {
 		out = append(out, Send{To: s.ownRVP.Addr, ToID: s.ownRVP.ID,
@@ -174,12 +175,12 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 			// We are the target's RVP: hand the request over.
 			return s.handOver(msg, self)
 		}
-		out := s.out[:0]
+		out := s.sh.out[:0]
 		var sentResp []view.Descriptor
 		if s.cfg.PushPull {
 			resp := newMsg(s.cfg.Msgs, wire.KindResponse, self, msg.Src, self)
-			s.respSent = s.buffer(resp, s.respSent[:0])
-			sentResp = s.respSent
+			s.sh.resp = s.buffer(resp, s.sh.resp[:0])
+			sentResp = s.sh.resp
 			switch {
 			case msg.Via.ID == msg.Src.ID:
 				// Direct request: the observed endpoint is the open
@@ -199,11 +200,11 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 				}
 			}
 		}
-		s.recv = msg.AppendDescriptors(s.recv[:0])
-		s.view.ApplyExchange(s.cfg.Merge, s.recv, sentResp, s.cfg.RNG)
+		s.sh.recv = msg.AppendDescriptors(s.sh.recv[:0])
+		s.view.ApplyExchange(s.cfg.Merge, s.sh.recv, sentResp, s.cfg.RNG)
 		s.view.IncreaseAge()
 		s.stats.ShufflesAnswered++
-		s.out = out
+		s.sh.out = out
 		return out
 	case wire.KindResponse:
 		if msg.Dst.ID != s.cfg.Self.ID {
@@ -212,8 +213,8 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 		if msg.Src.ID == s.pendingTarget {
 			s.pendingTarget = ident.Nil
 		}
-		s.recv = msg.AppendDescriptors(s.recv[:0])
-		s.view.ApplyExchange(s.cfg.Merge, s.recv, s.pendingSent, s.cfg.RNG)
+		s.sh.recv = msg.AppendDescriptors(s.sh.recv[:0])
+		s.view.ApplyExchange(s.cfg.Merge, s.sh.recv, s.pendingSent, s.cfg.RNG)
 		s.pendingSent = nil
 		s.stats.ShufflesCompleted++
 		return nil
@@ -223,13 +224,13 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 		}
 		s.stats.ChainHopsTotal++ // exactly one RVP by construction
 		s.stats.ChainSamples++
-		s.out = append(s.out[:0], Send{To: msg.Src.Addr, ToID: msg.Src.ID,
+		s.sh.out = append(s.sh.out[:0], Send{To: msg.Src.Addr, ToID: msg.Src.ID,
 			Msg: newMsg(s.cfg.Msgs, wire.KindPong, self, msg.Src, self)})
-		return s.out
+		return s.sh.out
 	case wire.KindPing:
-		s.out = append(s.out[:0], Send{To: from, ToID: msg.Src.ID,
+		s.sh.out = append(s.sh.out[:0], Send{To: from, ToID: msg.Src.ID,
 			Msg: newMsg(s.cfg.Msgs, wire.KindPong, self, msg.Src, self)})
-		return s.out
+		return s.sh.out
 	case wire.KindPong:
 		if !s.pendingPunch(msg.Src.ID) {
 			return nil
@@ -238,8 +239,8 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 		req := newMsg(s.cfg.Msgs, wire.KindRequest, self, msg.Src, self)
 		s.reqSent = s.buffer(req, s.reqSent[:0])
 		s.pendingSent = s.reqSent
-		s.out = append(s.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: req})
-		return s.out
+		s.sh.out = append(s.sh.out[:0], Send{To: from, ToID: msg.Src.ID, Msg: req})
+		return s.sh.out
 	default:
 		return nil
 	}
@@ -251,6 +252,6 @@ func (s *StaticRVP) handOver(msg *wire.Message, self view.Descriptor) []Send {
 	fwd := s.cfg.Msgs.Clone(msg)
 	fwd.Hops++
 	fwd.Via = self
-	s.out = append(s.out[:0], Send{To: s.endpointOf(msg.Dst), ToID: msg.Dst.ID, Msg: fwd})
-	return s.out
+	s.sh.out = append(s.sh.out[:0], Send{To: s.endpointOf(msg.Dst), ToID: msg.Dst.ID, Msg: fwd})
+	return s.sh.out
 }

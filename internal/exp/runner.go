@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -81,17 +82,6 @@ type Result struct {
 	EventsProcessed uint64
 }
 
-// shardWorld is the per-shard slice of the runner's state: everything a
-// shard's events write between barriers lives here, so windows run
-// lock-free and the end-of-run merge is a simple sum.
-type shardWorld struct {
-	// selections counts, per peer, how often it was chosen as a gossip
-	// target by this shard's peers during the measurement window — the
-	// sample stream whose uniformity stands in for the paper's diehard
-	// check. Merged across shards at measurement.
-	selections []int
-}
-
 // runState carries the wiring of one simulation run.
 type runState struct {
 	cfg   Config
@@ -100,9 +90,14 @@ type runState struct {
 	net   *simnet.Network
 	peers []*simnet.Peer // index i holds NodeID i+1
 
-	// shards holds the per-shard worlds, index-aligned with the kernel's
-	// and the network's shards.
-	shards       []shardWorld
+	// selections counts, per peer, how often it was chosen as a gossip
+	// target during the measurement window — the sample stream whose
+	// uniformity stands in for the paper's diehard check. One shared array
+	// indexed by NodeID, updated with atomic adds from the shard workers:
+	// the final sums are order-independent, so a single int32 per peer
+	// replaces what used to be one int per peer *per shard*. The slice is
+	// replaced only at barriers (scenario joins).
+	selections   []int32
 	measureAfter int64
 
 	// scn drives the environment timeline; nil when the scenario is nil
@@ -132,10 +127,9 @@ func Run(cfg Config) (Result, error) {
 		shards = 1
 	}
 	st := &runState{
-		cfg:    cfg,
-		rng:    xrand.New(cfg.Seed),
-		kern:   sim.NewSharded(shards, cfg.Workers, cfg.LatencyMs),
-		shards: make([]shardWorld, shards),
+		cfg:  cfg,
+		rng:  xrand.New(cfg.Seed),
+		kern: sim.NewSharded(shards, cfg.Workers, cfg.LatencyMs),
 	}
 	// Echo the effective execution shape (workers clamp to shards;
 	// tracing forces one shard) so Result.Cfg reports what actually ran.
@@ -270,8 +264,11 @@ func (st *runState) addPeer(id ident.NodeID, class ident.NATClass, seed int64, u
 			RNG:             xrand.New(seed),
 			EvictUnanswered: cfg.EvictUnanswered,
 			// The engine allocates from (and releases to) its shard's
-			// message pool, so recycling never crosses shard boundaries.
-			Msgs: st.net.ShardPool(st.net.ShardOf(id)),
+			// message pool, so recycling never crosses shard boundaries —
+			// and shares its shard's scratch and descriptor intern state,
+			// since all of a shard's engine calls are serialized.
+			Msgs:   st.net.ShardPool(st.net.ShardOf(id)),
+			Shared: st.net.ShardShared(st.net.ShardOf(id)),
 		}
 		switch cfg.Protocol {
 		case ProtoNylon:
@@ -395,9 +392,14 @@ func (st *runState) seedPeer(p *simnet.Peer, rng *rand.Rand) {
 // schedule arms the periodic shuffle of every peer with a random phase, so
 // ticks interleave rather than firing in lockstep. The runner drives engines
 // itself (rather than through Network.Tick) to observe the selected targets.
+// Ticks are fn-less indexed events (see sim.Scheduler.TickAtKey) dispatched
+// to one shared per-run callback: arming a peer's shuffle loop stores no
+// closure, so a million peers cost a million 40-byte heap entries instead of
+// a million captured funcs.
 func (st *runState) schedule() {
-	for i := range st.shards {
-		st.shards[i].selections = make([]int, st.cfg.N+1)
+	st.selections = make([]int32, st.cfg.N+1)
+	for i := 0; i < st.kern.Shards(); i++ {
+		st.kern.Shard(i).SetTickFn(st.tickActor)
 	}
 	for _, p := range st.peers {
 		st.armTick(p, st.rng.Int63n(st.cfg.PeriodMs))
@@ -409,28 +411,33 @@ func (st *runState) schedule() {
 // counter value as the ordering key, so tick tie-breaks are a pure function
 // of the simulated world (see sim.Scheduler.AtKey).
 func (st *runState) armTick(p *simnet.Peer, firstAt int64) {
+	p.Seq++
+	st.kern.Shard(p.Shard).TickAtKey(firstAt, uint64(p.ID), p.Seq)
+}
+
+// tickActor runs one shuffling period for the peer with NodeID actor and
+// re-arms its next tick. It is the shared callback behind every tick event,
+// running on the peer's shard (peer index slots and NodeIDs are aligned:
+// peer i+1 lives at peers[i], including scenario joins).
+func (st *runState) tickActor(actor uint64) {
+	p := st.peers[actor-1]
 	sched := st.kern.Shard(p.Shard)
-	world := &st.shards[p.Shard]
-	var tick func()
-	tick = func() {
-		if p.Alive {
-			outs := p.Engine.Tick(sched.Now())
-			st.recordSelection(world, sched.Now(), outs)
-			for _, s := range outs {
-				st.net.Send(p, s)
-			}
+	if p.Alive {
+		outs := p.Engine.Tick(sched.Now())
+		st.recordSelection(sched.Now(), outs)
+		for _, s := range outs {
+			st.net.Send(p, s)
 		}
-		p.Seq++
-		sched.AtKey(sched.Now()+st.cfg.PeriodMs, uint64(p.ID), p.Seq, tick)
 	}
 	p.Seq++
-	sched.AtKey(firstAt, uint64(p.ID), p.Seq, tick)
+	sched.TickAtKey(sched.Now()+st.cfg.PeriodMs, uint64(p.ID), p.Seq)
 }
 
 // recordSelection extracts the gossip target of a Tick's output — the final
 // destination of its REQUEST or OPEN_HOLE, whichever appears first — into
-// the ticking peer's shard world (merged across shards at measurement).
-func (st *runState) recordSelection(world *shardWorld, now int64, outs []core.Send) {
+// the shared selection counters. The adds are atomic because shards tick in
+// parallel; sums are order-independent, so the result is deterministic.
+func (st *runState) recordSelection(now int64, outs []core.Send) {
 	if now < st.measureAfter {
 		return
 	}
@@ -440,8 +447,8 @@ func (st *runState) recordSelection(world *shardWorld, now int64, outs []core.Se
 			continue
 		}
 		id := int(s.Msg.Dst.ID)
-		if id >= 1 && id < len(world.selections) {
-			world.selections[id]++
+		if id >= 1 && id < len(st.selections) {
+			atomic.AddInt32(&st.selections[id], 1)
 		}
 		return
 	}
@@ -569,20 +576,13 @@ func (st *runState) nylonUsable(now int64, q *simnet.Peer, d view.Descriptor) bo
 func (st *runState) measure(end int64, warmupBytes []uint64) Result {
 	now := st.kern.Now()
 	res := Result{Cfg: st.cfg, Drops: st.net.Drops()}
+	selections := st.selections
 
-	// Merge the per-shard selection counters into one stream, indexed by
-	// NodeID.
-	selections := make([]int, len(st.peers)+1)
-	for i := range st.shards {
-		for id, c := range st.shards[i].selections {
-			selections[id] += c
-		}
-	}
-
-	var aliveIDs []ident.NodeID
-	var edges []graph.Edge
+	aliveIDs := make([]ident.NodeID, 0, len(st.peers))
+	edges := make([]graph.Edge, 0, len(st.peers)*st.cfg.ViewSize)
+	nattedRatios := make([]float64, 0, len(st.peers))
+	var entries []view.Descriptor
 	var staleSum, staleCount float64
-	var nattedRatios []float64
 	var initiated, completed, noroute, chainHops, chainSamples uint64
 
 	var alive, alivePublic, aliveNatted int
@@ -616,7 +616,7 @@ func (st *runState) measure(end int64, warmupBytes []uint64) Result {
 		chainHops += s.ChainHopsTotal
 		chainSamples += s.ChainSamples
 
-		entries := p.Engine.View().Entries()
+		entries = p.Engine.View().EntriesInto(entries)
 		var nonStale, nonStaleNatted int
 		for _, d := range entries {
 			// Entries referencing departed peers count as stale only
@@ -670,7 +670,7 @@ func (st *runState) measure(end int64, warmupBytes []uint64) Result {
 	// the paper uses the diehard suite on the same stream).
 	counts := make([]int, 0, len(aliveIDs))
 	for _, id := range aliveIDs {
-		counts = append(counts, selections[id])
+		counts = append(counts, int(selections[id]))
 	}
 	if len(counts) > 1 {
 		if chi2, dof, err := stats.ChiSquareUniform(counts); err == nil && dof > 0 {

@@ -232,12 +232,10 @@ func (d *scenarioDriver) join() {
 
 	st.addPeer(id, class, xrand.Mix(cfg.Seed, uint64(idx)), upnp, st.resolver)
 	p := st.peers[idx]
-	// Joins happen at barriers, so growing every shard's world (and the
-	// per-sender link streams) is race-free.
-	for i := range st.shards {
-		for len(st.shards[i].selections) < len(st.peers)+1 {
-			st.shards[i].selections = append(st.shards[i].selections, 0)
-		}
+	// Joins happen at barriers, so growing the shared selection counters
+	// (and the per-sender link streams) is race-free.
+	for len(st.selections) < len(st.peers)+1 {
+		st.selections = append(st.selections, 0)
 	}
 	if d.sc.NeedsLinkPolicy() {
 		d.growLinkRNGs()

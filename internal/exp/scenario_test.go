@@ -301,3 +301,46 @@ func TestQuiescentScenarioNoExtraAllocs(t *testing.T) {
 		t.Errorf("quiescent scenario changed allocations by %.0f (bare %.0f, quiescent %.0f)", diff, bare, withScenario)
 	}
 }
+
+// TestHighChurnSlotGrowthDeterminism drives a membership meat-grinder whose
+// joins outnumber the initial population several times over — pushing the
+// peer slabs, the ID→slot index, the tick wheel and the shared selection
+// counters through many growth cycles mid-run — and requires bit-identical
+// results across runs and worker counts. This is the unit-sized version of
+// examples/scenario-lab/slot-churn-50k.json.
+func TestHighChurnSlotGrowthDeterminism(t *testing.T) {
+	base := Config{
+		N: 150, Rounds: 50, NATRatio: 0.8, Protocol: ProtoNylon,
+		Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
+		EvictUnanswered: true, Seed: 42, SampleEveryRounds: 5,
+		Scenario: &scenario.Scenario{
+			Name:  "slot-grinder",
+			Churn: &scenario.Churn{JoinsPerRound: 20, LeavesPerRound: 12, StartRound: 2},
+			Events: []scenario.Event{
+				{Round: 15, Kind: scenario.KindMassLeave, Fraction: 0.3},
+				{Round: 25, Kind: scenario.KindFlashCrowd, Fraction: 0.5},
+			},
+		},
+	}
+	run := func(workers int) Result {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	ref.Cfg.Workers = 0
+	if ref.TotalPeers <= 2*base.N {
+		t.Fatalf("scenario too tame: %d total peers from %d initial — wanted several slab growth cycles", ref.TotalPeers, base.N)
+	}
+	for _, workers := range []int{1, 4} {
+		got := run(workers)
+		got.Cfg.Workers = 0 // the echoed effective worker count legitimately differs
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d diverged from reference:\n ref %+v\n got %+v", workers, got, ref)
+		}
+	}
+}

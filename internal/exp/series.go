@@ -4,6 +4,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ident"
 	"repro/internal/stats"
+	"repro/internal/view"
 )
 
 // SamplePoint is one mid-run measurement of the overlay's health, taken with
@@ -76,12 +77,16 @@ func recoveryFrom(series []SamplePoint) Recovery {
 // final measurement build on it.
 func (st *runState) overlaySnapshot(now int64) (aliveIDs []ident.NodeID, edges []graph.Edge, staleFraction float64) {
 	var stale, total float64
+	aliveIDs = make([]ident.NodeID, 0, len(st.peers))
+	edges = make([]graph.Edge, 0, len(st.peers)*st.cfg.ViewSize)
+	var entries []view.Descriptor
 	for _, p := range st.peers {
 		if !p.Alive {
 			continue
 		}
 		aliveIDs = append(aliveIDs, p.ID)
-		for _, d := range p.Engine.View().Entries() {
+		entries = p.Engine.View().EntriesInto(entries)
+		for _, d := range entries {
 			total++
 			if st.usableEdge(now, p, d) {
 				edges = append(edges, graph.Edge{From: p.ID, To: d.ID})

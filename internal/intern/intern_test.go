@@ -1,0 +1,202 @@
+package intern
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/view"
+)
+
+func desc(id uint64, port uint16, age uint32) view.Descriptor {
+	return view.Descriptor{
+		ID:    ident.NodeID(id),
+		Addr:  ident.Endpoint{IP: ident.IP(id), Port: port},
+		Class: ident.NATClass(id % 5),
+		Age:   age,
+	}
+}
+
+func TestInternRoundTrip(t *testing.T) {
+	var tab Descriptors
+	d1 := desc(1, 9000, 0)
+	d2 := desc(2, 9000, 0)
+	h1 := tab.Intern(d1)
+	h2 := tab.Intern(d2)
+	if h1 == 0 || h2 == 0 {
+		t.Fatal("Intern returned the reserved zero handle")
+	}
+	if h1 == h2 {
+		t.Fatal("distinct descriptors share a handle")
+	}
+	if tab.At(h1) != d1 || tab.At(h2) != d2 {
+		t.Fatal("At does not round-trip")
+	}
+	if got := tab.Intern(d1); got != h1 {
+		t.Fatalf("re-intern of same descriptor: handle %d, want %d", got, h1)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+}
+
+// TestInternDistinguishesEveryField pins that any field difference — even the
+// age — yields a distinct entry, so At round-trips exactly.
+func TestInternDistinguishesEveryField(t *testing.T) {
+	var tab Descriptors
+	base := desc(7, 9000, 0)
+	variants := []view.Descriptor{
+		base,
+		{ID: base.ID + 1, Addr: base.Addr, Class: base.Class, Age: base.Age},
+		{ID: base.ID, Addr: ident.Endpoint{IP: base.Addr.IP + 1, Port: base.Addr.Port}, Class: base.Class, Age: base.Age},
+		{ID: base.ID, Addr: ident.Endpoint{IP: base.Addr.IP, Port: base.Addr.Port + 1}, Class: base.Class, Age: base.Age},
+		{ID: base.ID, Addr: base.Addr, Class: base.Class + 1, Age: base.Age},
+		{ID: base.ID, Addr: base.Addr, Class: base.Class, Age: base.Age + 1},
+	}
+	seen := map[Handle]bool{}
+	for _, v := range variants {
+		h := tab.Intern(v)
+		if seen[h] {
+			t.Fatalf("descriptor %v collided with an earlier variant", v)
+		}
+		seen[h] = true
+		if tab.At(h) != v {
+			t.Fatalf("At(%d) = %v, want %v", h, tab.At(h), v)
+		}
+	}
+}
+
+// TestInternGrowth drives the table through many growth cycles and verifies
+// every handle stays valid and canonical.
+func TestInternGrowth(t *testing.T) {
+	var tab Descriptors
+	const n = 10_000
+	handles := make([]Handle, n)
+	for i := 0; i < n; i++ {
+		handles[i] = tab.Intern(desc(uint64(i+1), uint16(i), uint32(i%3)))
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len = %d, want %d", tab.Len(), n)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 5000; k++ {
+		i := rng.Intn(n)
+		d := desc(uint64(i+1), uint16(i), uint32(i%3))
+		if got := tab.Intern(d); got != handles[i] {
+			t.Fatalf("handle for %v changed after growth: %d, want %d", d, got, handles[i])
+		}
+		if tab.At(handles[i]) != d {
+			t.Fatalf("At(%d) corrupted after growth", handles[i])
+		}
+	}
+	if tab.Len() != n {
+		t.Fatalf("re-interning grew the table: Len = %d, want %d", tab.Len(), n)
+	}
+}
+
+// TestInternAdversarialIDs interns descriptors whose IDs are crafted to
+// collide under the hash fingerprint's home slot, exercising long probe
+// chains.
+func TestInternAdversarialIDs(t *testing.T) {
+	var tab Descriptors
+	// IDs spaced by large powers of two cluster badly under weak hashes;
+	// the fingerprint confirm must still keep every entry distinct.
+	var ds []view.Descriptor
+	for i := 0; i < 512; i++ {
+		ds = append(ds, desc(uint64(i)<<32|1, 9000, 0))
+	}
+	hs := make([]Handle, len(ds))
+	for i, d := range ds {
+		hs[i] = tab.Intern(d)
+	}
+	for i, d := range ds {
+		if tab.At(hs[i]) != d {
+			t.Fatalf("entry %d corrupted", i)
+		}
+		if tab.Intern(d) != hs[i] {
+			t.Fatalf("entry %d not canonical", i)
+		}
+	}
+	if tab.Len() != len(ds) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(ds))
+	}
+}
+
+func TestAllocsSteadyState(t *testing.T) {
+	var tab Descriptors
+	for i := 0; i < 1000; i++ {
+		tab.Intern(desc(uint64(i+1), 1, 0))
+	}
+	d := desc(500, 1, 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tab.Intern(d) == 0 {
+			t.Fatal("zero handle")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("re-intern allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestLayeredEquivalence pins that a layered table behaves exactly like a
+// flat one through At: whatever mix of base-known and layer-local
+// descriptors is interned, every handle resolves to its descriptor.
+func TestLayeredEquivalence(t *testing.T) {
+	var base Descriptors
+	for i := 0; i < 500; i++ {
+		base.Intern(desc(uint64(i+1), 9000, 0))
+	}
+	layers := []*Descriptors{NewLayered(&base), NewLayered(&base)}
+	rng := rand.New(rand.NewSource(9))
+	type stored struct {
+		h Handle
+		d view.Descriptor
+	}
+	var all [][]stored
+	distinct := make([]map[view.Descriptor]bool, len(layers))
+	for i, l := range layers {
+		distinct[i] = map[view.Descriptor]bool{}
+		var st []stored
+		for k := 0; k < 3000; k++ {
+			var d view.Descriptor
+			if rng.Intn(2) == 0 {
+				d = desc(uint64(rng.Intn(500)+1), 9000, 0) // base hit
+			} else {
+				d = desc(uint64(rng.Intn(300)+1), uint16(rng.Intn(50)+1), 0) // learned variant
+				distinct[i][d] = true
+			}
+			st = append(st, stored{l.Intern(d), d})
+		}
+		all = append(all, st)
+	}
+	// Base-known descriptors must not be duplicated into layers: each layer
+	// holds exactly its distinct learned variants.
+	for i, l := range layers {
+		if l.Len() != len(distinct[i]) {
+			t.Fatalf("layer %d holds %d entries, want %d learned variants (base duplicated?)", i, l.Len(), len(distinct[i]))
+		}
+		for _, s := range all[i] {
+			if got := l.At(s.h); got != s.d {
+				t.Fatalf("layer %d: At(%d) = %v, want %v", i, s.h, got, s.d)
+			}
+			if got := l.Intern(s.d); l.At(got) != s.d {
+				t.Fatalf("layer %d: re-intern of %v resolves wrong", i, s.d)
+			}
+		}
+	}
+	// The base may keep growing (peers joining at barriers); old layer
+	// handles must stay valid.
+	probe := all[0][0]
+	for i := 0; i < 2000; i++ {
+		base.Intern(desc(uint64(10_000+i), 9000, 0))
+	}
+	if layers[0].At(probe.h) != probe.d {
+		t.Fatal("layer handle invalidated by base growth")
+	}
+	// Descriptors interned into the base after a layer existed resolve
+	// through the layer too.
+	late := desc(10_500, 9000, 0)
+	if got := layers[0].At(layers[0].Intern(late)); got != late {
+		t.Fatalf("late base descriptor resolves to %v, want %v", got, late)
+	}
+}

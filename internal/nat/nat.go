@@ -10,6 +10,13 @@
 // expire ruleTTL milliseconds after the last packet sent or received on the
 // session, matching the paper's "valid a limited time after the last message
 // was sent (or received)".
+//
+// The memory layout is sized for simulations that keep one device per peer
+// across hundreds of thousands of peers: sessions live inline in one slice
+// (no per-session allocation), the per-port inbound index holds session
+// indices, and filter tables recycle the space of expired rules whenever they
+// would otherwise grow — a device's footprint tracks its live rule count, not
+// the total number of remotes it ever saw.
 package nat
 
 import (
@@ -37,15 +44,24 @@ type Device struct {
 	// A device fronts one peer, so the live list stays short (one session
 	// for cone classes, one per destination for symmetric); linear scans
 	// beat any map at that size, and the per-datagram path allocates
-	// nothing. byPort additionally indexes sessions by public port —
-	// ports are handed out sequentially, so the inbound lookup is one
-	// array access even on symmetric devices with many live mappings.
-	sessions []*session
-	byPort   []*session // index: public port - portBase
+	// nothing. Sessions are stored by value and addressed by index — byPort
+	// maps public port - portBase to the owning session's index (-1: none),
+	// so the inbound lookup is one array access even on symmetric devices
+	// with many live mappings.
+	sessions []session
+	byPort   []int32
 }
 
 // portBase is the first public port a device hands out.
 const portBase = 1024
+
+// sweepSessions is the session count past which creating a new session first
+// sweeps expired ones. Cone devices never reach it; symmetric devices — which
+// allocate one session per destination and would otherwise accumulate dead
+// sessions for every peer they ever contacted — stay bounded by their live
+// destination set. Sweeping never frees a port for reuse (ports are handed
+// out by a monotone counter), so behaviour is identical with or without it.
+const sweepSessions = 16
 
 type sessionKey struct {
 	private ident.Endpoint
@@ -72,10 +88,19 @@ type session struct {
 // rule expiry times. Refreshing a rule is the per-datagram hot operation of
 // the whole NAT model, and a generic map's hashing dominated its profile; a
 // flat table with inline values reduces it to one multiply and usually one
-// probe, allocation-free once grown.
+// probe. When an insert would grow the table, expired rules are dropped
+// first and the table is sized for the survivors — so its footprint follows
+// the live rule count instead of growing monotonically with every remote the
+// session ever exchanged a datagram with.
 type filterTable struct {
 	slots []filterSlot
 	used  int
+	// floor is the smallest table size rehash will produce. Sessions whose
+	// class accumulates one rule per distinct remote (RC/PRC: the single
+	// long-lived session of a cone device) start at the steady-state size
+	// and skip the doubling chain; wildcard (FC, pinned) and per-destination
+	// (SYM) sessions hold a handful of rules and stay at the minimum.
+	floor uint16
 }
 
 // filterSlot is one cell: expire == 0 marks an empty slot (live rules
@@ -93,10 +118,11 @@ func (f *filterTable) hashSlot(key uint64) int {
 	return int(h & uint64(len(f.slots)-1))
 }
 
-// set installs or refreshes the rule for key.
-func (f *filterTable) set(key uint64, expire int64) {
+// set installs or refreshes the rule for key. now is the current time, used
+// to shed expired rules when the table would otherwise grow.
+func (f *filterTable) set(key uint64, expire, now int64) {
 	if 4*(f.used+1) > 3*len(f.slots) {
-		f.grow()
+		f.rehash(now)
 	}
 	for j := f.hashSlot(key); ; j = (j + 1) & (len(f.slots) - 1) {
 		s := &f.slots[j]
@@ -128,17 +154,28 @@ func (f *filterTable) get(key uint64) (int64, bool) {
 	}
 }
 
-// grow rehashes into a table sized for double the live entries.
-func (f *filterTable) grow() {
-	old := f.slots
-	want := 64 // floor sized for a typical session's rule count
-	for want*3 < 8*(f.used+1) {
+// rehash rebuilds the table sized for the rules still live at now, dropping
+// expired ones. Dropping them is invisible: an expired rule already admits
+// nothing.
+func (f *filterTable) rehash(now int64) {
+	live := 0
+	for _, s := range f.slots {
+		if s.expire != 0 && s.expire >= now {
+			live++
+		}
+	}
+	want := 16
+	if f.floor > 16 {
+		want = int(f.floor)
+	}
+	for 4*(live+1) > 3*want {
 		want *= 2
 	}
+	old := f.slots
 	f.slots = make([]filterSlot, want)
 	f.used = 0
 	for _, s := range old {
-		if s.expire == 0 {
+		if s.expire == 0 || s.expire < now {
 			continue
 		}
 		for j := f.hashSlot(s.key); ; j = (j + 1) & (want - 1) {
@@ -151,28 +188,13 @@ func (f *filterTable) grow() {
 	}
 }
 
-// compact drops rules that expired before now, rehashing the rest in place.
+// compact drops rules that expired before now. The simulator's GC path uses
+// it; the per-datagram path compacts opportunistically through set.
 func (f *filterTable) compact(now int64) {
 	if len(f.slots) == 0 {
 		return
 	}
-	old := append([]filterSlot(nil), f.slots...)
-	for j := range f.slots {
-		f.slots[j] = filterSlot{}
-	}
-	f.used = 0
-	for _, s := range old {
-		if s.expire == 0 || s.expire < now {
-			continue
-		}
-		for j := f.hashSlot(s.key); ; j = (j + 1) & (len(f.slots) - 1) {
-			if f.slots[j].expire == 0 {
-				f.slots[j] = s
-				f.used++
-				break
-			}
-		}
-	}
+	f.rehash(now)
 }
 
 // NewDevice creates a NAT device of the given class with the given public IP.
@@ -180,13 +202,22 @@ func (f *filterTable) compact(now int64) {
 // after the last activity (the paper uses 90 s, a typical vendor value).
 // NewDevice panics if class is Public or invalid: public peers have no NAT.
 func NewDevice(class ident.NATClass, publicIP ident.IP, ruleTTL int64) *Device {
+	d := new(Device)
+	*d = MakeDevice(class, publicIP, ruleTTL)
+	return d
+}
+
+// MakeDevice is NewDevice returning the device by value, for hosts that
+// embed devices in slab storage instead of allocating each one (see
+// simnet). The result must not be copied once any method has been called.
+func MakeDevice(class ident.NATClass, publicIP ident.IP, ruleTTL int64) Device {
 	if !class.Natted() || !class.Valid() {
 		panic(fmt.Sprintf("nat: NewDevice called with class %v", class))
 	}
 	if ruleTTL <= 0 {
 		panic("nat: NewDevice called with non-positive ruleTTL")
 	}
-	return &Device{
+	return Device{
 		class:    class,
 		publicIP: publicIP,
 		ruleTTL:  ruleTTL,
@@ -194,27 +225,27 @@ func NewDevice(class ident.NATClass, publicIP ident.IP, ruleTTL int64) *Device {
 	}
 }
 
-// sessionByKey returns the session for the given key, or nil.
-func (d *Device) sessionByKey(key sessionKey) *session {
-	for _, s := range d.sessions {
-		if s.key == key {
-			return s
+// sessionByKey returns the index of the session for the given key, or -1.
+func (d *Device) sessionByKey(key sessionKey) int {
+	for i := range d.sessions {
+		if d.sessions[i].key == key {
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
-// sessionByPublic returns the session owning the given public endpoint, or
-// nil.
-func (d *Device) sessionByPublic(ep ident.Endpoint) *session {
+// sessionByPublic returns the index of the session owning the given public
+// endpoint, or -1.
+func (d *Device) sessionByPublic(ep ident.Endpoint) int {
 	if ep.IP != d.publicIP {
-		return nil
+		return -1
 	}
 	i := int(ep.Port) - portBase
 	if i < 0 || i >= len(d.byPort) {
-		return nil
+		return -1
 	}
-	return d.byPort[i]
+	return int(d.byPort[i])
 }
 
 // Class returns the NAT behaviour class of the device.
@@ -246,22 +277,51 @@ func (d *Device) filterKey(remote ident.Endpoint) ident.Endpoint {
 	}
 }
 
+// filterFloor returns the initial filter-table size for this device's
+// class: restricted and port-restricted cones keep one rule per distinct
+// remote on a single session, so they start at the observed steady-state
+// size; full-cone (one wildcard rule) and symmetric (per-destination
+// sessions with few rules each) stay at the minimum.
+func (d *Device) filterFloor() uint16 {
+	switch d.class {
+	case ident.RestrictedCone, ident.PortRestrictedCone:
+		return 64
+	default:
+		return 16
+	}
+}
+
 func (d *Device) expired(s *session, now int64) bool {
 	return !s.pinned && now-s.lastUse > d.ruleTTL
 }
 
-func (d *Device) drop(s *session) {
-	if i := int(s.public.Port) - portBase; i >= 0 && i < len(d.byPort) {
-		d.byPort[i] = nil
+// drop removes session i, swapping the last session into its place and
+// fixing the port index.
+func (d *Device) drop(i int) {
+	if p := int(d.sessions[i].public.Port) - portBase; p >= 0 && p < len(d.byPort) {
+		d.byPort[p] = -1
 	}
-	for i, c := range d.sessions {
-		if c == s {
-			last := len(d.sessions) - 1
-			d.sessions[i] = d.sessions[last]
-			d.sessions[last] = nil
-			d.sessions = d.sessions[:last]
-			return
+	last := len(d.sessions) - 1
+	if i != last {
+		d.sessions[i] = d.sessions[last]
+		if p := int(d.sessions[i].public.Port) - portBase; p >= 0 && p < len(d.byPort) {
+			d.byPort[p] = int32(i)
 		}
+	}
+	d.sessions[last] = session{}
+	d.sessions = d.sessions[:last]
+}
+
+// sweep drops every expired session. Ports are never reused afterwards (the
+// allocator is a monotone counter), so sweeping changes no observable
+// behaviour — expired sessions admit nothing and resolve to nothing.
+func (d *Device) sweep(now int64) {
+	for i := 0; i < len(d.sessions); {
+		if d.expired(&d.sessions[i], now) {
+			d.drop(i)
+			continue // drop swapped another session into i
+		}
+		i++
 	}
 }
 
@@ -272,20 +332,23 @@ func (d *Device) allocPort() uint16 {
 		if d.nextPort == 0 {
 			d.nextPort = portBase
 		}
-		if p >= portBase && d.sessionByPublic(ident.Endpoint{IP: d.publicIP, Port: p}) == nil {
+		if p >= portBase && d.sessionByPublic(ident.Endpoint{IP: d.publicIP, Port: p}) < 0 {
 			return p
 		}
 	}
 }
 
-// adopt registers a freshly built session in both indexes.
-func (d *Device) adopt(s *session) {
+// adopt registers a freshly built session in both indexes and returns its
+// index.
+func (d *Device) adopt(s session) int {
+	i := len(d.sessions)
 	d.sessions = append(d.sessions, s)
-	i := int(s.public.Port) - portBase
-	for len(d.byPort) <= i {
-		d.byPort = append(d.byPort, nil)
+	p := int(s.public.Port) - portBase
+	for len(d.byPort) <= p {
+		d.byPort = append(d.byPort, -1)
 	}
-	d.byPort[i] = s
+	d.byPort[p] = int32(i)
+	return i
 }
 
 // Outbound records a packet sent from the private endpoint src to the remote
@@ -294,20 +357,24 @@ func (d *Device) adopt(s *session) {
 // rule that will admit return traffic.
 func (d *Device) Outbound(now int64, src, dst ident.Endpoint) ident.Endpoint {
 	key := d.keyFor(src, dst)
-	s := d.sessionByKey(key)
-	if s != nil && d.expired(s, now) {
-		d.drop(s)
-		s = nil
+	i := d.sessionByKey(key)
+	if i >= 0 && d.expired(&d.sessions[i], now) {
+		d.drop(i)
+		i = -1
 	}
-	if s == nil {
-		s = &session{
-			key:    key,
-			public: ident.Endpoint{IP: d.publicIP, Port: d.allocPort()},
+	if i < 0 {
+		if len(d.sessions) >= sweepSessions {
+			d.sweep(now)
 		}
-		d.adopt(s)
+		i = d.adopt(session{
+			key:     key,
+			public:  ident.Endpoint{IP: d.publicIP, Port: d.allocPort()},
+			filters: filterTable{floor: d.filterFloor()},
+		})
 	}
+	s := &d.sessions[i]
 	s.lastUse = now
-	s.filters.set(packEP(d.filterKey(dst)), now+d.ruleTTL)
+	s.filters.set(packEP(d.filterKey(dst)), now+d.ruleTTL, now)
 	return s.public
 }
 
@@ -317,12 +384,13 @@ func (d *Device) Outbound(now int64, src, dst ident.Endpoint) ident.Endpoint {
 // and true, refreshing the session lifetime. Otherwise it returns the zero
 // endpoint and false and the packet must be dropped.
 func (d *Device) Inbound(now int64, from, to ident.Endpoint) (ident.Endpoint, bool) {
-	s := d.sessionByPublic(to)
-	if s == nil {
+	i := d.sessionByPublic(to)
+	if i < 0 {
 		return ident.Zero, false
 	}
+	s := &d.sessions[i]
 	if d.expired(s, now) {
-		d.drop(s)
+		d.drop(i)
 		return ident.Zero, false
 	}
 	if !d.admits(s, now, from) {
@@ -332,7 +400,7 @@ func (d *Device) Inbound(now int64, from, to ident.Endpoint) (ident.Endpoint, bo
 	// rule remains valid a limited time after the last message sent *or
 	// received* in the session.
 	s.lastUse = now
-	s.filters.set(packEP(d.filterKey(from)), now+d.ruleTTL)
+	s.filters.set(packEP(d.filterKey(from)), now+d.ruleTTL, now)
 	return s.key.private, true
 }
 
@@ -344,23 +412,23 @@ func (d *Device) Inbound(now int64, from, to ident.Endpoint) (ident.Endpoint, bo
 // mapping is destination-independent by construction.
 func (d *Device) Pinhole(priv ident.Endpoint) ident.Endpoint {
 	key := sessionKey{private: priv}
-	if s := d.sessionByKey(key); s != nil {
-		if s.pinned {
-			return s.public
+	if i := d.sessionByKey(key); i >= 0 {
+		if d.sessions[i].pinned {
+			return d.sessions[i].public
 		}
 		// An expirable mapping for the same private endpoint exists;
 		// the explicit port mapping supersedes it (two sessions must
 		// never share a key, or lookups become ambiguous).
-		d.drop(s)
+		d.drop(i)
 	}
-	s := &session{
+	s := session{
 		key:    key,
 		public: ident.Endpoint{IP: d.publicIP, Port: d.allocPort()},
 		pinned: true,
 	}
-	s.filters.set(packEP(wildcard), 1<<62)
-	d.adopt(s)
-	return s.public
+	s.filters.set(packEP(wildcard), 1<<62, 0)
+	i := d.adopt(s)
+	return d.sessions[i].public
 }
 
 func (d *Device) admits(s *session, now int64, from ident.Endpoint) bool {
@@ -385,8 +453,12 @@ func (d *Device) admits(s *session, now int64, from ident.Endpoint) bool {
 // forwarded at the given time. Metrics code uses this to classify view
 // entries as stale without perturbing the simulation.
 func (d *Device) WouldAdmit(now int64, from, to ident.Endpoint) bool {
-	s := d.sessionByPublic(to)
-	if s == nil || d.expired(s, now) {
+	i := d.sessionByPublic(to)
+	if i < 0 {
+		return false
+	}
+	s := &d.sessions[i]
+	if d.expired(s, now) {
 		return false
 	}
 	return d.admits(s, now, from)
@@ -397,33 +469,28 @@ func (d *Device) WouldAdmit(now int64, from, to ident.Endpoint) bool {
 // result reports whether a live mapping exists. For non-symmetric devices dst
 // is ignored beyond determining session liveness.
 func (d *Device) PublicMapping(now int64, src, dst ident.Endpoint) (ident.Endpoint, bool) {
-	s := d.sessionByKey(d.keyFor(src, dst))
-	if s == nil || d.expired(s, now) {
+	i := d.sessionByKey(d.keyFor(src, dst))
+	if i < 0 || d.expired(&d.sessions[i], now) {
 		return ident.Zero, false
 	}
-	return s.public, true
+	return d.sessions[i].public, true
 }
 
 // GC removes all sessions whose lifetime has elapsed. The simulator calls it
 // periodically to bound memory; correctness never depends on it because every
 // lookup re-checks expiry.
 func (d *Device) GC(now int64) {
-	for i := 0; i < len(d.sessions); {
-		s := d.sessions[i]
-		if d.expired(s, now) {
-			d.drop(s)
-			continue // drop swapped another session into i
-		}
-		s.filters.compact(now)
-		i++
+	d.sweep(now)
+	for i := range d.sessions {
+		d.sessions[i].filters.compact(now)
 	}
 }
 
 // SessionCount returns the number of live sessions at the given time.
 func (d *Device) SessionCount(now int64) int {
 	n := 0
-	for _, s := range d.sessions {
-		if !d.expired(s, now) {
+	for i := range d.sessions {
+		if !d.expired(&d.sessions[i], now) {
 			n++
 		}
 	}
@@ -434,9 +501,9 @@ func (d *Device) SessionCount(now int64) int {
 // for debugging and tests.
 func (d *Device) Sessions(now int64) []ident.Endpoint {
 	var eps []ident.Endpoint
-	for _, s := range d.sessions {
-		if !d.expired(s, now) {
-			eps = append(eps, s.public)
+	for i := range d.sessions {
+		if !d.expired(&d.sessions[i], now) {
+			eps = append(eps, d.sessions[i].public)
 		}
 	}
 	sort.Slice(eps, func(i, j int) bool {
@@ -446,4 +513,15 @@ func (d *Device) Sessions(now int64) []ident.Endpoint {
 		return eps[i].Port < eps[j].Port
 	})
 	return eps
+}
+
+// DebugSizes reports internal table sizes for memory diagnostics: total
+// sessions, total filter slots, and filter rules counted as used.
+func (d *Device) DebugSizes() (sessions, filterSlots, filterRules int) {
+	for i := range d.sessions {
+		sessions++
+		filterSlots += len(d.sessions[i].filters.slots)
+		filterRules += d.sessions[i].filters.used
+	}
+	return
 }

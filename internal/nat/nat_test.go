@@ -283,3 +283,63 @@ func TestPinholeOnSymmetric(t *testing.T) {
 		t.Error("symmetric outbound reused the pinhole mapping")
 	}
 }
+
+// TestFilterTableBoundedByLiveRules pins the compact-on-grow behaviour: a
+// session whose remotes keep changing (rules constantly expiring) must keep
+// its filter table sized by the live rule count, not by the total number of
+// remotes ever seen — while still admitting exactly the live remotes.
+func TestFilterTableBoundedByLiveRules(t *testing.T) {
+	const ttl = 1000
+	d := NewDevice(ident.PortRestrictedCone, 0x01000001, ttl)
+	priv := ident.Endpoint{IP: 0x0a000001, Port: 9000}
+	now := int64(0)
+	var pub ident.Endpoint
+	for i := 0; i < 50_000; i++ {
+		remote := ident.Endpoint{IP: ident.IP(0x02000000 + i), Port: 1000}
+		pub = d.Outbound(now, priv, remote)
+		// A rule installed just now admits its remote...
+		if _, ok := d.Inbound(now, remote, pub); !ok {
+			t.Fatalf("step %d: fresh rule does not admit", i)
+		}
+		now += 100 // ~10 live rules at any time (ttl 1000)
+	}
+	_, slots, _ := d.DebugSizes()
+	if slots > 1024 {
+		t.Errorf("filter table grew to %d slots for ~20 live rules", slots)
+	}
+	// Expired remotes are refused.
+	old := ident.Endpoint{IP: ident.IP(0x02000000), Port: 1000}
+	if d.WouldAdmit(now, old, pub) {
+		t.Error("long-expired rule still admits")
+	}
+}
+
+// TestSymmetricSessionSweep pins that a symmetric device contacting many
+// destinations over a long run does not accumulate dead sessions — and that
+// sweeping them never recycles a public port (which would change observable
+// mappings).
+func TestSymmetricSessionSweep(t *testing.T) {
+	const ttl = 1000
+	d := NewDevice(ident.Symmetric, 0x01000001, ttl)
+	priv := ident.Endpoint{IP: 0x0a000001, Port: 9000}
+	now := int64(0)
+	seen := map[ident.Endpoint]bool{}
+	for i := 0; i < 2000; i++ {
+		dst := ident.Endpoint{IP: ident.IP(0x02000000 + i), Port: 1000}
+		pub := d.Outbound(now, priv, dst)
+		if seen[pub] {
+			t.Fatalf("step %d: public endpoint %v reused", i, pub)
+		}
+		seen[pub] = true
+		now += 200 // ~5 live sessions at any time
+	}
+	sessions, _, _ := d.DebugSizes()
+	if sessions > 2*sweepSessions {
+		t.Errorf("symmetric device holds %d sessions, want bounded near %d live", sessions, sweepSessions)
+	}
+	// Live sessions still resolve.
+	last := ident.Endpoint{IP: ident.IP(0x02000000 + 1999), Port: 1000}
+	if _, ok := d.PublicMapping(now, priv, last); !ok {
+		t.Error("most recent session lost by sweep")
+	}
+}

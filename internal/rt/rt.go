@@ -9,21 +9,37 @@
 //
 // The table is optimized for the simulator's per-datagram access pattern
 // (every received datagram installs or refreshes several routes, every
-// shuffle period purges): rows live in parallel slices — destination IDs,
-// RVP descriptors, and a compact expiry array the purge scan runs over —
-// indexed by a small open-addressed hash table of int32 row indices. All
-// operations are allocation-free once the table has reached its high-water
-// size; a generic map was measurably slower here (hashing dominated) and a
-// plain linear scan stopped winning past ~100 live routes.
+// shuffle period purges) and for its memory profile (one table per simulated
+// peer, a hundred-odd rows each, hundreds of thousands of tables):
+//
+//   - Rows live in fixed-size chunks of parallel columns — destination IDs,
+//     interned RVP handles, and a compact expiry column the purge scan runs
+//     over — 20 bytes per row instead of the 40 a raw descriptor row costs.
+//     Chunks are never copied: growing the table allocates one more chunk,
+//     so the bytes ever allocated equal the high-water row count instead of
+//     the ~2× that slice doubling costs (the difference is measurable when
+//     there is one table per simulated peer). RVP descriptors are resolved
+//     through an intern table (see package intern), normally shared by every
+//     table of a simulation shard: the same peer's descriptor is referenced
+//     by thousands of routing rows, so sharing turns O(rows) descriptor
+//     storage into O(distinct peers).
+//   - The index is a small open-addressed hash of 8-byte {fingerprint, row}
+//     cells with backward-shift deletion, so the steady delete/insert churn
+//     of per-tick purges leaves no tombstones behind and the table never
+//     rehashes except to grow.
+//
+// All operations are allocation-free once the table has reached its
+// high-water size; a generic map was measurably slower here (hashing
+// dominated) and a plain linear scan stopped winning past ~100 live routes.
 package rt
 
 import (
 	"fmt"
-	"math/bits"
 	"sort"
 	"strings"
 
 	"repro/internal/ident"
+	"repro/internal/intern"
 	"repro/internal/view"
 )
 
@@ -34,47 +50,93 @@ type Entry struct {
 	ExpireAt int64 // virtual time, milliseconds
 }
 
-// Slot markers for the open-addressed index.
-const (
-	slotEmpty = -1
-	slotDead  = -2 // tombstone: probe chains continue across it
-)
+// A slot of the open-addressed index is just a 1-based row index (0 marks
+// an empty cell): probes confirm against the dests array directly. The dests
+// array of even the largest tables is a few KB and cache-resident, so a
+// stored fingerprint bought nothing measurable while doubling the index's
+// footprint — and the index exists once per simulated peer.
+type slot = int32
 
-// slot is one cell of the open-addressed index. The destination ID is
-// duplicated here so a probe compares against a single cache line instead of
-// chasing the row index into the dests array.
-type slot struct {
-	id  ident.NodeID
-	row int32 // row index, slotEmpty or slotDead
+// rowChunkSize is the row-storage granularity: 64 rows (1.25 KB) per chunk.
+// Two chunks cover the median Nylon table at the paper's parameters; small
+// tables (real nodes, tests) stay at one.
+const rowChunkSize = 64
+
+// initialSlots sizes a table's first index: holds up to ~170 rows at the 2/3
+// growth bound, which covers most tables for a whole run.
+const initialSlots = 256
+
+// rowChunk is one block of rows, stored as parallel columns.
+type rowChunk struct {
+	dests   [rowChunkSize]ident.NodeID
+	rvph    [rowChunkSize]intern.Handle
+	expires [rowChunkSize]int64
 }
 
 // Table maps destinations to RVP entries. The zero Table is unusable;
-// construct with New. Table is not safe for concurrent use.
+// construct with New or NewShared. Table is not safe for concurrent use.
 type Table struct {
 	self ident.NodeID
-	// Parallel row storage: rvps[i] and expires[i] belong to dests[i].
-	// Deletion swaps with the last row, so order is arbitrary.
-	dests   []ident.NodeID
-	rvps    []view.Descriptor
-	expires []int64
-	// slots is the open-addressed index. len(slots) is a power of two;
-	// used counts non-empty cells (live rows plus tombstones) for the
-	// load-factor check.
+	in   *intern.Descriptors
+	// Chunked row storage: row i lives at rows[i/64] offset i%64, columns
+	// dests/rvph/expires. Deletion swaps with the last row, so order is
+	// arbitrary. nrows is the live row count.
+	rows  []*rowChunk
+	nrows int
+	// Backward-shift deletion keeps it tombstone-free, so its load is
+	// always exactly nrows/len(slots).
 	slots []slot
-	used  int
 }
 
-// New returns an empty routing table owned by the given peer.
+// dest, setDest, rvpAt, expire: row-column accessors.
+func (t *Table) dest(i int) ident.NodeID  { return t.rows[i/rowChunkSize].dests[i%rowChunkSize] }
+func (t *Table) rvpH(i int) intern.Handle { return t.rows[i/rowChunkSize].rvph[i%rowChunkSize] }
+func (t *Table) expire(i int) int64       { return t.rows[i/rowChunkSize].expires[i%rowChunkSize] }
+func (t *Table) setRow(i int, d ident.NodeID, h intern.Handle, e int64) {
+	c := t.rows[i/rowChunkSize]
+	c.dests[i%rowChunkSize] = d
+	c.rvph[i%rowChunkSize] = h
+	c.expires[i%rowChunkSize] = e
+}
+
+// home returns the starting probe position of id in the current index.
+func (t *Table) home(id ident.NodeID) int {
+	return int(fpOf(id)) & (len(t.slots) - 1)
+}
+
+// appendRow adds a row at index nrows, allocating a chunk when the last one
+// is full.
+func (t *Table) appendRow(d ident.NodeID, h intern.Handle, e int64) {
+	if t.nrows == len(t.rows)*rowChunkSize {
+		t.rows = append(t.rows, &rowChunk{})
+	}
+	t.nrows++
+	t.setRow(t.nrows-1, d, h, e)
+}
+
+// New returns an empty routing table owned by the given peer, with a private
+// descriptor intern table.
 func New(self ident.NodeID) *Table {
-	return &Table{self: self}
+	return NewShared(self, &intern.Descriptors{})
 }
 
-// hashSlot returns the starting probe position for id.
-func (t *Table) hashSlot(id ident.NodeID) int {
-	// Fibonacci hashing: sequential IDs (as the simulator assigns) spread
-	// across the table instead of clustering.
-	h := uint64(id) * 0x9e3779b97f4a7c15
-	return int(h >> (64 - uint(bits.TrailingZeros(uint(len(t.slots))))))
+// NewShared is New with a caller-owned descriptor intern table, shared by
+// every routing table whose operations are serialized on one goroutine (the
+// engines of one simulation shard). Sharing changes nothing observable — the
+// equivalence test pins it — only where the descriptor bytes live. in must
+// not be nil.
+func NewShared(self ident.NodeID, in *intern.Descriptors) *Table {
+	if in == nil {
+		panic("rt: NewShared called with nil intern table")
+	}
+	return &Table{self: self, in: in}
+}
+
+// fpOf returns the index fingerprint of a destination ID: Fibonacci hashing,
+// so the sequential IDs the simulator assigns spread across the table instead
+// of clustering.
+func fpOf(id ident.NodeID) uint32 {
+	return uint32((uint64(id) * 0x9e3779b97f4a7c15) >> 32)
 }
 
 // find returns the row index of dest, or -1.
@@ -83,88 +145,97 @@ func (t *Table) find(dest ident.NodeID) int {
 		return -1
 	}
 	mask := len(t.slots) - 1
-	for j := t.hashSlot(dest); ; j = (j + 1) & mask {
-		s := t.slots[j]
-		if s.row == slotEmpty {
+	for j := t.home(dest); ; j = (j + 1) & mask {
+		row := t.slots[j]
+		if row == 0 {
 			return -1
 		}
-		if s.id == dest && s.row >= 0 {
-			return int(s.row)
+		if t.dest(int(row-1)) == dest {
+			return int(row - 1)
 		}
 	}
 }
 
-// slotOf returns the index position whose slot points at row i. The row must
+// slotOf returns the index position whose cell points at row i. The row must
 // exist.
 func (t *Table) slotOf(i int) int {
 	mask := len(t.slots) - 1
-	for j := t.hashSlot(t.dests[i]); ; j = (j + 1) & mask {
-		if t.slots[j].row == int32(i) {
+	for j := t.home(t.dest(i)); ; j = (j + 1) & mask {
+		if t.slots[j] == int32(i+1) {
 			return j
 		}
 	}
 }
 
-// insert adds dest's row index to the index, growing or rebuilding first if
-// the load factor would exceed 3/4.
+// insert adds dest's row index to the index, growing first if the load would
+// exceed 2/3.
 func (t *Table) insert(dest ident.NodeID, row int) {
-	if 4*(t.used+1) > 3*len(t.slots) {
-		t.rebuild()
+	if 3*(t.nrows+1) > 2*len(t.slots) {
+		t.grow()
 	}
 	mask := len(t.slots) - 1
-	for j := t.hashSlot(dest); ; j = (j + 1) & mask {
-		if r := t.slots[j].row; r == slotEmpty || r == slotDead {
-			if r == slotEmpty {
-				t.used++
-			}
-			t.slots[j] = slot{id: dest, row: int32(row)}
+	for j := t.home(dest); ; j = (j + 1) & mask {
+		if t.slots[j] == 0 {
+			t.slots[j] = int32(row + 1)
 			return
 		}
 	}
 }
 
-// rebuild re-indexes every live row into a slot array sized for roughly
-// double the live count, shedding tombstones (and growing capacity when
-// genuinely full). The headroom is what keeps rebuilds rare under the
-// steady delete/insert churn of per-tick purges.
-func (t *Table) rebuild() {
-	want := 512 // floor sized for the typical steady-state table
-	for want*3 < 8*(len(t.dests)+1) {
+// grow re-indexes every row into a slot array sized to keep the load below
+// 2/3 with room to spare.
+func (t *Table) grow() {
+	want := initialSlots
+	for 3*(t.nrows+1) > 2*want {
 		want *= 2
 	}
-	if want > len(t.slots) {
-		t.slots = make([]slot, want)
-	}
-	for j := range t.slots {
-		t.slots[j] = slot{row: slotEmpty}
-	}
-	t.used = 0
-	mask := len(t.slots) - 1
-	for i, dest := range t.dests {
-		for j := t.hashSlot(dest); ; j = (j + 1) & mask {
-			if t.slots[j].row == slotEmpty {
-				t.slots[j] = slot{id: dest, row: int32(i)}
-				t.used++
+	t.slots = make([]slot, want)
+	mask := want - 1
+	for i := 0; i < t.nrows; i++ {
+		for j := t.home(t.dest(i)); ; j = (j + 1) & mask {
+			if t.slots[j] == 0 {
+				t.slots[j] = int32(i + 1)
 				break
 			}
 		}
 	}
 }
 
+// deleteSlot empties index cell j, shifting the following cluster back so no
+// tombstone is left behind (standard backward-shift deletion for linear
+// probing).
+func (t *Table) deleteSlot(j int) {
+	mask := len(t.slots) - 1
+	k := j
+	for {
+		k = (k + 1) & mask
+		row := t.slots[k]
+		if row == 0 {
+			break
+		}
+		// The entry at k may fill the hole iff its home position lies at or
+		// before the hole on the cyclic probe path ending at k.
+		home := t.home(t.dest(int(row - 1)))
+		if (k-home)&mask >= (k-j)&mask {
+			t.slots[j] = row
+			j = k
+		}
+	}
+	t.slots[j] = 0
+}
+
 // removeAt deletes row i by swapping in the last row and fixing the index.
 func (t *Table) removeAt(i int) {
-	t.slots[t.slotOf(i)].row = slotDead
-	last := len(t.dests) - 1
+	t.deleteSlot(t.slotOf(i))
+	last := t.nrows - 1
 	if i != last {
-		t.slots[t.slotOf(last)].row = int32(i)
-		t.dests[i] = t.dests[last]
-		t.rvps[i] = t.rvps[last]
-		t.expires[i] = t.expires[last]
+		// slotOf(last) must run after the shift above: the delete may have
+		// moved the last row's cell.
+		t.slots[t.slotOf(last)] = int32(i + 1)
+		t.setRow(i, t.dest(last), t.rvpH(last), t.expire(last))
 	}
-	t.dests = t.dests[:last]
-	t.rvps[last] = view.Descriptor{}
-	t.rvps = t.rvps[:last]
-	t.expires = t.expires[:last]
+	t.setRow(last, 0, 0, 0)
+	t.nrows = last
 }
 
 // Set installs or refreshes the route to dest through rvp, expiring at the
@@ -178,27 +249,16 @@ func (t *Table) Set(dest ident.NodeID, rvp view.Descriptor, expireAt int64) {
 	if i := t.find(dest); i >= 0 {
 		// A direct route (RVP == dest) always beats an indirect one with
 		// the same or earlier expiry; otherwise keep the later expiry.
-		if t.expires[i] > expireAt && !(rvp.ID == dest && t.rvps[i].ID != dest) {
+		c, o := t.rows[i/rowChunkSize], i%rowChunkSize
+		if c.expires[o] > expireAt && !(rvp.ID == dest && t.in.At(c.rvph[o]).ID != dest) {
 			return
 		}
-		t.rvps[i] = rvp
-		t.expires[i] = expireAt
+		c.rvph[o] = t.in.Intern(rvp)
+		c.expires[o] = expireAt
 		return
 	}
-	if t.dests == nil {
-		// Reserve the typical steady-state size up front: growing three
-		// parallel arrays through append doubling was a large share of
-		// the simulator's total allocation (a Nylon table averages ~120
-		// live routes at the paper's parameters).
-		const initialRows = 192
-		t.dests = make([]ident.NodeID, 0, initialRows)
-		t.rvps = make([]view.Descriptor, 0, initialRows)
-		t.expires = make([]int64, 0, initialRows)
-	}
-	t.insert(dest, len(t.dests))
-	t.dests = append(t.dests, dest)
-	t.rvps = append(t.rvps, rvp)
-	t.expires = append(t.expires, expireAt)
+	t.insert(dest, t.nrows)
+	t.appendRow(dest, t.in.Intern(rvp), expireAt)
 }
 
 // SetDirect records that dest itself is directly reachable until expireAt
@@ -216,11 +276,11 @@ func (t *Table) Next(dest ident.NodeID, now int64) (view.Descriptor, bool) {
 	if i < 0 {
 		return view.Descriptor{}, false
 	}
-	if t.expires[i] < now {
+	if t.expire(i) < now {
 		t.removeAt(i)
 		return view.Descriptor{}, false
 	}
-	return t.rvps[i], true
+	return t.in.At(t.rvpH(i)), true
 }
 
 // Direct reports whether a live direct route (open hole) to dest exists.
@@ -234,10 +294,10 @@ func (t *Table) Direct(dest ident.NodeID, now int64) bool {
 // destination's descriptor during a shuffle.
 func (t *Table) TTL(dest ident.NodeID, now int64) int64 {
 	i := t.find(dest)
-	if i < 0 || t.expires[i] < now {
+	if i < 0 || t.expire(i) < now {
 		return 0
 	}
-	if ttl := t.expires[i] - now; ttl >= 0 {
+	if ttl := t.expire(i) - now; ttl >= 0 {
 		return ttl
 	}
 	// Guard against overflow on pathological inputs.
@@ -250,9 +310,10 @@ func (t *Table) TTL(dest ident.NodeID, now int64) int64 {
 // received" — a datagram from the RVP proves the hole toward it alive, which
 // is the local half of the route's lifetime.
 func (t *Table) RefreshVia(rvp ident.NodeID, expireAt int64) {
-	for i := range t.rvps {
-		if t.rvps[i].ID == rvp && t.expires[i] < expireAt {
-			t.expires[i] = expireAt
+	for i := 0; i < t.nrows; i++ {
+		c, o := t.rows[i/rowChunkSize], i%rowChunkSize
+		if t.in.At(c.rvph[o]).ID == rvp && c.expires[o] < expireAt {
+			c.expires[o] = expireAt
 		}
 	}
 }
@@ -260,10 +321,10 @@ func (t *Table) RefreshVia(rvp ident.NodeID, expireAt int64) {
 // Purge removes expired entries (decrease_routing_table_ttls in the paper's
 // pseudocode; this implementation stores absolute expiry times instead of
 // decrementing counters, which is equivalent and cheaper). The scan runs
-// over the compact expiry array, touching descriptor rows only on removal.
+// over the compact expiry array, touching the index only on removal.
 func (t *Table) Purge(now int64) {
-	for i := 0; i < len(t.expires); {
-		if t.expires[i] < now {
+	for i := 0; i < t.nrows; {
+		if t.expire(i) < now {
 			t.removeAt(i)
 			continue // the swapped-in row still needs checking
 		}
@@ -272,15 +333,15 @@ func (t *Table) Purge(now int64) {
 }
 
 // Len returns the number of entries, including any not yet purged.
-func (t *Table) Len() int { return len(t.dests) }
+func (t *Table) Len() int { return t.nrows }
 
 // Destinations returns the destinations with live routes at the given time,
 // sorted for determinism.
 func (t *Table) Destinations(now int64) []ident.NodeID {
-	out := make([]ident.NodeID, 0, len(t.dests))
-	for i, dest := range t.dests {
-		if t.expires[i] >= now {
-			out = append(out, dest)
+	out := make([]ident.NodeID, 0, t.nrows)
+	for i := 0; i < t.nrows; i++ {
+		if t.expire(i) >= now {
+			out = append(out, t.dest(i))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -290,23 +351,23 @@ func (t *Table) Destinations(now int64) []ident.NodeID {
 // Get returns the raw entry for dest, if present and live.
 func (t *Table) Get(dest ident.NodeID, now int64) (Entry, bool) {
 	i := t.find(dest)
-	if i < 0 || t.expires[i] < now {
+	if i < 0 || t.expire(i) < now {
 		return Entry{}, false
 	}
-	return Entry{RVP: t.rvps[i], ExpireAt: t.expires[i]}, true
+	return Entry{RVP: t.in.At(t.rvpH(i)), ExpireAt: t.expire(i)}, true
 }
 
 // String implements fmt.Stringer.
 func (t *Table) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "rt(%v, %d entries):", t.self, len(t.dests))
-	order := make([]int, len(t.dests))
+	fmt.Fprintf(&b, "rt(%v, %d entries):", t.self, t.nrows)
+	order := make([]int, t.nrows)
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return t.dests[order[a]] < t.dests[order[b]] })
+	sort.Slice(order, func(a, b int) bool { return t.dest(order[a]) < t.dest(order[b]) })
 	for _, i := range order {
-		fmt.Fprintf(&b, " %v->%v@%d", t.dests[i], t.rvps[i].ID, t.expires[i])
+		fmt.Fprintf(&b, " %v->%v@%d", t.dest(i), t.in.At(t.rvpH(i)).ID, t.expire(i))
 	}
 	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/ident"
+	"repro/internal/intern"
 	"repro/internal/view"
 )
 
@@ -117,5 +118,109 @@ func TestSetSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state Set/Purge allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestSharedInternEquivalence drives the same random workload through two
+// sets of tables: one sharing a single intern table (the per-shard layout of
+// the simulator), one with private interns — requiring identical observable
+// behaviour. Interning changes where descriptor bytes live, never what any
+// call returns.
+func TestSharedInternEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var in intern.Descriptors
+	const nTables = 8
+	shared := make([]*Table, nTables)
+	private := make([]*Table, nTables)
+	for i := range shared {
+		shared[i] = NewShared(ident.NodeID(i+1), &in)
+		private[i] = New(ident.NodeID(i + 1))
+	}
+	rvpFor := func(id uint64) view.Descriptor {
+		return view.Descriptor{
+			ID:    ident.NodeID(id),
+			Addr:  ident.Endpoint{IP: ident.IP(id), Port: uint16(id % 7)},
+			Class: ident.NATClass(id % 5),
+			Age:   uint32(id % 3),
+		}
+	}
+	now := int64(0)
+	for step := 0; step < 100_000; step++ {
+		i := rng.Intn(nTables)
+		switch op := rng.Intn(10); {
+		case op < 5:
+			dest := ident.NodeID(rng.Intn(300))
+			rvp := rvpFor(uint64(rng.Intn(300)))
+			exp := now + int64(rng.Intn(2000)-200)
+			shared[i].Set(dest, rvp, exp)
+			private[i].Set(dest, rvp, exp)
+		case op < 8:
+			dest := ident.NodeID(rng.Intn(300))
+			gs, oks := shared[i].Next(dest, now)
+			gp, okp := private[i].Next(dest, now)
+			if oks != okp || gs != gp {
+				t.Fatalf("step %d table %d: Next(%v) = %v,%v vs %v,%v", step, i, dest, gs, oks, gp, okp)
+			}
+		case op < 9:
+			shared[i].Purge(now)
+			private[i].Purge(now)
+			if shared[i].Len() != private[i].Len() {
+				t.Fatalf("step %d table %d: Len %d vs %d", step, i, shared[i].Len(), private[i].Len())
+			}
+		default:
+			now += int64(rng.Intn(300))
+		}
+	}
+	for i := range shared {
+		if shared[i].String() != private[i].String() {
+			t.Fatalf("table %d diverged:\n shared  %v\n private %v", i, shared[i], private[i])
+		}
+	}
+}
+
+// TestIndexAdversarialIDs fills a table with destination IDs crafted to share
+// an index home slot (IDs differing only in bits the Fibonacci fingerprint
+// maps to the same cell for small tables), then churns them through
+// expire/reinstall cycles: long probe chains and backward-shift deletion in
+// clustered clusters must stay exact.
+func TestIndexAdversarialIDs(t *testing.T) {
+	tb := New(1)
+	ref := &refTable{self: 1, entries: map[ident.NodeID]Entry{}}
+	// Brute-force IDs whose fingerprints land in one home slot of the
+	// initial table.
+	var ids []ident.NodeID
+	mask := initialSlots - 1
+	for id := uint64(2); len(ids) < 120; id++ {
+		if int(fpOf(ident.NodeID(id)))&mask == 0 {
+			ids = append(ids, ident.NodeID(id))
+		}
+	}
+	rvp := view.Descriptor{ID: 9999, Addr: ident.Endpoint{IP: 1, Port: 1}}
+	rng := rand.New(rand.NewSource(3))
+	now := int64(0)
+	for round := 0; round < 300; round++ {
+		for _, id := range ids {
+			if rng.Intn(3) > 0 {
+				exp := now + int64(rng.Intn(500))
+				tb.Set(id, rvp, exp)
+				ref.set(id, rvp, exp)
+			}
+		}
+		now += int64(rng.Intn(400))
+		tb.Purge(now)
+		ref.purge(now)
+		if tb.Len() != len(ref.entries) {
+			t.Fatalf("round %d: Len = %d, want %d", round, tb.Len(), len(ref.entries))
+		}
+		for _, id := range ids {
+			got, gok := tb.Get(id, now)
+			want, wok := ref.entries[id]
+			if wok && want.ExpireAt < now {
+				wok = false
+			}
+			if gok != wok || (gok && got.RVP != want.RVP) {
+				t.Fatalf("round %d: Get(%v) = %+v,%v; want %+v,%v", round, id, got, gok, want, wok)
+			}
+		}
 	}
 }

@@ -30,7 +30,10 @@
 // single-scheduler hosts behave exactly as before.
 package sim
 
-// event is a scheduled callback, stored inline in the heap slice.
+// event is a scheduled callback, stored inline in the heap slice. A nil fn
+// marks a tick event: it runs the scheduler's shared tickFn with the event's
+// actor, so periodic per-actor work (every simulated peer's shuffle loop)
+// needs no per-actor closure — the event itself is the whole allocation.
 type event struct {
 	at    int64 // virtual time, ms
 	actor uint64
@@ -62,6 +65,8 @@ type Scheduler struct {
 	// each of its events.
 	lane   Ring[laneEntry]
 	laneFn func()
+	// tickFn is the shared callback of fn-less tick events (see TickAtKey).
+	tickFn func(actor uint64)
 	// processed counts executed events, for run statistics.
 	processed uint64
 }
@@ -182,6 +187,33 @@ func (s *Scheduler) LaneAtKey(t int64, actor, seq uint64) {
 		panic("sim: LaneAtKey key regressed")
 	}
 	s.lane.Push(laneEntry{at: t, actor: actor, seq: seq})
+}
+
+// SetTickFn installs the callback shared by all tick events (see TickAtKey).
+// It must be set (once) before the first TickAtKey call; hosts use one method
+// value per scheduler so arming ticks stays allocation-free.
+func (s *Scheduler) SetTickFn(fn func(actor uint64)) {
+	if fn == nil {
+		panic("sim: SetTickFn called with nil fn")
+	}
+	s.tickFn = fn
+}
+
+// TickAtKey schedules a tick event at time t with an explicit (actor, seq)
+// ordering key, exactly like AtKey — except that instead of carrying its own
+// closure the event dispatches to the scheduler's shared tick callback with
+// the actor as argument. Periodic per-actor work (every peer's shuffle loop)
+// armed this way costs one inline heap entry and no per-actor closure: at a
+// million peers that removes a million captured funcs from the heap.
+func (s *Scheduler) TickAtKey(t int64, actor, seq uint64) {
+	if s.tickFn == nil {
+		panic("sim: TickAtKey without SetTickFn")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.pending = append(s.pending, event{at: t, actor: actor, seq: seq})
+	s.siftUp(len(s.pending) - 1)
 }
 
 // Now returns the current virtual time in milliseconds.
@@ -327,6 +359,10 @@ func (s *Scheduler) runNext(fromLane bool) {
 	e := s.pop()
 	s.now = e.at
 	s.processed++
+	if e.fn == nil {
+		s.tickFn(e.actor)
+		return
+	}
 	e.fn()
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -127,4 +128,43 @@ func TestHeavyLoadOrdering(t *testing.T) {
 	if s.Processed() != 10000 {
 		t.Errorf("Processed = %d, want 10000", s.Processed())
 	}
+}
+
+// TestTickEvents pins that fn-less tick events interleave with regular
+// events in exact key order and dispatch the right actors.
+func TestTickEvents(t *testing.T) {
+	var s Scheduler
+	var got []string
+	s.SetTickFn(func(actor uint64) {
+		got = append(got, fmt.Sprintf("tick%d@%d", actor, s.Now()))
+		if actor < 3 {
+			s.TickAtKey(s.Now()+10, actor, 2)
+		}
+	})
+	s.TickAtKey(5, 2, 1)
+	s.TickAtKey(5, 1, 1)
+	s.AtKey(5, 3, 1, func() { got = append(got, fmt.Sprintf("fn3@%d", s.Now())) })
+	s.TickAtKey(7, 9, 1)
+	s.RunUntil(20)
+	want := []string{"tick1@5", "tick2@5", "fn3@5", "tick9@7", "tick1@15", "tick2@15"}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTickWithoutFnPanics pins the guard against arming ticks before the
+// callback exists.
+func TestTickWithoutFnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TickAtKey without SetTickFn did not panic")
+		}
+	}()
+	var s Scheduler
+	s.TickAtKey(1, 1, 1)
 }

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ident"
+	"repro/internal/intern"
 	"repro/internal/nat"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -117,14 +118,137 @@ type LinkPolicy interface {
 	Transmit(now int64, from ident.NodeID, srcEP, to ident.Endpoint, size uint64) (extraDelayMs int64, drop bool)
 }
 
-// Network is the simulated network. Global state (the address maps, the
-// peers) is mutated only at barriers; everything on the per-datagram path
-// lives in per-shard state, so shards run lock-free between barriers.
+// slab is chunked stable storage for peer-lifetime objects: chunks never
+// move once allocated, so pointers into them stay valid while the backing
+// memory is contiguous per chunk and costs one allocation per thousands of
+// objects instead of one each. Chunks double in size up to a cap, so small
+// unit-test networks stay small and million-peer runs stay at a few dozen
+// chunks.
+type slab[T any] struct {
+	chunks [][]T
+}
+
+// slabChunk sizing: first chunk, doubling cap.
+const (
+	slabFirstChunk = 256
+	slabMaxChunk   = 65536
+)
+
+// alloc returns a pointer to a fresh zero T with a stable address.
+func (s *slab[T]) alloc() *T {
+	n := len(s.chunks)
+	if n == 0 || len(s.chunks[n-1]) == cap(s.chunks[n-1]) {
+		size := slabFirstChunk
+		if n > 0 {
+			size = 2 * cap(s.chunks[n-1])
+			if size > slabMaxChunk {
+				size = slabMaxChunk
+			}
+		}
+		s.chunks = append(s.chunks, make([]T, 0, size))
+		n++
+	}
+	c := &s.chunks[n-1]
+	*c = append(*c, *new(T))
+	return &(*c)[len(*c)-1]
+}
+
+// peerIndex is the flat open-addressed NodeID → peer-slot index replacing the
+// generic peer map: 8-byte {fingerprint, slot} cells, linear probing, no
+// deletion (peers are never removed from a network — departure is Alive =
+// false — so the index never needs tombstones).
+type peerIndex struct {
+	slots []pslot
+	used  int
+}
+
+// pslot is one cell; slot is 1-based, 0 marks an empty cell.
+type pslot struct {
+	fp   uint32
+	slot int32
+}
+
+func peerFP(id ident.NodeID) uint32 {
+	return uint32((uint64(id) * 0x9e3779b97f4a7c15) >> 32)
+}
+
+// get returns the 0-based peer slot for id, or -1.
+func (x *peerIndex) get(id ident.NodeID, bySlot []*Peer) int {
+	if len(x.slots) == 0 {
+		return -1
+	}
+	fp := peerFP(id)
+	mask := len(x.slots) - 1
+	for j := int(fp) & mask; ; j = (j + 1) & mask {
+		s := x.slots[j]
+		if s.slot == 0 {
+			return -1
+		}
+		if s.fp == fp && bySlot[s.slot-1].ID == id {
+			return int(s.slot - 1)
+		}
+	}
+}
+
+// put records id at the given 0-based slot, growing at 2/3 load.
+func (x *peerIndex) put(id ident.NodeID, slot int, bySlot []*Peer) {
+	if 3*(x.used+1) > 2*len(x.slots) {
+		x.grow(bySlot)
+	}
+	fp := peerFP(id)
+	mask := len(x.slots) - 1
+	for j := int(fp) & mask; ; j = (j + 1) & mask {
+		if x.slots[j].slot == 0 {
+			x.slots[j] = pslot{fp: fp, slot: int32(slot + 1)}
+			x.used++
+			return
+		}
+	}
+}
+
+func (x *peerIndex) grow(bySlot []*Peer) {
+	want := 64
+	for 3*(x.used+1) > 2*want {
+		want *= 2
+	}
+	x.slots = make([]pslot, want)
+	x.used = 0
+	mask := want - 1
+	for i, p := range bySlot {
+		fp := peerFP(p.ID)
+		for j := int(fp) & mask; ; j = (j + 1) & mask {
+			if x.slots[j].slot == 0 {
+				x.slots[j] = pslot{fp: fp, slot: int32(i + 1)}
+				x.used++
+				break
+			}
+		}
+	}
+}
+
+// Network is the simulated network. Global state (the address arrays, the
+// peer index) is mutated only at barriers; everything on the per-datagram
+// path lives in per-shard state, so shards run lock-free between barriers.
+//
+// Peer state lives in slot-indexed slab storage rather than a map of
+// individually allocated peers: bySlot[i] points into the peer slab (stable
+// addresses, contiguous chunks), idx resolves NodeID → slot through a flat
+// open-addressed table, and NAT devices sit in their own slab. At 1M peers
+// this removes two heap objects per peer plus the map's bucket overhead, and
+// keeps neighbouring peers' counters on neighbouring cache lines.
 type Network struct {
 	kern    *sim.ShardedScheduler // nil in standalone mode
 	latency int64
 
-	peers map[ident.NodeID]*Peer
+	idx      peerIndex
+	bySlot   []*Peer // slot (attachment order) → peer
+	peerSlab slab[Peer]
+	devSlab  slab[nat.Device]
+	// baseIntern holds every peer's advertised descriptor, interned once at
+	// attach time (barrier context). Each shard's engine intern table is
+	// layered over it, so the shards' tables hold only learned endpoint
+	// variants instead of each re-interning the whole population.
+	baseIntern *intern.Descriptors
 	// The simulator allocates public and private IPs densely from fixed
 	// bases, so endpoint resolution indexes two slot arrays instead of
 	// hashing endpoints — a measurable win on the per-datagram hot path.
@@ -161,6 +285,9 @@ type netShard struct {
 	// standalone mode, where the shared wire pool serves (a nil *wire.Pool
 	// delegates to it).
 	pool *wire.Pool
+	// shared is the per-shard engine state (descriptor intern table,
+	// exchange scratch) handed to every engine of the shard's peers.
+	shared *core.Shared
 
 	// In-flight constant-latency datagrams wait in a FIFO ring and fire
 	// through the shard scheduler's lane in exact key order: delivering
@@ -301,14 +428,16 @@ func newNetwork(kern *sim.ShardedScheduler, scheds []*sim.Scheduler, latencyMs i
 	n := &Network{
 		kern:          kern,
 		latency:       latencyMs,
-		peers:         make(map[ident.NodeID]*Peer),
 		nextPublicIP:  pubIPBase,
 		nextPrivateIP: privIPBase,
 		shards:        make([]netShard, len(scheds)),
+		baseIntern:    &intern.Descriptors{},
 	}
 	for i := range n.shards {
 		sh := &n.shards[i]
 		sh.sched = scheds[i]
+		sh.shared = core.NewShared()
+		sh.shared.Intern = intern.NewLayered(n.baseIntern)
 		if kern != nil {
 			sh.pool = &wire.Pool{}
 			sh.out = make([][]outEntry, len(scheds))
@@ -336,6 +465,12 @@ func (n *Network) ShardOf(id ident.NodeID) int {
 // meaning the shared pool). Engines built for a shard's peers must allocate
 // from it.
 func (n *Network) ShardPool(i int) *wire.Pool { return n.shards[i].pool }
+
+// ShardShared returns shard i's shared engine state (descriptor intern
+// table, exchange scratch). Engines built for a shard's peers should use it:
+// all of a shard's engine calls are serialized, which is exactly the sharing
+// contract of core.Shared.
+func (n *Network) ShardShared(i int) *core.Shared { return n.shards[i].shared }
 
 // Drops returns the datagram drop counters aggregated across shards.
 func (n *Network) Drops() DropStats {
@@ -377,10 +512,7 @@ type EngineFactory func(self view.Descriptor) core.Engine
 // in milliseconds (ignored for public peers). Peers may only be added at
 // barriers (or before the run starts).
 func (n *Network) AddPeer(id ident.NodeID, class ident.NATClass, ruleTTL int64, f EngineFactory) *Peer {
-	if _, dup := n.peers[id]; dup {
-		panic(fmt.Sprintf("simnet: duplicate peer %v", id))
-	}
-	p := &Peer{ID: id, Class: class, Advertised: class, Alive: true, Shard: n.ShardOf(id)}
+	p := n.newPeer(id, class)
 	if class == ident.Public {
 		ip := ident.IP(n.nextPublicIP)
 		n.nextPublicIP++
@@ -393,15 +525,34 @@ func (n *Network) AddPeer(id ident.NodeID, class ident.NATClass, ruleTTL int64, 
 		pubIP := ident.IP(n.nextPublicIP)
 		n.nextPublicIP++
 		p.Priv = ident.Endpoint{IP: privIP, Port: 9000}
-		p.Device = nat.NewDevice(class, pubIP, ruleTTL)
+		p.Device = n.newDevice(class, pubIP, ruleTTL)
 		n.pubs = append(n.pubs, pubSlot{dev: p.Device, owner: p})
 		n.privs = append(n.privs, p)
 		// Join handshake: allocate the advertised mapping.
 		p.Addr = p.Device.Outbound(n.barrierNow(), p.Priv, bootstrapDst)
 	}
+	n.baseIntern.Intern(p.Descriptor())
 	p.Engine = f(p.Descriptor())
-	n.peers[id] = p
 	return p
+}
+
+// newPeer allocates a peer in the slab and registers it in the slot index.
+func (n *Network) newPeer(id ident.NodeID, class ident.NATClass) *Peer {
+	if n.idx.get(id, n.bySlot) >= 0 {
+		panic(fmt.Sprintf("simnet: duplicate peer %v", id))
+	}
+	p := n.peerSlab.alloc()
+	*p = Peer{ID: id, Class: class, Advertised: class, Alive: true, Shard: n.ShardOf(id)}
+	n.bySlot = append(n.bySlot, p)
+	n.idx.put(id, len(n.bySlot)-1, n.bySlot)
+	return p
+}
+
+// newDevice allocates a NAT device in the device slab.
+func (n *Network) newDevice(class ident.NATClass, pubIP ident.IP, ruleTTL int64) *nat.Device {
+	d := n.devSlab.alloc()
+	*d = nat.MakeDevice(class, pubIP, ruleTTL)
+	return d
 }
 
 // AddPeerUPnP attaches a natted peer whose NAT device honours an explicit
@@ -413,29 +564,32 @@ func (n *Network) AddPeerUPnP(id ident.NodeID, class ident.NATClass, ruleTTL int
 	if !class.Natted() {
 		panic("simnet: AddPeerUPnP requires a natted class")
 	}
-	if _, dup := n.peers[id]; dup {
-		panic(fmt.Sprintf("simnet: duplicate peer %v", id))
-	}
-	p := &Peer{ID: id, Class: class, Advertised: ident.Public, Alive: true, Shard: n.ShardOf(id)}
+	p := n.newPeer(id, class)
+	p.Advertised = ident.Public
 	privIP := ident.IP(n.nextPrivateIP)
 	n.nextPrivateIP++
 	pubIP := ident.IP(n.nextPublicIP)
 	n.nextPublicIP++
 	p.Priv = ident.Endpoint{IP: privIP, Port: 9000}
-	p.Device = nat.NewDevice(class, pubIP, ruleTTL)
+	p.Device = n.newDevice(class, pubIP, ruleTTL)
 	n.pubs = append(n.pubs, pubSlot{dev: p.Device, owner: p})
 	n.privs = append(n.privs, p)
 	p.Addr = p.Device.Pinhole(p.Priv)
+	n.baseIntern.Intern(p.Descriptor())
 	p.Engine = f(p.Descriptor())
-	n.peers[id] = p
 	return p
 }
 
 // Peer returns the peer with the given ID, or nil.
-func (n *Network) Peer(id ident.NodeID) *Peer { return n.peers[id] }
+func (n *Network) Peer(id ident.NodeID) *Peer {
+	if i := n.idx.get(id, n.bySlot); i >= 0 {
+		return n.bySlot[i]
+	}
+	return nil
+}
 
-// Peers returns the peer map. Callers must not mutate it.
-func (n *Network) Peers() map[ident.NodeID]*Peer { return n.peers }
+// PeerCount returns the number of peers ever attached.
+func (n *Network) PeerCount() int { return len(n.bySlot) }
 
 // InstallHole simulates a completed join-time handshake between a and b:
 // both NAT devices (if any) get filtering rules admitting the other side,
@@ -457,7 +611,7 @@ func (n *Network) InstallHole(a, b *Peer) {
 // Alive) and every datagram addressed to it is dropped. Its NAT device state
 // remains, as a real abandoned NAT box's would. Barrier-context only.
 func (n *Network) Kill(id ident.NodeID) {
-	if p := n.peers[id]; p != nil {
+	if p := n.Peer(id); p != nil {
 		p.Alive = false
 	}
 }

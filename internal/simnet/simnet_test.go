@@ -364,3 +364,56 @@ func TestAddPeerUPnPValidation(t *testing.T) {
 	}()
 	net.AddPeerUPnP(1, ident.Public, holeTimeout, genericFactory(1))
 }
+
+// TestPeerIndexGrowthAndAdversarialIDs exercises the flat ID→slot index that
+// replaced the peer map: dense sequential IDs across many growth cycles plus
+// IDs crafted to collide in the index's fingerprint home slots must all
+// resolve, and misses must stay misses.
+func TestPeerIndexGrowthAndAdversarialIDs(t *testing.T) {
+	var sched sim.Scheduler
+	n := New(&sched, 50)
+	factory := func(self view.Descriptor) core.Engine {
+		return core.NewGeneric(core.Config{
+			Self: self, ViewSize: 4, RNG: rand.New(rand.NewSource(int64(self.ID))),
+		})
+	}
+	var ids []ident.NodeID
+	// Dense block (forces several index growths and slab chunk rollovers)...
+	for id := uint64(1); id <= 2000; id++ {
+		ids = append(ids, ident.NodeID(id))
+	}
+	// ...then adversarial IDs: high-bit patterns that cluster under the
+	// Fibonacci fingerprint's home slot for small table sizes.
+	for i := uint64(0); i < 300; i++ {
+		ids = append(ids, ident.NodeID(i<<40|0xdead))
+	}
+	for _, id := range ids {
+		class := ident.Public
+		if id%3 == 0 {
+			class = ident.PortRestrictedCone
+		}
+		n.AddPeer(id, class, 90_000, factory)
+	}
+	if n.PeerCount() != len(ids) {
+		t.Fatalf("PeerCount = %d, want %d", n.PeerCount(), len(ids))
+	}
+	for _, id := range ids {
+		p := n.Peer(id)
+		if p == nil || p.ID != id {
+			t.Fatalf("Peer(%v) = %v after growth", id, p)
+		}
+	}
+	// Misses: never-added IDs, including ones adjacent to adversarial keys.
+	for _, id := range []ident.NodeID{3000, 1 << 50, 5<<40 | 0xdeae} {
+		if p := n.Peer(id); p != nil {
+			t.Fatalf("Peer(%v) = %v, want nil", id, p)
+		}
+	}
+	// Slab addresses must be stable: re-resolve the first peer and mutate
+	// through the old pointer.
+	first := n.Peer(ids[0])
+	first.BytesSent = 42
+	if n.Peer(ids[0]).BytesSent != 42 {
+		t.Fatal("slab pointer not stable across growth")
+	}
+}

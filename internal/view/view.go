@@ -111,30 +111,53 @@ func ParseMerge(s string) (Merge, error) {
 	return 0, fmt.Errorf("view: unknown merge policy %q", s)
 }
 
+// Scratch is the reusable working storage of a view's exchange operations:
+// union is where ApplyExchange builds the merged entry set, tail holds the
+// entries displaced by the partial selection of moveOldestToEnd, and ids and
+// ages are compact copies of the descriptor fields the merge scans repeatedly
+// — scanning 8-byte words instead of whole descriptors keeps the inner loops
+// in cache; a negative age doubles as the "selected/dropped" mark.
+//
+// A Scratch is only ever live during one exchange call, so any number of
+// views driven by the same goroutine (all engines of one simulation shard)
+// may share a single instance: at 1M peers that turns ~1.5 KB of per-peer
+// scratch into ~1.5 KB per shard. The zero Scratch is ready to use.
+type Scratch struct {
+	union []Descriptor
+	tail  []Descriptor
+	ids   []uint64
+	ages  []int64
+}
+
 // View is a bounded partial view of the overlay. The zero View is unusable;
-// construct with New. View is not safe for concurrent use.
+// construct with New or NewShared. View is not safe for concurrent use.
 type View struct {
 	self    ident.NodeID
 	maxSize int
 	entries []Descriptor
-	// Scratch storage reused across exchanges so the steady-state shuffle
-	// path performs no allocation: tail holds the entries displaced by the
-	// partial selection of moveOldestToEnd. ids and ages are compact copies
-	// of the descriptor fields the merge scans repeatedly — scanning 8-byte
-	// words instead of whole descriptors keeps the inner loops in cache; a
-	// negative age doubles as the "selected/dropped" mark.
-	tail []Descriptor
-	ids  []uint64
-	ages []int64
+	sc      *Scratch
 }
 
 // New returns an empty view of the given maximum size owned by the given
-// peer. It panics if maxSize is not positive.
+// peer, with private scratch storage. It panics if maxSize is not positive.
 func New(self ident.NodeID, maxSize int) *View {
+	return NewShared(self, maxSize, &Scratch{})
+}
+
+// NewShared is New with caller-owned scratch storage, shared by every view
+// whose exchange calls are serialized on one goroutine (the engines of one
+// simulation shard). sc must not be nil.
+func NewShared(self ident.NodeID, maxSize int, sc *Scratch) *View {
 	if maxSize <= 0 {
 		panic("view: New called with non-positive maxSize")
 	}
-	return &View{self: self, maxSize: maxSize}
+	if sc == nil {
+		panic("view: NewShared called with nil scratch")
+	}
+	// The entries slice reaches exactly maxSize in steady state; reserving
+	// it up front replaces the append-doubling chain (and the merge-time
+	// spill past maxSize lives in the scratch, never here).
+	return &View{self: self, maxSize: maxSize, entries: make([]Descriptor, 0, maxSize), sc: sc}
 }
 
 // MaxSize returns the view's capacity.
@@ -144,11 +167,20 @@ func (v *View) MaxSize() int { return v.maxSize }
 func (v *View) Len() int { return len(v.entries) }
 
 // Entries returns a copy of the current entries. Callers may mutate the
-// returned slice freely.
+// returned slice freely. Hot paths should prefer EntriesInto with a reused
+// buffer.
 func (v *View) Entries() []Descriptor {
 	out := make([]Descriptor, len(v.entries))
 	copy(out, v.entries)
 	return out
+}
+
+// EntriesInto overwrites buf (truncated to length zero) with a copy of the
+// current entries and returns the extended slice. With a buffer of sufficient
+// capacity the call performs no allocation; the returned slice is the
+// caller's to mutate and is valid until its next reuse.
+func (v *View) EntriesInto(buf []Descriptor) []Descriptor {
+	return append(buf[:0], v.entries...)
 }
 
 // Contains reports whether the view holds a descriptor for the given peer.
@@ -319,7 +351,7 @@ func (v *View) moveOldestToEnd(ds []Descriptor, h int) {
 		ages[i] = int64(ds[i].Age)
 	}
 	markOldest(ages, h)
-	tail := v.tail[:0]
+	tail := v.sc.tail[:0]
 	w := 0
 	for i, d := range ds {
 		if ages[i] < 0 {
@@ -330,15 +362,15 @@ func (v *View) moveOldestToEnd(ds []Descriptor, h int) {
 		}
 	}
 	copy(ds[w:], tail)
-	v.tail = tail
+	v.sc.tail = tail
 }
 
 // ageScratch returns the reusable age scratch resized to n entries.
 func (v *View) ageScratch(n int) []int64 {
-	if cap(v.ages) < n {
-		v.ages = make([]int64, n)
+	if cap(v.sc.ages) < n {
+		v.sc.ages = make([]int64, n)
 	}
-	return v.ages[:n]
+	return v.sc.ages[:n]
 }
 
 // markOldest sets ages[i] = -1 for the h oldest entries, ties resolved
@@ -374,12 +406,15 @@ func markOldest(ages []int64, h int) {
 // entries are marked, survivors compacted in a single pass — so the
 // steady-state call performs no allocation.
 func (v *View) ApplyExchange(policy Merge, received, sent []Descriptor, rng *rand.Rand) {
-	// Build the deduplicated union directly in the entries slice (merge
-	// order puts existing entries first, so extending in place is the
-	// union), mirroring IDs and ages into the compact scratch the scans
-	// below run over. A negative age marks a dropped entry.
-	union := v.entries
-	ids := v.ids[:0]
+	// Build the deduplicated union in the scratch (merge order puts
+	// existing entries first, so appending is the union), mirroring IDs and
+	// ages into the compact scratch the scans below run over. A negative
+	// age marks a dropped entry. Building in the scratch rather than in the
+	// entries backing array keeps every view's entries slice at exactly
+	// maxSize capacity — the merge-time spill above maxSize is shared
+	// per-shard state, not per-peer state.
+	union := append(v.sc.union[:0], v.entries...)
+	ids := v.sc.ids[:0]
 	for _, d := range union {
 		ids = append(ids, uint64(d.ID))
 	}
@@ -403,7 +438,7 @@ func (v *View) ApplyExchange(policy Merge, received, sent []Descriptor, rng *ran
 		union = append(union, d)
 		ids = append(ids, uint64(d.ID))
 	}
-	v.ids = ids
+	v.sc.ids = ids
 	ages := v.ageScratch(len(union))
 	for i := range union {
 		ages[i] = int64(union[i].Age)
@@ -449,15 +484,16 @@ func (v *View) ApplyExchange(policy Merge, received, sent []Descriptor, rng *ran
 		}
 		left--
 	}
-	// Stable in-place compaction of the survivors.
-	w := 0
+	// Stable compaction of the survivors back into the entries slice (at
+	// most maxSize survive, so the reserved capacity always suffices).
+	ents := v.entries[:0]
 	for i := range union {
 		if ages[i] >= 0 {
-			union[w] = union[i]
-			w++
+			ents = append(ents, union[i])
 		}
 	}
-	v.entries = union[:w]
+	v.entries = ents
+	v.sc.union = union[:0]
 }
 
 func indexIn(ds []Descriptor, id ident.NodeID) int {

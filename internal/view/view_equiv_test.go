@@ -215,3 +215,77 @@ func TestExchangeZeroAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedScratchEquivalence interleaves exchanges of many views sharing
+// one Scratch (the per-shard layout of the simulator) against twin views with
+// private scratch, requiring bit-identical contents and RNG positions: the
+// scratch is pure working storage, never carried state.
+func TestSharedScratchEquivalence(t *testing.T) {
+	const nViews = 16
+	var sc Scratch
+	shared := make([]*View, nViews)
+	private := make([]*View, nViews)
+	rngS := make([]*rand.Rand, nViews)
+	rngP := make([]*rand.Rand, nViews)
+	for i := range shared {
+		shared[i] = NewShared(1, 15, &sc)
+		private[i] = New(1, 15)
+		for id := 2; id < 18; id++ {
+			d := desc(uint64(id+i), uint32((id*7+i)%11))
+			shared[i].Add(d)
+			private[i].Add(d)
+		}
+		rngS[i] = rand.New(rand.NewSource(int64(i + 1)))
+		rngP[i] = rand.New(rand.NewSource(int64(i + 1)))
+	}
+	order := rand.New(rand.NewSource(42))
+	recvRNG := rand.New(rand.NewSource(7))
+	var sentS, sentP []Descriptor
+	for step := 0; step < 2000; step++ {
+		i := order.Intn(nViews)
+		policy := Merge(order.Intn(3))
+		recv := make([]Descriptor, recvRNG.Intn(8))
+		for k := range recv {
+			recv[k] = desc(uint64(recvRNG.Intn(60)+2), uint32(recvRNG.Intn(20)))
+		}
+		sentS = shared[i].PrepareExchangeInto(policy, rngS[i], sentS[:0])
+		sentP = private[i].PrepareExchangeInto(policy, rngP[i], sentP[:0])
+		if !sameDescs(sentS, sentP) {
+			t.Fatalf("step %d view %d: sent mismatch", step, i)
+		}
+		shared[i].ApplyExchange(policy, recv, sentS, rngS[i])
+		private[i].ApplyExchange(policy, recv, sentP, rngP[i])
+		if !sameDescs(shared[i].Entries(), private[i].Entries()) {
+			t.Fatalf("step %d view %d:\n shared  %v\n private %v", step, i, shared[i], private[i])
+		}
+		shared[i].IncreaseAge()
+		private[i].IncreaseAge()
+	}
+	for i := range shared {
+		if rngS[i].Uint64() != rngP[i].Uint64() {
+			t.Fatalf("view %d: RNG positions diverged", i)
+		}
+	}
+}
+
+// TestEntriesInto pins the overwrite semantics and allocation-free reuse of
+// the buffered snapshot API.
+func TestEntriesInto(t *testing.T) {
+	v := buildView(15, []uint16{2, 3, 4, 5, 6}, 11)
+	buf := v.EntriesInto(nil)
+	if !sameDescs(buf, v.Entries()) {
+		t.Fatalf("EntriesInto = %v, want %v", buf, v.Entries())
+	}
+	// Reuse overwrites, even from a longer previous snapshot.
+	v.Remove(2)
+	buf = v.EntriesInto(buf)
+	if !sameDescs(buf, v.Entries()) {
+		t.Fatalf("reused EntriesInto = %v, want %v", buf, v.Entries())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = v.EntriesInto(buf)
+	})
+	if allocs != 0 {
+		t.Errorf("EntriesInto with warm buffer allocates %.1f times, want 0", allocs)
+	}
+}

@@ -1,24 +1,30 @@
 #!/usr/bin/env sh
-# Guards the tracked 1k-peer simulation benchmark against wall-time
-# regressions: runs it several times through scripts/bench.sh, takes the
-# median ns/op, and compares it against the committed baseline
-# (scripts/bench_baseline.txt), failing when the median is more than
-# TOLERANCE percent slower.
+# Guards the tracked simulation benchmarks against regressions:
+#
+#   1. Wall time: BenchmarkSimulation1kPeers, median ns/op over COUNT runs,
+#      compared against the committed baseline (>TOLERANCE% slower fails).
+#   2. Memory: BenchmarkSimulation10kPeers, total allocated bytes per peer
+#      (the B/op of one run divided by the population), compared the same
+#      way (>TOLERANCE% more fails). Allocation totals are deterministic up
+#      to runtime noise, so a single run suffices.
 #
 #   scripts/bench_check.sh            # compare against the baseline
 #   scripts/bench_check.sh -update    # re-measure and rewrite the baseline
 #   TOLERANCE=25 scripts/bench_check.sh
 #
-# The baseline is hardware-dependent. Regenerate it with -update when the
-# reference machine changes; CI uses the committed number as a coarse guard
-# (the median over several runs plus a generous tolerance absorbs runner
-# noise, not runner generations — bump TOLERANCE in ci.yml if the fleet
-# changes).
+# The wall-time baseline is hardware-dependent; the bytes baseline is not
+# (allocation counts only drift with code changes). Regenerate both with
+# -update when the reference machine changes; CI uses the committed numbers
+# as a coarse guard (the median over several runs plus a generous tolerance
+# absorbs runner noise, not runner generations — bump TOLERANCE in ci.yml if
+# the fleet changes).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCH='BenchmarkSimulation1kPeers'
+MEMBENCH='BenchmarkSimulation10kPeers'
+MEMPEERS=10000
 BASELINE="${BASELINE:-scripts/bench_baseline.txt}"
 TOLERANCE="${TOLERANCE:-15}"
 COUNT="${COUNT:-5}"
@@ -33,9 +39,21 @@ echo "$out"
 median="$(echo "$out" | awk -v b="$BENCH" '$1 ~ "^"b {print $3}' | sort -n |
   awk '{v[NR]=$1} END {if (NR==0) exit 1; print v[int((NR+1)/2)]}')"
 
+memout="$(COUNT=1 BENCHTIME=1x scripts/bench.sh -bench "$MEMBENCH\$")"
+echo "$memout"
+
+# B/op is the field before "B/op"; divide by the population for B/peer.
+bpp="$(echo "$memout" | awk -v b="$MEMBENCH" -v n="$MEMPEERS" '
+  $1 ~ "^"b { for (i = 2; i < NF; i++) if ($(i+1) == "B/op") printf "%.0f\n", $i / n }' |
+  head -1)"
+if [ -z "$bpp" ]; then
+  echo "bench_check: could not parse B/op from $MEMBENCH output" >&2
+  exit 2
+fi
+
 if [ "$update" = 1 ]; then
-  printf '%s %s\n' "$BENCH" "$median" > "$BASELINE"
-  echo "bench_check: baseline updated: $BENCH $median ns/op"
+  printf '%s %s\n%s-B/peer %s\n' "$BENCH" "$median" "$MEMBENCH" "$bpp" > "$BASELINE"
+  echo "bench_check: baseline updated: $BENCH $median ns/op, $MEMBENCH $bpp B/peer"
   exit 0
 fi
 
@@ -45,14 +63,25 @@ if [ ! -f "$BASELINE" ]; then
 fi
 
 base="$(awk -v b="$BENCH" '$1 == b {print $2}' "$BASELINE")"
-if [ -z "$base" ]; then
-  echo "bench_check: $BENCH missing from $BASELINE" >&2
+membase="$(awk -v b="$MEMBENCH-B/peer" '$1 == b {print $2}' "$BASELINE")"
+if [ -z "$base" ] || [ -z "$membase" ]; then
+  echo "bench_check: $BENCH or $MEMBENCH-B/peer missing from $BASELINE (run with -update)" >&2
   exit 2
 fi
 
+fail=0
 awk -v new="$median" -v old="$base" -v tol="$TOLERANCE" 'BEGIN {
   pct = (new - old) * 100.0 / old
   printf "bench_check: %s median %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %s%%)\n",
          "'"$BENCH"'", new, old, pct, tol
   exit (pct > tol) ? 1 : 0
-}' || { echo "bench_check: FAIL — wall-time regression beyond tolerance" >&2; exit 1; }
+}' || { echo "bench_check: FAIL — wall-time regression beyond tolerance" >&2; fail=1; }
+
+awk -v new="$bpp" -v old="$membase" -v tol="$TOLERANCE" 'BEGIN {
+  pct = (new - old) * 100.0 / old
+  printf "bench_check: %s %.0f B/peer vs baseline %.0f B/peer (%+.1f%%, tolerance %s%%)\n",
+         "'"$MEMBENCH"'", new, old, pct, tol
+  exit (pct > tol) ? 1 : 0
+}' || { echo "bench_check: FAIL — bytes-per-peer regression beyond tolerance" >&2; fail=1; }
+
+exit "$fail"

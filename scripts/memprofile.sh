@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Captures allocation (and optionally CPU) profiles of one simulation run so
+# memory work starts from a pprof diff instead of guesswork.
+#
+# Usage:
+#   scripts/memprofile.sh                         # 10k peers, 20 rounds
+#   scripts/memprofile.sh -n 100000 -rounds 20    # any nylon-sim flags
+#   OUT=/tmp/prof scripts/memprofile.sh           # choose the output dir
+#
+# Typical before/after workflow:
+#   scripts/memprofile.sh && cp "$OUT"/mem.pprof /tmp/before.pprof
+#   ... apply a change ...
+#   scripts/memprofile.sh
+#   go tool pprof -top -alloc_space -diff_base /tmp/before.pprof "$OUT"/mem.pprof
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-/tmp/nylon-prof}"
+mkdir -p "$OUT"
+
+# Default run shape: the 10k-peer paper-scale point the tracked benchmarks
+# use. Any explicit flags append after (later flags win in package flag).
+set -- -n 10000 -nat 80 -rounds 20 -protocol nylon "$@"
+
+go run ./cmd/nylon-sim "$@" \
+  -memprofile "$OUT/mem.pprof" -cpuprofile "$OUT/cpu.pprof"
+
+echo
+echo "--- top allocators (go tool pprof -top -alloc_space) ---"
+go tool pprof -top -alloc_space -nodecount=15 "$OUT/mem.pprof" | sed -n '1,22p'
+echo
+echo "profiles: $OUT/mem.pprof $OUT/cpu.pprof"
+echo "explore:  go tool pprof -http=:8080 $OUT/mem.pprof"
