@@ -9,7 +9,10 @@
 //	nylon-scenario -f examples/scenario-lab/storm.json -n 1000 -rounds 120
 //
 // The series is tab-separated (round, alive, cluster%, stale%, cumulative
-// joins/leaves) so it pipes straight into cut/awk/gnuplot.
+// joins/leaves) so it pipes straight into cut/awk/gnuplot. With a Byzantine
+// cohort — from the file's "adversaries" block or the -adversary flags —
+// the series gains eclipse%/colluder% columns and the summary an attack
+// block (see internal/adversary and DESIGN.md §8).
 package main
 
 import (
@@ -38,6 +41,9 @@ func main() {
 		push      = flag.Bool("push", false, "push-only propagation (default push/pull)")
 		every     = flag.Int("every", 0, "sample the health series every N rounds (0 = rounds/20)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (results are identical for any value)")
+		adv       = flag.String("adversary", "", "inject an adversary cohort: poison-view, lying-rvp, selective-drop, free-ride")
+		advPct    = flag.Float64("adversary-pct", 20, "percentage of peers assigned to the -adversary cohort")
+		advFrom   = flag.Int("adversary-from", 0, "round at which the -adversary cohort activates")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -47,6 +53,17 @@ func main() {
 	sc, err := scenario.Load(*file)
 	if err != nil {
 		fatal(err)
+	}
+	if *adv != "" {
+		// Flag-injected cohorts stack on top of whatever the file declares.
+		sc.Adversaries = append(sc.Adversaries, scenario.Adversary{
+			Strategy:  *adv,
+			Fraction:  *advPct / 100,
+			FromRound: *advFrom,
+		})
+		if err := sc.Validate(*rounds); err != nil {
+			fatal(err)
+		}
 	}
 	sample := *every
 	if sample <= 0 {
@@ -90,10 +107,19 @@ func main() {
 	fmt.Printf("# scenario %q: %s\n", name, describe(sc))
 	fmt.Printf("# %s, %d peers (%.0f%% natted), view %d, %d rounds, seed %d\n",
 		cfg.Protocol, cfg.N, *natPct, cfg.ViewSize, cfg.Rounds, cfg.Seed)
-	fmt.Println("round\talive\tcluster%\tstale%\tjoins\tleaves")
+	hostile := len(sc.AdversaryList()) > 0
+	if hostile {
+		fmt.Println("round\talive\tcluster%\tstale%\tjoins\tleaves\teclipse%\tcolluder%")
+	} else {
+		fmt.Println("round\talive\tcluster%\tstale%\tjoins\tleaves")
+	}
 	for _, pt := range res.Series {
-		fmt.Printf("%d\t%d\t%.1f\t%.1f\t%d\t%d\n",
+		fmt.Printf("%d\t%d\t%.1f\t%.1f\t%d\t%d",
 			pt.Round, pt.AlivePeers, pt.BiggestCluster*100, pt.StaleFraction*100, pt.Joins, pt.Leaves)
+		if hostile {
+			fmt.Printf("\t%.1f\t%.1f", pt.Eclipse*100, pt.ColluderShare*100)
+		}
+		fmt.Println()
 	}
 
 	fmt.Printf("\nfinal cluster       %.1f%% of %d alive (%d total peers)\n",
@@ -116,6 +142,18 @@ func main() {
 	fmt.Printf("bytes/s per peer    %.0f (public %.0f, natted %.0f)\n",
 		res.BytesPerSecAll, res.BytesPerSecPublic, res.BytesPerSecNatted)
 	fmt.Printf("shuffle completion  %.1f%%\n", res.CompletionRate*100)
+	if hostile {
+		a := res.Adversary
+		fmt.Printf("adversaries         %d assigned (%d colluders)\n", a.AdversaryCount, a.ColluderCount)
+		fmt.Printf("eclipse             %.1f%% of honest peers fully eclipsed, %.1f%% see ≥1 colluder\n",
+			a.EclipseFraction*100, a.ColluderViewFraction*100)
+		fmt.Printf("indegree capture    colluders hold %.1f%% of honest references (top-%d hubs hold %.1f%%)\n",
+			a.ColluderIndegreeShare*100, max(a.ColluderCount, 1), a.TopKIndegreeShare*100)
+		fmt.Printf("honest subgraph     %.1f%% biggest cluster with adversarial peers discounted\n",
+			a.HonestCluster*100)
+		fmt.Printf("hostile drops       relay-denied %d, selective %d, hop-limit %d\n",
+			a.RelayDenied, a.AdversaryDrops, a.HopLimitDrops)
+	}
 	fmt.Printf("throughput          %d events in %v (%.0f events/s, %d workers × %d shards)\n",
 		res.EventsProcessed, wall.Round(time.Millisecond), float64(res.EventsProcessed)/wall.Seconds(),
 		res.Cfg.Workers, res.Cfg.Shards)

@@ -135,6 +135,17 @@ type Stats struct {
 	ChainSamples   uint64
 	// CacheFallbacks counts ARRG shuffle retries served from the cache.
 	CacheFallbacks uint64
+	// HopLimitDrops counts relayed datagrams discarded at the forwarding
+	// hop limit (maxForwardHops) — the loop guard that keeps a lying or
+	// misrouting relay from circulating a datagram indefinitely.
+	HopLimitDrops uint64
+	// RelayDenied counts datagrams an adversarial relay silently refused to
+	// forward (internal/adversary's lying-RVP strategy; always zero for
+	// honest engines).
+	RelayDenied uint64
+	// AdversaryDrops counts datagrams an adversarial selective dropper
+	// swallowed (internal/adversary; always zero for honest engines).
+	AdversaryDrops uint64
 }
 
 // Config carries the parameters shared by all engines. The zero value is not

@@ -402,7 +402,10 @@ func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message,
 // for routes learned through relayed shuffles.
 func (n *Nylon) forward(now int64, msg *wire.Message, via view.Descriptor) []Send {
 	if msg.Hops >= maxForwardHops {
+		// Counted as NoRoute (the chain is unusable) and separately as a
+		// hop-limit drop, so adversarial forwarding loops are observable.
 		n.stats.NoRoute++
+		n.stats.HopLimitDrops++
 		return nil
 	}
 	n.installRoutes(now, msg.Entries, via)

@@ -248,6 +248,12 @@ func (s *StaticRVP) Receive(now int64, from ident.Endpoint, msg *wire.Message) [
 
 // handOver forwards a datagram to the natted peer bound to this RVP.
 func (s *StaticRVP) handOver(msg *wire.Message, self view.Descriptor) []Send {
+	if msg.Hops >= maxForwardHops {
+		// Honest static chains are one hop; anything at the limit is a
+		// forwarding loop fed by hostile or corrupt traffic.
+		s.stats.HopLimitDrops++
+		return nil
+	}
 	s.stats.Forwarded++
 	fwd := s.cfg.Msgs.Clone(msg)
 	fwd.Hops++

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/ident"
@@ -66,6 +67,9 @@ type Result struct {
 	// Scenario summarizes the environment timeline a scenario drove
 	// (zero without one).
 	Scenario ScenarioStats
+	// Adversary holds the attack-centric metrics of a run with Byzantine
+	// cohorts (zero without adversaries).
+	Adversary AdversaryStats
 	// Series holds the periodic snapshots requested by
 	// Config.SampleEveryRounds, in round order.
 	Series []SamplePoint
@@ -104,6 +108,10 @@ type runState struct {
 	// or quiescent (the legacy fast path).
 	scn *scenarioDriver
 
+	// adv carries the Byzantine wiring; nil when the scenario declares no
+	// adversaries — honest runs never touch the adversary layer.
+	adv *adversaryState
+
 	// Static-RVP assignment state, kept on the run so scenario joins can
 	// extend it: rvpOf pins each natted peer to its fixed public RVP,
 	// publicIDs is the assignment pool, resolver resolves live
@@ -140,6 +148,7 @@ func Run(cfg Config) (Result, error) {
 		st.net.Trace = trace.New(cfg.TraceCapacity)
 	}
 	st.measureAfter = int64(cfg.Rounds) / 3 * cfg.PeriodMs
+	st.adv = newAdversaryState(cfg)
 	st.build()
 	st.bootstrap()
 	st.schedule()
@@ -252,7 +261,7 @@ func (st *runState) now() int64 { return st.kern.Global().Now() }
 
 func (st *runState) addPeer(id ident.NodeID, class ident.NATClass, seed int64, upnp bool, resolver core.RVPResolver) {
 	cfg := st.cfg
-	factory := func(self view.Descriptor) core.Engine {
+	honest := func(self view.Descriptor) core.Engine {
 		ecfg := core.Config{
 			Self:            self,
 			ViewSize:        cfg.ViewSize,
@@ -283,6 +292,15 @@ func (st *runState) addPeer(id ident.NodeID, class ident.NATClass, seed int64, u
 			return core.NewStaticRVP(ecfg, own, resolver)
 		default:
 			return core.NewGeneric(ecfg)
+		}
+	}
+	factory := honest
+	if st.adv != nil {
+		// Decorate cohort members with their adversarial wrapper. The
+		// factory runs at barrier context (AddPeer), so registering
+		// colluders and strategies is race-free.
+		factory = func(self view.Descriptor) core.Engine {
+			return st.adv.wrap(int(id)-1, cfg.HoleTimeoutMs, honest(self))
 		}
 	}
 	if int(id) == len(st.peers)+1 {
@@ -338,9 +356,10 @@ func (st *runState) bootstrap() {
 	}
 }
 
-// bootstrapEngine hands a peer its initial view seeds.
+// bootstrapEngine hands a peer its initial view seeds. Adversarial wrappers
+// are transparent here: the honest engine underneath is bootstrapped.
 func (st *runState) bootstrapEngine(p *simnet.Peer, seeds []view.Descriptor) {
-	switch e := p.Engine.(type) {
+	switch e := adversary.Unwrap(p.Engine).(type) {
 	case *core.Nylon:
 		e.Bootstrap(st.now(), seeds)
 	case *core.Generic:
@@ -523,7 +542,7 @@ func (st *runState) staticRVPOf(id ident.NodeID) (ident.NodeID, bool) {
 	if p == nil {
 		return 0, false
 	}
-	e, ok := p.Engine.(*core.StaticRVP)
+	e, ok := adversary.Unwrap(p.Engine).(*core.StaticRVP)
 	if !ok {
 		return 0, false
 	}
@@ -543,7 +562,10 @@ func (st *runState) nylonUsable(now int64, q *simnet.Peer, d view.Descriptor) bo
 	}
 	cur := q
 	for depth := 0; depth < 16; depth++ {
-		eng, ok := cur.Engine.(*core.Nylon)
+		// See through adversary wrappers: a lying RVP's routing table still
+		// advertises the chain — the edge *looks* usable, which is exactly
+		// the lie the relay-denial metrics then expose.
+		eng, ok := adversary.Unwrap(cur.Engine).(*core.Nylon)
 		if !ok {
 			return false
 		}
@@ -584,6 +606,7 @@ func (st *runState) measure(end int64, warmupBytes []uint64) Result {
 	var entries []view.Descriptor
 	var staleSum, staleCount float64
 	var initiated, completed, noroute, chainHops, chainSamples uint64
+	var relayDenied, advDrops, hopLimitDrops uint64
 
 	var alive, alivePublic, aliveNatted int
 	var bytesAll, bytesPublic, bytesNatted float64
@@ -615,6 +638,9 @@ func (st *runState) measure(end int64, warmupBytes []uint64) Result {
 		noroute += s.NoRoute
 		chainHops += s.ChainHopsTotal
 		chainSamples += s.ChainSamples
+		relayDenied += s.RelayDenied
+		advDrops += s.AdversaryDrops
+		hopLimitDrops += s.HopLimitDrops
 
 		entries = p.Engine.View().EntriesInto(entries)
 		var nonStale, nonStaleNatted int
@@ -661,6 +687,13 @@ func (st *runState) measure(end int64, warmupBytes []uint64) Result {
 	if initiated > 0 {
 		res.CompletionRate = float64(completed) / float64(initiated)
 		res.NoRouteRate = float64(noroute) / float64(initiated)
+	}
+
+	if st.adv != nil {
+		st.measureAdversary(&res, aliveIDs, edges)
+		res.Adversary.RelayDenied = relayDenied
+		res.Adversary.AdversaryDrops = advDrops
+		res.Adversary.HopLimitDrops = hopLimitDrops
 	}
 
 	deg := graph.InDegrees(aliveIDs, edges)

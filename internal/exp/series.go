@@ -23,6 +23,12 @@ type SamplePoint struct {
 	// Joins and Leaves are the cumulative scenario-driven arrivals and
 	// departures up to the snapshot (zero without a scenario).
 	Joins, Leaves uint64
+	// Eclipse is the fraction of alive honest peers whose non-empty view
+	// consists entirely of colluders; ColluderShare is the share of honest
+	// view entries referencing colluders. Both zero without adversaries
+	// (see AdversaryStats for the definitions).
+	Eclipse       float64
+	ColluderShare float64
 }
 
 // RecoveryThreshold is the biggest-cluster fraction at which the overlay
@@ -122,6 +128,11 @@ func (st *runState) scheduleSeries() *[]SamplePoint {
 			}
 			if st.scn != nil {
 				pt.Joins, pt.Leaves = st.scn.stats.Joins, st.scn.stats.Leaves
+			}
+			if st.adv != nil {
+				s := st.sampleAdversary(false)
+				pt.Eclipse = s.eclipseFraction()
+				pt.ColluderShare = s.colluderShare()
 			}
 			*series = append(*series, pt)
 		})

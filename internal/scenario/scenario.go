@@ -22,6 +22,8 @@ import (
 	"math"
 	"math/rand"
 	"os"
+
+	"repro/internal/adversary"
 )
 
 // Scenario is one declarative environment timeline. The zero Scenario (and a
@@ -51,6 +53,37 @@ type Scenario struct {
 	// Events is the explicit timeline, interpreted in slice order for
 	// events sharing a round.
 	Events []Event `json:"events,omitempty"`
+
+	// Adversaries declares Byzantine cohorts: deterministic fractions (or
+	// explicit IDs) of the population running a hostile engine wrapper (see
+	// internal/adversary). Membership is assigned seed-deterministically by
+	// the harness, at creation and at every mid-run join; specs are matched
+	// in slice order, first match wins.
+	Adversaries []Adversary `json:"adversaries,omitempty"`
+}
+
+// Adversary declares one Byzantine cohort.
+type Adversary struct {
+	// Strategy is the attack: poison-view, lying-rvp, selective-drop or
+	// free-ride (see internal/adversary).
+	Strategy string `json:"strategy"`
+	// Fraction is the share of peers (initial population and mid-run
+	// arrivals alike) adopting the strategy, in (0,1).
+	Fraction float64 `json:"fraction,omitempty"`
+	// IDs lists explicit peer IDs instead of a fraction (exactly one of
+	// the two must be given).
+	IDs []uint64 `json:"ids,omitempty"`
+	// FromRound activates the attack at that round boundary; before it the
+	// cohort behaves honestly (0 = hostile from the start).
+	FromRound int `json:"from_round,omitempty"`
+	// DropKinds restricts selective-drop to these message kinds (request,
+	// response, open-hole, ping, pong); empty means every kind. Only valid
+	// for selective-drop.
+	DropKinds []string `json:"drop_kinds,omitempty"`
+	// Victims restricts selective-drop to datagrams whose source or final
+	// destination is listed; empty means everyone. Only valid for
+	// selective-drop.
+	Victims []uint64 `json:"victims,omitempty"`
 }
 
 // DefaultGatewayGroupSize is the gateway group size when the scenario leaves
@@ -164,7 +197,15 @@ func (s *Scenario) Quiescent() bool {
 	if s == nil {
 		return true
 	}
-	return s.Churn == nil && s.Link == nil && len(s.Events) == 0
+	return s.Churn == nil && s.Link == nil && len(s.Events) == 0 && len(s.Adversaries) == 0
+}
+
+// AdversaryList returns the scenario's adversary specs (nil-safe).
+func (s *Scenario) AdversaryList() []Adversary {
+	if s == nil {
+		return nil
+	}
+	return s.Adversaries
 }
 
 // GroupSize returns the effective gateway group size.
@@ -234,6 +275,42 @@ func (s *Scenario) Validate(rounds int) error {
 		if err := e.validate(rounds); err != nil {
 			return fmt.Errorf("scenario: event %d (%s): %w", i, e.Kind, err)
 		}
+	}
+	for i := range s.Adversaries {
+		if err := s.Adversaries[i].validate(rounds); err != nil {
+			return fmt.Errorf("scenario: adversary %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (a *Adversary) validate(rounds int) error {
+	strat, err := adversary.ParseStrategy(a.Strategy)
+	if err != nil {
+		return err
+	}
+	if strat == adversary.None {
+		return fmt.Errorf("strategy %q declares no attack — remove the spec instead", a.Strategy)
+	}
+	if math.IsNaN(a.Fraction) || a.Fraction < 0 || a.Fraction >= 1 {
+		return fmt.Errorf("fraction %v outside [0,1)", a.Fraction)
+	}
+	if (a.Fraction > 0) == (len(a.IDs) > 0) {
+		return fmt.Errorf("needs exactly one of fraction > 0 or a non-empty ids list")
+	}
+	for _, id := range a.IDs {
+		if id == 0 {
+			return fmt.Errorf("ids contains the nil peer ID 0")
+		}
+	}
+	if a.FromRound < 0 || a.FromRound >= rounds {
+		return fmt.Errorf("from_round %d outside [0,%d)", a.FromRound, rounds)
+	}
+	if _, err := adversary.ParseKinds(a.DropKinds); err != nil {
+		return err
+	}
+	if strat != adversary.SelectiveDrop && (len(a.DropKinds) > 0 || len(a.Victims) > 0) {
+		return fmt.Errorf("drop_kinds/victims only apply to selective-drop, not %s", a.Strategy)
 	}
 	return nil
 }

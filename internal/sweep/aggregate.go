@@ -42,6 +42,10 @@ type BandPoint struct {
 	StaleP50 float64 `json:"stale_p50"`
 	// AliveP50 is the median alive population.
 	AliveP50 float64 `json:"alive_p50"`
+	// Eclipse is the eclipse-probability band across seeds, present only
+	// for adversary cells (pointer + omitempty keeps honest artifacts
+	// byte-identical to the pre-adversary format).
+	Eclipse *Band `json:"eclipse,omitempty"`
 }
 
 // Cell is the aggregate of one (scenario, variant) pair across seeds.
@@ -68,6 +72,15 @@ type Cell struct {
 
 	// Series is the per-round quantile band of the cell's health series.
 	Series []BandPoint `json:"series"`
+
+	// Adversary bands across seeds, present only when the cell's jobs ran
+	// with adversary cohorts (pointers + omitempty: honest sweeps keep
+	// producing byte-identical artifacts). Eclipse is the end-of-run
+	// eclipse probability; ColluderShare the colluder indegree share;
+	// HonestCluster the honest-subgraph partition resistance.
+	Eclipse       *Band `json:"eclipse,omitempty"`
+	ColluderShare *Band `json:"colluder_share,omitempty"`
+	HonestCluster *Band `json:"honest_cluster,omitempty"`
 }
 
 // Artifact is the aggregated output of one sweep — a pure function of
@@ -122,6 +135,9 @@ func aggregateCell(scenarioName, variant string, seeds []int64, results []*JobRe
 	staleRuns := make([][]float64, len(results))
 	aliveRuns := make([][]float64, len(results))
 	var rounds []int
+	hasAdv := false
+	var eclipses, shares, honests []float64
+	eclipseRuns := make([][]float64, len(results))
 	for i, jr := range results {
 		if jr == nil {
 			return Cell{}, fmt.Errorf("sweep: cell (%s, %s) missing result for seed %d", scenarioName, variant, seeds[i])
@@ -149,6 +165,7 @@ func aggregateCell(scenarioName, variant string, seeds []int64, results []*JobRe
 		clusterRuns[i] = make([]float64, len(jr.Series))
 		staleRuns[i] = make([]float64, len(jr.Series))
 		aliveRuns[i] = make([]float64, len(jr.Series))
+		eclipseRuns[i] = make([]float64, len(jr.Series))
 		for j, pt := range jr.Series {
 			if pt.Round != rounds[j] {
 				return Cell{}, fmt.Errorf("sweep: cell (%s, %s): seed %d sampled round %d where seed %d sampled %d",
@@ -157,6 +174,13 @@ func aggregateCell(scenarioName, variant string, seeds []int64, results []*JobRe
 			clusterRuns[i][j] = pt.Cluster
 			staleRuns[i][j] = pt.Stale
 			aliveRuns[i][j] = float64(pt.Alive)
+			eclipseRuns[i][j] = pt.Eclipse
+		}
+		if jr.HasAdversaries {
+			hasAdv = true
+			eclipses = append(eclipses, jr.FinalEclipse)
+			shares = append(shares, jr.FinalColluderShare)
+			honests = append(honests, jr.HonestCluster)
 		}
 	}
 	cell.FinalCluster = bandOf(finals)
@@ -176,6 +200,15 @@ func aggregateCell(scenarioName, variant string, seeds []int64, results []*JobRe
 			Cluster:  Band{P10: clean(clusterBand[j][0]), P50: clean(clusterBand[j][1]), P90: clean(clusterBand[j][2])},
 			StaleP50: clean(staleBand[j][0]),
 			AliveP50: clean(aliveBand[j][0]),
+		}
+	}
+	if hasAdv {
+		eb, sb, hb := bandOf(eclipses), bandOf(shares), bandOf(honests)
+		cell.Eclipse, cell.ColluderShare, cell.HonestCluster = &eb, &sb, &hb
+		eclipseBand := stats.PerRoundQuantiles(eclipseRuns, bandQs)
+		for j := range cell.Series {
+			b := Band{P10: clean(eclipseBand[j][0]), P50: clean(eclipseBand[j][1]), P90: clean(eclipseBand[j][2])}
+			cell.Series[j].Eclipse = &b
 		}
 	}
 	return cell, nil

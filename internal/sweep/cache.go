@@ -43,14 +43,32 @@ type JobResult struct {
 	// EventsProcessed pins the run's determinism contract into the cache:
 	// re-running the job must reproduce it exactly.
 	EventsProcessed uint64 `json:"events_processed"`
+
+	// Adversary block, filled only when the job's scenario declares
+	// adversary cohorts. Every field is omitempty so the cached JSON of
+	// honest runs stays byte-identical to the pre-adversary format (and so
+	// do their keys — see jobKey.Adversaries).
+	HasAdversaries     bool    `json:"has_adversaries,omitempty"`
+	Adversaries        int     `json:"adversaries,omitempty"`
+	Colluders          int     `json:"colluders,omitempty"`
+	FinalEclipse       float64 `json:"final_eclipse,omitempty"`
+	FinalColluderView  float64 `json:"final_colluder_view,omitempty"`
+	FinalColluderShare float64 `json:"final_colluder_share,omitempty"`
+	TopKShare          float64 `json:"topk_share,omitempty"`
+	HonestCluster      float64 `json:"honest_cluster,omitempty"`
+	RelayDenied        uint64  `json:"relay_denied,omitempty"`
+	AdversaryDrops     uint64  `json:"adversary_drops,omitempty"`
 }
 
-// SeriesPoint is one sampled round in the cached series.
+// SeriesPoint is one sampled round in the cached series. The adversary pair
+// is omitempty for the same byte-identity reason as JobResult's block.
 type SeriesPoint struct {
-	Round   int     `json:"round"`
-	Alive   int     `json:"alive"`
-	Cluster float64 `json:"cluster"`
-	Stale   float64 `json:"stale"`
+	Round         int     `json:"round"`
+	Alive         int     `json:"alive"`
+	Cluster       float64 `json:"cluster"`
+	Stale         float64 `json:"stale"`
+	Eclipse       float64 `json:"eclipse,omitempty"`
+	ColluderShare float64 `json:"colluder_share,omitempty"`
 }
 
 // resultOf condenses a run's Result into the cacheable JobResult.
@@ -77,6 +95,22 @@ func resultOf(job Job, res exp.Result) *JobResult {
 	}
 	for i, pt := range res.Series {
 		jr.Series[i] = SeriesPoint{Round: pt.Round, Alive: pt.AlivePeers, Cluster: pt.BiggestCluster, Stale: pt.StaleFraction}
+	}
+	if len(job.Cfg.Scenario.AdversaryList()) > 0 {
+		jr.HasAdversaries = true
+		jr.Adversaries = res.Adversary.AdversaryCount
+		jr.Colluders = res.Adversary.ColluderCount
+		jr.FinalEclipse = res.Adversary.EclipseFraction
+		jr.FinalColluderView = res.Adversary.ColluderViewFraction
+		jr.FinalColluderShare = res.Adversary.ColluderIndegreeShare
+		jr.TopKShare = res.Adversary.TopKIndegreeShare
+		jr.HonestCluster = res.Adversary.HonestCluster
+		jr.RelayDenied = res.Adversary.RelayDenied
+		jr.AdversaryDrops = res.Adversary.AdversaryDrops
+		for i, pt := range res.Series {
+			jr.Series[i].Eclipse = pt.Eclipse
+			jr.Series[i].ColluderShare = pt.ColluderShare
+		}
 	}
 	return jr
 }

@@ -64,6 +64,11 @@ type jobKey struct {
 	Evict        bool    `json:"evict_unanswered"`
 	UPnP         float64 `json:"upnp_fraction"`
 	SampleEvery  int     `json:"sample_every"`
+	// Adversaries is the canonical JSON of the variant-injected adversary
+	// specs. Scenario-file adversaries are already covered by ScenarioHash;
+	// omitempty keeps every pre-adversary job key byte-identical, so
+	// existing caches stay valid.
+	Adversaries string `json:"adversaries,omitempty"`
 }
 
 // keyVersion is the current job-descriptor format.
@@ -71,8 +76,9 @@ const keyVersion = 1
 
 // keyOf computes the content address of one job. cfg must already carry its
 // defaults so that implicit and explicit parameter choices hash equally.
-func keyOf(cfg exp.Config, scenarioHash string, seed int64) string {
+func keyOf(cfg exp.Config, scenarioHash string, seed int64, adversaries string) string {
 	desc := jobKey{
+		Adversaries:  adversaries,
 		Version:      keyVersion,
 		ScenarioHash: scenarioHash,
 		Seed:         seed,
@@ -119,14 +125,27 @@ func Expand(spec *Spec, baseDir string) (*Grid, error) {
 	g := &Grid{Spec: spec, Scenarios: entries, Seeds: seeds}
 	g.Jobs = make([]Job, 0, len(entries)*len(spec.Variants)*len(seeds))
 
-	// One resolved config per variant, shared across the corpus.
+	// One resolved config per variant, shared across the corpus. A variant
+	// injecting adversaries also carries their canonical JSON, which joins
+	// the job key (the scenario file hash cannot see injected cohorts).
 	cfgs := make([]exp.Config, len(spec.Variants))
+	advs := make([][]scenario.Adversary, len(spec.Variants))
+	advKeys := make([]string, len(spec.Variants))
 	for i, v := range spec.Variants {
-		cfg, err := v.Overrides.merge(spec.Base).resolve()
+		merged := v.Overrides.merge(spec.Base)
+		cfg, err := merged.resolve()
 		if err != nil {
 			return nil, fmt.Errorf("sweep: variant %q: %w", v.Name, err)
 		}
 		cfgs[i] = cfg.Defaults()
+		if len(merged.Adversaries) > 0 {
+			advs[i] = merged.Adversaries
+			data, err := json.Marshal(merged.Adversaries)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: variant %q: marshal adversaries: %w", v.Name, err)
+			}
+			advKeys[i] = string(data)
+		}
 	}
 
 	for _, ent := range entries {
@@ -134,7 +153,17 @@ func Expand(spec *Spec, baseDir string) (*Grid, error) {
 		for i, v := range spec.Variants {
 			cfg := cfgs[i]
 			cfg.Scenario = ent.Scenario
-			if err := ent.Scenario.Validate(cfg.Rounds); err != nil {
+			if len(advs[i]) > 0 {
+				// Clone the shared scenario before injecting the variant's
+				// cohorts: other cells keep the file's verbatim timeline.
+				var sc scenario.Scenario
+				if ent.Scenario != nil {
+					sc = *ent.Scenario
+				}
+				sc.Adversaries = advs[i]
+				cfg.Scenario = &sc
+			}
+			if err := cfg.Scenario.Validate(cfg.Rounds); err != nil {
 				return nil, fmt.Errorf("sweep: cell (%s, %s): %w", ent.Name, v.Name, err)
 			}
 			for _, seed := range seeds {
@@ -145,7 +174,7 @@ func Expand(spec *Spec, baseDir string) (*Grid, error) {
 					Variant:  v.Name,
 					Seed:     seed,
 					Cfg:      jobCfg,
-					Key:      keyOf(jobCfg, scenarioHash, seed),
+					Key:      keyOf(jobCfg, scenarioHash, seed, advKeys[i]),
 				})
 			}
 		}

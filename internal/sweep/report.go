@@ -27,8 +27,30 @@ func (a *Artifact) cell(scenarioName, variant string) *Cell {
 	return nil
 }
 
+// hasAdversary reports whether any cell carries adversary bands; every
+// adversary-aware table and CSV column is gated on it so honest sweeps keep
+// rendering byte-identical reports.
+func (a *Artifact) hasAdversary() bool {
+	for i := range a.Cells {
+		if a.Cells[i].Eclipse != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// bandP50 reads an optional band's median (0 when absent — a mixed grid can
+// hold honest and adversary cells side by side).
+func bandP50(b *Band) float64 {
+	if b == nil {
+		return 0
+	}
+	return b.P50
+}
+
 // GridTables renders the cross-variant recovery grid: one table per metric,
-// scenarios as rows, variants as columns.
+// scenarios as rows, variants as columns. Adversary grids additionally get
+// the attack metrics — the "how much Byzantine load survives" view.
 func (a *Artifact) GridTables() []exp.Table {
 	metrics := []struct {
 		title string
@@ -38,6 +60,16 @@ func (a *Artifact) GridTables() []exp.Table {
 		{"sweep — worst sampled cluster (%) p50", func(c *Cell) float64 { return c.WorstCluster.P50 * 100 }},
 		{"sweep — recovered seeds (%)", func(c *Cell) float64 { return c.RecoveredFraction * 100 }},
 		{"sweep — recovery rounds (worst→recovered) p50", func(c *Cell) float64 { return c.RecoveryRounds.P50 }},
+	}
+	if a.hasAdversary() {
+		metrics = append(metrics, []struct {
+			title string
+			value func(*Cell) float64
+		}{
+			{"sweep — eclipse probability (%) p50", func(c *Cell) float64 { return bandP50(c.Eclipse) * 100 }},
+			{"sweep — colluder indegree share (%) p50", func(c *Cell) float64 { return bandP50(c.ColluderShare) * 100 }},
+			{"sweep — honest-subgraph cluster (%) p50", func(c *Cell) float64 { return bandP50(c.HonestCluster) * 100 }},
+		}...)
 	}
 	tables := make([]exp.Table, 0, len(metrics))
 	for _, m := range metrics {
@@ -58,20 +90,29 @@ func (a *Artifact) GridTables() []exp.Table {
 // variants as rows, the cell summary statistics as columns.
 func (a *Artifact) SummaryTables() []exp.Table {
 	tables := make([]exp.Table, 0, len(a.Scenarios))
+	adv := a.hasAdversary()
 	for _, sc := range a.Scenarios {
+		cols := []string{"variant",
+			"final%p10", "final%p50", "final%p90",
+			"worst%p50", "stale%p50", "recov%", "recov-rounds-p50"}
+		if adv {
+			cols = append(cols, "eclipse%p50", "colluder%p50", "honest%p50")
+		}
 		t := exp.Table{
-			Title: fmt.Sprintf("scenario %q — per-variant summary over %d seeds", sc, len(a.Seeds)),
-			Columns: []string{"variant",
-				"final%p10", "final%p50", "final%p90",
-				"worst%p50", "stale%p50", "recov%", "recov-rounds-p50"},
+			Title:   fmt.Sprintf("scenario %q — per-variant summary over %d seeds", sc, len(a.Seeds)),
+			Columns: cols,
 		}
 		for _, v := range a.Variants {
 			c := a.cell(sc, v)
-			t.Rows = append(t.Rows, exp.Row{Label: v, Values: []float64{
+			vals := []float64{
 				c.FinalCluster.P10 * 100, c.FinalCluster.P50 * 100, c.FinalCluster.P90 * 100,
 				c.WorstCluster.P50 * 100, c.FinalStaleP50 * 100,
 				c.RecoveredFraction * 100, c.RecoveryRounds.P50,
-			}})
+			}
+			if adv {
+				vals = append(vals, bandP50(c.Eclipse)*100, bandP50(c.ColluderShare)*100, bandP50(c.HonestCluster)*100)
+			}
+			t.Rows = append(t.Rows, exp.Row{Label: v, Values: vals})
 		}
 		tables = append(tables, t)
 	}
@@ -84,15 +125,27 @@ func (a *Artifact) BandTables() []exp.Table {
 	tables := make([]exp.Table, 0, len(a.Cells))
 	for i := range a.Cells {
 		c := &a.Cells[i]
+		cols := []string{"round", "p10", "p50", "p90", "stale%p50", "alive-p50"}
+		if c.Eclipse != nil {
+			cols = append(cols, "eclipse%p50", "eclipse%p90")
+		}
 		t := exp.Table{
 			Title:   fmt.Sprintf("band (%s, %s) — biggest cluster (%%) per round", c.Scenario, c.Variant),
-			Columns: []string{"round", "p10", "p50", "p90", "stale%p50", "alive-p50"},
+			Columns: cols,
 		}
 		for _, pt := range c.Series {
-			t.Rows = append(t.Rows, exp.Row{Label: fmt.Sprintf("%d", pt.Round), Values: []float64{
+			vals := []float64{
 				pt.Cluster.P10 * 100, pt.Cluster.P50 * 100, pt.Cluster.P90 * 100,
 				pt.StaleP50 * 100, pt.AliveP50,
-			}})
+			}
+			if c.Eclipse != nil {
+				var p50, p90 float64
+				if pt.Eclipse != nil {
+					p50, p90 = pt.Eclipse.P50*100, pt.Eclipse.P90*100
+				}
+				vals = append(vals, p50, p90)
+			}
+			t.Rows = append(t.Rows, exp.Row{Label: fmt.Sprintf("%d", pt.Round), Values: vals})
 		}
 		tables = append(tables, t)
 	}
@@ -118,34 +171,67 @@ func (a *Artifact) Text() string {
 	return b.String()
 }
 
-// SummaryCSV renders one row per cell with the summary statistics.
+// SummaryCSV renders one row per cell with the summary statistics. Adversary
+// columns appear only when the sweep ran with adversaries, so honest sweeps
+// keep producing byte-identical CSVs.
 func (a *Artifact) SummaryCSV() string {
+	adv := a.hasAdversary()
 	var b strings.Builder
 	b.WriteString("scenario,variant,seeds,final_cluster_p10,final_cluster_p50,final_cluster_p90," +
 		"worst_cluster_p10,worst_cluster_p50,worst_cluster_p90,final_stale_p50,completion_p50," +
-		"recovered_fraction,recovery_rounds_p10,recovery_rounds_p50,recovery_rounds_p90\n")
+		"recovered_fraction,recovery_rounds_p10,recovery_rounds_p50,recovery_rounds_p90")
+	if adv {
+		b.WriteString(",eclipse_p10,eclipse_p50,eclipse_p90,colluder_share_p50,honest_cluster_p10,honest_cluster_p50,honest_cluster_p90")
+	}
+	b.WriteByte('\n')
 	for i := range a.Cells {
 		c := &a.Cells[i]
-		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
+		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g",
 			c.Scenario, c.Variant, len(c.Seeds),
 			c.FinalCluster.P10, c.FinalCluster.P50, c.FinalCluster.P90,
 			c.WorstCluster.P10, c.WorstCluster.P50, c.WorstCluster.P90,
 			c.FinalStaleP50, c.CompletionP50,
 			c.RecoveredFraction, c.RecoveryRounds.P10, c.RecoveryRounds.P50, c.RecoveryRounds.P90)
+		if adv {
+			var e, h Band
+			if c.Eclipse != nil {
+				e = *c.Eclipse
+			}
+			if c.HonestCluster != nil {
+				h = *c.HonestCluster
+			}
+			fmt.Fprintf(&b, ",%g,%g,%g,%g,%g,%g,%g",
+				e.P10, e.P50, e.P90, bandP50(c.ColluderShare), h.P10, h.P50, h.P90)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
 
-// BandsCSV renders one row per (cell, round) with the per-round band.
+// BandsCSV renders one row per (cell, round) with the per-round band,
+// gaining eclipse columns only for adversary sweeps.
 func (a *Artifact) BandsCSV() string {
+	adv := a.hasAdversary()
 	var b strings.Builder
-	b.WriteString("scenario,variant,round,cluster_p10,cluster_p50,cluster_p90,stale_p50,alive_p50\n")
+	b.WriteString("scenario,variant,round,cluster_p10,cluster_p50,cluster_p90,stale_p50,alive_p50")
+	if adv {
+		b.WriteString(",eclipse_p10,eclipse_p50,eclipse_p90")
+	}
+	b.WriteByte('\n')
 	for i := range a.Cells {
 		c := &a.Cells[i]
 		for _, pt := range c.Series {
-			fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%g,%g\n",
+			fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%g,%g",
 				c.Scenario, c.Variant, pt.Round,
 				pt.Cluster.P10, pt.Cluster.P50, pt.Cluster.P90, pt.StaleP50, pt.AliveP50)
+			if adv {
+				var e Band
+				if pt.Eclipse != nil {
+					e = *pt.Eclipse
+				}
+				fmt.Fprintf(&b, ",%g,%g,%g", e.P10, e.P50, e.P90)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()

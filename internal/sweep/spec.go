@@ -85,6 +85,12 @@ type Overrides struct {
 	// (default rounds/20, at least 1). The series is what the per-round
 	// bands aggregate, so it must stay identical across a cell's seeds.
 	SampleEvery int `json:"sample_every,omitempty"`
+	// Adversaries injects Byzantine cohorts into every scenario of the
+	// grid for this variant (see scenario.Adversary), replacing any
+	// adversaries the scenario files declare — the sweep's adversary
+	// axis: strategy × fraction grids live in the variant list. nil
+	// inherits the base; an explicit empty list resets a base override.
+	Adversaries []scenario.Adversary `json:"adversaries,omitempty"`
 }
 
 // merge returns o with unset fields filled from base.
@@ -118,6 +124,9 @@ func (o Overrides) merge(base Overrides) Overrides {
 	}
 	if o.SampleEvery == 0 {
 		o.SampleEvery = base.SampleEvery
+	}
+	if o.Adversaries == nil {
+		o.Adversaries = base.Adversaries
 	}
 	return o
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/scenario"
 )
 
 // testCorpus writes a tiny two-scenario corpus and returns its directory.
@@ -335,5 +337,113 @@ func TestReportRenderings(t *testing.T) {
 	}
 	if wantRows == 0 {
 		t.Error("no band rows at all — series sampling broken")
+	}
+}
+
+// advSpec returns the unit spec with an adversary variant alongside the
+// honest ones.
+func advTestSpec() *Spec {
+	spec := testSpec()
+	spec.Variants = append(spec.Variants, Variant{
+		Name: "nylon-poison20",
+		Overrides: Overrides{
+			Protocol: "nylon",
+			Adversaries: []scenario.Adversary{
+				{Strategy: "poison-view", Fraction: 0.2, FromRound: 2},
+			},
+		},
+	})
+	return spec
+}
+
+// TestAdversaryAxis covers the sweep's Byzantine dimension end to end:
+// injected cohorts change only their own variant's job keys, the scenario
+// shared by sibling cells is never mutated, and the aggregated artifact
+// carries eclipse/honest-cluster bands exactly for the adversary cells.
+func TestAdversaryAxis(t *testing.T) {
+	corpus := testCorpus(t)
+	honest, err := Expand(testSpec(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Expand(advTestSpec(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Honest cells keep their exact pre-adversary keys: the axis is purely
+	// additive and existing result caches stay valid.
+	honestKeys := make(map[string]bool, len(honest.Jobs))
+	for _, j := range honest.Jobs {
+		honestKeys[j.Key] = true
+	}
+	for _, j := range g.Jobs {
+		if j.Variant == "nylon-poison20" {
+			if honestKeys[j.Key] {
+				t.Errorf("adversary job (%s, seed %d) collides with an honest key", j.Scenario, j.Seed)
+			}
+			if len(j.Cfg.Scenario.AdversaryList()) == 0 {
+				t.Errorf("adversary job (%s, seed %d) lost its cohorts", j.Scenario, j.Seed)
+			}
+		} else {
+			if !honestKeys[j.Key] {
+				t.Errorf("honest job (%s, %s, seed %d) key changed by the adversary variant", j.Scenario, j.Variant, j.Seed)
+			}
+			if len(j.Cfg.Scenario.AdversaryList()) != 0 {
+				t.Errorf("cohorts leaked into honest job (%s, %s)", j.Scenario, j.Variant)
+			}
+		}
+	}
+	for _, ent := range g.Scenarios {
+		if len(ent.Scenario.Adversaries) != 0 {
+			t.Errorf("corpus scenario %q mutated by variant injection", ent.Name)
+		}
+	}
+
+	results, _, err := Execute(g, t.TempDir(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := Aggregate(g, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range art.Cells {
+		c := &art.Cells[i]
+		hostile := c.Variant == "nylon-poison20"
+		if hostile != (c.Eclipse != nil) || hostile != (c.HonestCluster != nil) {
+			t.Errorf("cell (%s, %s): adversary bands presence wrong (eclipse %v)", c.Scenario, c.Variant, c.Eclipse)
+		}
+	}
+	for _, want := range []string{"eclipse%p50", "eclipse probability"} {
+		if !strings.Contains(art.Text(), want) {
+			t.Errorf("adversary report missing %q", want)
+		}
+	}
+	if !strings.Contains(art.SummaryCSV(), ",eclipse_p10,") || !strings.Contains(art.BandsCSV(), ",eclipse_p10,") {
+		t.Error("adversary CSVs missing eclipse columns")
+	}
+
+	// Honest sweeps keep their pre-adversary renderings: no adversary
+	// column anywhere.
+	honestResults, _, err := Execute(honest, t.TempDir(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	honestArt, err := Aggregate(honest, honestResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []string{honestArt.Text(), honestArt.SummaryCSV(), honestArt.BandsCSV()} {
+		if strings.Contains(out, "eclipse") {
+			t.Error("honest sweep output gained adversary columns")
+		}
+	}
+	data, err := honestArt.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "eclipse") {
+		t.Error("honest artifact JSON gained adversary fields")
 	}
 }

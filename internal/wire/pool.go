@@ -11,7 +11,8 @@ package wire
 // concurrency-safe sync.Pool behind NewMessage/Release, which is what
 // engines outside the sharded simulation (real nodes, unit tests) use.
 type Pool struct {
-	free []*Message
+	free    []*Message
+	balance int64
 }
 
 // Get returns an empty message, reusing a pooled one (and its Entries
@@ -20,6 +21,7 @@ func (p *Pool) Get() *Message {
 	if p == nil {
 		return NewMessage()
 	}
+	p.balance++
 	if n := len(p.free); n > 0 {
 		m := p.free[n-1]
 		p.free[n-1] = nil
@@ -36,9 +38,22 @@ func (p *Pool) Put(m *Message) {
 		m.Release()
 		return
 	}
+	p.balance--
 	entries := m.Entries[:0]
 	*m = Message{Entries: entries}
 	p.free = append(p.free, m)
+}
+
+// Balance reports Gets minus Puts since creation: the number of messages
+// currently checked out of the pool. A host that fully owns every message
+// lifecycle can assert it returns to zero — a positive balance means leaked
+// messages, a negative one means a borrowed (non-pool) message was returned.
+// Zero for the nil pool, whose sync.Pool fallback keeps no books.
+func (p *Pool) Balance() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.balance
 }
 
 // Clone returns a deep copy of m drawn from the pool, preserving the pooled

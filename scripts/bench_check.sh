@@ -18,6 +18,13 @@
 # as a coarse guard (the median over several runs plus a generous tolerance
 # absorbs runner noise, not runner generations — bump TOLERANCE in ci.yml if
 # the fleet changes).
+#
+# Both tracked benchmarks run without adversaries, so this guard also pins
+# the nil-adversary fast path: scenarios without Byzantine cohorts build no
+# adversary state and wrap no engine (adversary.Wrap with strategy "none"
+# returns the inner engine itself — see TestWrapNoneIdentity and
+# TestNilAdversaryZeroOverhead), and any per-peer or per-message overhead
+# sneaking into the honest path shows up here as a wall/alloc regression.
 set -eu
 
 cd "$(dirname "$0")/.."
