@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/traversal"
 	"repro/internal/view"
@@ -287,12 +288,18 @@ func BenchmarkNylonTick(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulation1kPeers runs fully instrumented — metrics registry,
+// health accumulators, timing probe — so the tracked wall-time baseline also
+// guards the observability layer's overhead (per-shard atomics on the
+// datagram path, view-mutation hooks on every shuffle). A hub observes
+// exactly one run, hence the fresh hub per iteration.
 func BenchmarkSimulation1kPeers(b *testing.B) {
 	cfg := benchCfg(exp.ProtoNylon, 80)
 	cfg.N, cfg.Rounds = 1000, 40
 	b.ReportAllocs()
 	defer reportBytesPerPeer(b, cfg.N)()
 	for i := 0; i < b.N; i++ {
+		cfg.Obs = obs.NewHub()
 		runPoint(b, cfg, int64(i+1))
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,21 @@ func main() {
 		seeds   = flag.Int("seeds", 3, "number of seeds to average (paper: 30)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		workers = flag.Int("workers", 0, "parallel simulation runs (0 = one per core; results are identical for any value)")
+		http    = flag.String("http", "", "serve the live ops endpoint (/debug/pprof for profiling long figure runs) on this address")
 	)
 	flag.Parse()
+
+	if *http != "" {
+		hub := obs.NewHub()
+		hub.EnsureRegistry()
+		srv, err := obs.Serve(*http, hub)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nylon-figs:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops endpoint listening on http://%s\n", srv.Addr)
+	}
 
 	params := exp.Params{N: *n, Rounds: *rounds, Seeds: exp.SeedList(*seeds), Workers: *workers}
 

@@ -23,15 +23,17 @@ import (
 	"time"
 
 	nylon "repro"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":3478", "primary UDP listen address")
-		altPort = flag.String("alt-port", "", "alternate-port UDP address (same IP; enables RC/PRC discrimination)")
-		altIP   = flag.String("alt-ip", "", "alternate-IP UDP address (enables FC detection)")
-		seeds   = flag.Int("seeds", 8, "seeds handed to each joiner")
-		ttl     = flag.Duration("member-ttl", 90*time.Second, "member seed eligibility window")
+		listen   = flag.String("listen", ":3478", "primary UDP listen address")
+		altPort  = flag.String("alt-port", "", "alternate-port UDP address (same IP; enables RC/PRC discrimination)")
+		altIP    = flag.String("alt-ip", "", "alternate-IP UDP address (enables FC detection)")
+		seeds    = flag.Int("seeds", 8, "seeds handed to each joiner")
+		ttl      = flag.Duration("member-ttl", 90*time.Second, "member seed eligibility window")
+		httpAddr = flag.String("http", "", "serve the live ops endpoint (/metrics, /debug/pprof) on this address")
 	)
 	flag.Parse()
 
@@ -63,6 +65,18 @@ func main() {
 	defer in.Close()
 	fmt.Printf("nylon-introducer listening on %v (alt-port %q, alt-ip %q)\n", primary.LocalAddr(), *altPort, *altIP)
 
+	var gMembers *obs.Gauge
+	if *httpAddr != "" {
+		hub := obs.NewHub()
+		gMembers = hub.EnsureRegistry().Gauge("nylon_introducer_members", "currently registered members")
+		srv, err := obs.Serve(*httpAddr, hub)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops endpoint listening on http://%s\n", srv.Addr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(30 * time.Second)
@@ -70,7 +84,11 @@ func main() {
 	for {
 		select {
 		case <-ticker.C:
-			fmt.Printf("[%s] %d registered members\n", time.Now().Format(time.TimeOnly), in.Members())
+			m := in.Members()
+			if gMembers != nil {
+				gMembers.Set(float64(m))
+			}
+			fmt.Printf("[%s] %d registered members\n", time.Now().Format(time.TimeOnly), m)
 		case <-sig:
 			fmt.Println("shutting down")
 			return

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	nylon "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 		period    = flag.Duration("period", 5*time.Second, "shuffling period")
 		viewSize  = flag.Int("view", 15, "view size")
 		report    = flag.Duration("report", 10*time.Second, "view report interval")
+		httpAddr  = flag.String("http", "", "serve the live ops endpoint (/metrics, /debug/vars, /debug/pprof) on this address")
 	)
 	flag.Parse()
 	if *id == 0 {
@@ -93,6 +95,22 @@ func main() {
 	fmt.Printf("nylon-node %v listening on %v, advertising %v (%v), %d seeds\n",
 		node.Self().ID, tr.LocalAddr(), adv, class, len(seeds))
 
+	var gShuffles, gCompleted, gPunches, gView *obs.Gauge
+	if *httpAddr != "" {
+		hub := obs.NewHub()
+		reg := hub.EnsureRegistry()
+		gShuffles = reg.Gauge("nylon_node_shuffles_initiated", "shuffles this node initiated")
+		gCompleted = reg.Gauge("nylon_node_shuffles_completed", "shuffles that completed")
+		gPunches = reg.Gauge("nylon_node_hole_punches_completed", "NAT hole punches completed")
+		gView = reg.Gauge("nylon_node_view_size", "current partial view size")
+		srv, err := obs.Serve(*httpAddr, hub)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops endpoint listening on http://%s\n", srv.Addr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(*report)
@@ -101,9 +119,16 @@ func main() {
 		select {
 		case <-ticker.C:
 			st := node.Stats()
+			v := node.View()
+			if gShuffles != nil {
+				gShuffles.Set(float64(st.ShufflesInitiated))
+				gCompleted.Set(float64(st.ShufflesCompleted))
+				gPunches.Set(float64(st.HolePunchesCompleted))
+				gView.Set(float64(len(v)))
+			}
 			fmt.Printf("[%s] shuffles=%d completed=%d punches=%d view:\n",
 				time.Now().Format(time.TimeOnly), st.ShufflesInitiated, st.ShufflesCompleted, st.HolePunchesCompleted)
-			for _, d := range node.View() {
+			for _, d := range v {
 				fmt.Printf("  %v\n", d)
 			}
 		case <-sig:

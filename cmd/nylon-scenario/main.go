@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/view"
 )
@@ -44,6 +45,11 @@ func main() {
 		adv       = flag.String("adversary", "", "inject an adversary cohort: poison-view, lying-rvp, selective-drop, free-ride")
 		advPct    = flag.Float64("adversary-pct", 20, "percentage of peers assigned to the -adversary cohort")
 		advFrom   = flag.Int("adversary-from", 0, "round at which the -adversary cohort activates")
+		httpAddr  = flag.String("http", "", "serve the live ops endpoint (/metrics, /debug/vars, /debug/pprof) on this address")
+		metrics   = flag.Bool("metrics", false, "print the kernel phase-timing and overlay-health table at the end of the run")
+		metricsJS = flag.String("metrics-json", "", "write the full metrics document to this file as JSON")
+		progress  = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
+		verify    = flag.Bool("verify-samples", false, "cross-check every series sample against the legacy full-copy sweep and the health accumulators (slow; panics on divergence)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -91,6 +97,22 @@ func main() {
 	}
 	if cfg.Merge, err = view.ParseMerge(*merge); err != nil {
 		fatal(err)
+	}
+	cfg.VerifySamples = *verify
+	if *httpAddr != "" || *metrics || *metricsJS != "" || *progress > 0 || *verify {
+		cfg.Obs = obs.NewHub()
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, cfg.Obs)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops endpoint listening on http://%s\n", srv.Addr)
+	}
+	if *progress > 0 {
+		stop := obs.StartProgress(os.Stderr, cfg.Obs, *progress)
+		defer stop()
 	}
 
 	start := time.Now()
@@ -154,9 +176,20 @@ func main() {
 		fmt.Printf("hostile drops       relay-denied %d, selective %d, hop-limit %d\n",
 			a.RelayDenied, a.AdversaryDrops, a.HopLimitDrops)
 	}
-	fmt.Printf("throughput          %d events in %v (%.0f events/s, %d workers × %d shards)\n",
-		res.EventsProcessed, wall.Round(time.Millisecond), float64(res.EventsProcessed)/wall.Seconds(),
-		res.Cfg.Workers, res.Cfg.Shards)
+	fmt.Printf("throughput          %s\n", res.ThroughputLine(wall))
+	if *metrics {
+		fmt.Print(obs.KernelTable(cfg.Obs))
+	}
+	if *metricsJS != "" {
+		f, err := os.Create(*metricsJS)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteMetricsJSON(f, cfg.Obs); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 }
 
 // describe renders a one-line summary of the scenario's dimensions.

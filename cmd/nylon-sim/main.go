@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/view"
 )
 
@@ -41,6 +42,10 @@ func main() {
 		shards    = flag.Int("shards", 0, "simulation shards (0 = default; results are identical for any value)")
 		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file (pprof format)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
+		httpAddr  = flag.String("http", "", "serve the live ops endpoint (/metrics, /debug/vars, /debug/pprof) on this address, e.g. :8080")
+		metrics   = flag.Bool("metrics", false, "print the kernel phase-timing and overlay-health table at the end of the run")
+		metricsJS = flag.String("metrics-json", "", "write the full metrics document (registry, kernel, health) to this file as JSON")
+		progress  = flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 10s; 0 = off)")
 	)
 	flag.Parse()
 
@@ -88,6 +93,22 @@ func main() {
 		fatal(fmt.Errorf("unknown mix %q", *mix))
 	}
 
+	if *httpAddr != "" || *metrics || *metricsJS != "" || *progress > 0 {
+		cfg.Obs = obs.NewHub()
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, cfg.Obs)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops endpoint listening on http://%s\n", srv.Addr)
+	}
+	if *progress > 0 {
+		stop := obs.StartProgress(os.Stderr, cfg.Obs, *progress)
+		defer stop()
+	}
+
 	start := time.Now()
 	res, err := exp.Run(cfg)
 	if err != nil {
@@ -109,9 +130,20 @@ func main() {
 	fmt.Printf("alive peers         %d\n", res.AlivePeers)
 	fmt.Printf("network drops       nat-filtered %d, no-addr %d, dead %d\n",
 		res.Drops.NATFiltered, res.Drops.NoSuchAddr, res.Drops.DeadPeer)
-	fmt.Printf("throughput          %d events in %v (%.0f events/s, %d workers × %d shards)\n",
-		res.EventsProcessed, wall.Round(time.Millisecond), float64(res.EventsProcessed)/wall.Seconds(),
-		res.Cfg.Workers, res.Cfg.Shards)
+	fmt.Printf("throughput          %s\n", res.ThroughputLine(wall))
+	if *metrics {
+		fmt.Print(obs.KernelTable(cfg.Obs))
+	}
+	if *metricsJS != "" {
+		f, err := os.Create(*metricsJS)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteMetricsJSON(f, cfg.Obs); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 	if res.TraceDump != "" {
 		fmt.Printf("--- last %d network events ---\n%s", *traceN, res.TraceDump)
 	}

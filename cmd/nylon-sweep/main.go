@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -37,7 +38,8 @@ func main() {
 		n        = flag.Int("n", 0, "override the spec's base peer count")
 		rounds   = flag.Int("rounds", 0, "override the spec's base round count")
 		resume   = flag.Bool("resume", false, "require an existing run directory for this exact spec (fails on a hash mismatch instead of silently starting over)")
-		verbose  = flag.Bool("v", false, "log each executed job")
+		verbose  = flag.Bool("v", false, "log each executed job with progress (done/total, jobs/s, ETA)")
+		httpAddr = flag.String("http", "", "serve the live ops endpoint (/metrics, /debug/vars, /debug/pprof) on this address")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -92,6 +94,15 @@ func main() {
 	opts := sweep.Options{Workers: *workers}
 	if *verbose {
 		opts.Log = os.Stderr
+	}
+	if *httpAddr != "" {
+		opts.Obs = obs.NewHub()
+		srv, err := obs.Serve(*httpAddr, opts.Obs)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops endpoint listening on http://%s\n", srv.Addr)
 	}
 	start := time.Now()
 	results, stats, err := sweep.Execute(grid, dir, opts)

@@ -8,7 +8,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/ident"
-	"repro/internal/view"
 	"repro/internal/xrand"
 )
 
@@ -243,15 +242,16 @@ func (st *runState) sampleAdversary(withRefs bool) advViewSample {
 	if withRefs {
 		s.refs = make(map[ident.NodeID]int)
 	}
-	var entries []view.Descriptor
 	for _, p := range st.peers {
 		if !p.Alive || !st.adv.honest(p.ID) {
 			continue
 		}
 		s.honest++
-		entries = p.Engine.View().EntriesInto(entries)
+		v := p.Engine.View()
+		n := v.Len()
 		colluder := 0
-		for _, d := range entries {
+		for j := 0; j < n; j++ {
+			d := v.At(j)
 			if st.adv.colluders.Contains(d.ID) {
 				colluder++
 			}
@@ -259,11 +259,11 @@ func (st *runState) sampleAdversary(withRefs bool) advViewSample {
 				s.refs[d.ID]++
 			}
 		}
-		s.entriesTotal += len(entries)
+		s.entriesTotal += n
 		s.entriesColluder += colluder
 		if colluder > 0 {
 			s.withColluder++
-			if colluder == len(entries) {
+			if colluder == n {
 				s.eclipsed++
 			}
 		}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/view"
 )
@@ -170,6 +171,22 @@ type Config struct {
 	// (default GOMAXPROCS, clamped to Shards). Results are bit-identical
 	// for any worker count.
 	Workers int
+
+	// Obs, when non-nil, receives the run's observability surface: the
+	// runner binds the hub to the run (per-shard metrics registry, health
+	// accumulators, kernel timing probe) and hosts read it live or at the
+	// end. Instrumentation never feeds back into the simulation, so an
+	// observed run stays bit-identical to an unobserved one. A Hub binds to
+	// exactly one run; give each run its own. Excluded from serialization:
+	// it is host wiring, not an experiment parameter.
+	Obs *obs.Hub `json:"-"`
+
+	// VerifySamples re-derives every periodic series sample through the
+	// legacy full-copy EntriesInto sweep and cross-checks the zero-copy
+	// sampler and the incremental health accumulators against it, panicking
+	// on divergence. A debugging and CI cross-check: it restores the O(N)
+	// copying cost the sampler exists to avoid.
+	VerifySamples bool
 }
 
 // Defaults fills unset fields with the paper's parameters scaled to a

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -86,6 +88,13 @@ type Result struct {
 	EventsProcessed uint64
 }
 
+// ThroughputLine renders the run's one-line throughput summary for the given
+// wall-clock duration. Every host prints this instead of computing events/s
+// its own way.
+func (r Result) ThroughputLine(wall time.Duration) string {
+	return obs.ThroughputLine(r.EventsProcessed, wall, r.Cfg.Workers, r.Cfg.Shards)
+}
+
 // runState carries the wiring of one simulation run.
 type runState struct {
 	cfg   Config
@@ -111,6 +120,14 @@ type runState struct {
 	// adv carries the Byzantine wiring; nil when the scenario declares no
 	// adversaries — honest runs never touch the adversary layer.
 	adv *adversaryState
+
+	// health, when Config.Obs is set, accumulates overlay health from
+	// view-mutation hooks; nil otherwise (the unobserved fast path).
+	health *obs.Health
+	// sampleIDs and sampleEdges are the periodic sampler's run-lifetime
+	// scratch (see sampleOverlay).
+	sampleIDs   []ident.NodeID
+	sampleEdges []graph.Edge
 
 	// Static-RVP assignment state, kept on the run so scenario joins can
 	// extend it: rvpOf pins each natted peer to its fixed public RVP,
@@ -146,6 +163,17 @@ func Run(cfg Config) (Result, error) {
 	st.net = simnet.NewSharded(st.kern, cfg.LatencyMs)
 	if cfg.TraceCapacity > 0 {
 		st.net.Trace = trace.New(cfg.TraceCapacity)
+	}
+	if cfg.Obs != nil {
+		// Bind the observability surface before any peer exists: health
+		// hooks must see every view mutation from the first bootstrap on.
+		cfg.Obs.BindSim(obs.RunInfo{
+			Shards: shards, Workers: st.cfg.Workers,
+			N: cfg.N, Rounds: cfg.Rounds, PeriodMs: cfg.PeriodMs,
+		})
+		st.health = cfg.Obs.Health()
+		st.kern.SetProbe(cfg.Obs.Timing())
+		st.net.SetObs(cfg.Obs.Registry())
 	}
 	st.measureAfter = int64(cfg.Rounds) / 3 * cfg.PeriodMs
 	st.adv = newAdversaryState(cfg)
@@ -312,6 +340,23 @@ func (st *runState) addPeer(id ident.NodeID, class ident.NATClass, seed int64, u
 	} else {
 		st.peers[id-1] = st.net.AddPeer(id, class, cfg.HoleTimeoutMs, factory)
 	}
+	if st.health != nil {
+		p := st.peers[id-1]
+		st.health.AddPeer(id)
+		p.Engine.View().SetObserver(st.health.Observer(p.Shard))
+	}
+}
+
+// kill departs one peer through every layer that tracks life: the health
+// accumulators first (they need the view length before it freezes), then the
+// network. Barrier-context only, like Network.Kill.
+func (st *runState) kill(id ident.NodeID) {
+	if st.health != nil {
+		if p := st.net.Peer(id); p != nil && p.Alive {
+			st.health.Kill(id, p.Engine.View().Len())
+		}
+	}
+	st.net.Kill(id)
 }
 
 // bootstrap fills every view with random public peers (the paper's §5 setup)
@@ -481,7 +526,7 @@ func (st *runState) applyChurn() {
 	perm := st.rng.Perm(n)
 	kill := int(st.cfg.ChurnFraction * float64(n))
 	for _, idx := range perm[:kill] {
-		st.net.Kill(st.peers[idx].ID)
+		st.kill(st.peers[idx].ID)
 	}
 }
 
@@ -603,7 +648,6 @@ func (st *runState) measure(end int64, warmupBytes []uint64) Result {
 	aliveIDs := make([]ident.NodeID, 0, len(st.peers))
 	edges := make([]graph.Edge, 0, len(st.peers)*st.cfg.ViewSize)
 	nattedRatios := make([]float64, 0, len(st.peers))
-	var entries []view.Descriptor
 	var staleSum, staleCount float64
 	var initiated, completed, noroute, chainHops, chainSamples uint64
 	var relayDenied, advDrops, hopLimitDrops uint64
@@ -642,9 +686,10 @@ func (st *runState) measure(end int64, warmupBytes []uint64) Result {
 		advDrops += s.AdversaryDrops
 		hopLimitDrops += s.HopLimitDrops
 
-		entries = p.Engine.View().EntriesInto(entries)
+		v := p.Engine.View()
 		var nonStale, nonStaleNatted int
-		for _, d := range entries {
+		for j, l := 0, v.Len(); j < l; j++ {
+			d := v.At(j)
 			// Entries referencing departed peers count as stale only
 			// in churn scenarios; graph edges always require life.
 			usable := st.usableEdge(now, p, d)

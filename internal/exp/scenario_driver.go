@@ -283,7 +283,7 @@ func (d *scenarioDriver) kill(k int) {
 	}
 	for i := 0; i < k; i++ {
 		j := d.churnRNG.Intn(len(alive))
-		d.st.net.Kill(alive[j].ID)
+		d.st.kill(alive[j].ID)
 		alive[j] = alive[len(alive)-1]
 		alive = alive[:len(alive)-1]
 		d.stats.Leaves++
@@ -317,7 +317,7 @@ func (d *scenarioDriver) failGateways(groups int) {
 			hi = len(natted)
 		}
 		for _, p := range natted[lo:hi] {
-			d.st.net.Kill(p.ID)
+			d.st.kill(p.ID)
 			d.stats.Leaves++
 		}
 		d.stats.GatewayFailures++

@@ -1,6 +1,9 @@
 package exp
 
 import (
+	"fmt"
+	"slices"
+
 	"repro/internal/graph"
 	"repro/internal/ident"
 	"repro/internal/stats"
@@ -78,9 +81,95 @@ func recoveryFrom(series []SamplePoint) Recovery {
 	return r
 }
 
+// sampleOverlay is the periodic sampler: the same usable-edge semantics as
+// overlaySnapshot, but reading views in place (view.At) into run-lifetime
+// scratch, so a sample copies no descriptors and allocates only while the
+// population outgrows the scratch. Exact staleness depends on the viewing
+// peer (NAT admission, RVP chain walks — see DESIGN.md §9), so the walk
+// itself cannot move into the incremental accumulators; what could, did.
+func (st *runState) sampleOverlay(now int64) (aliveIDs []ident.NodeID, edges []graph.Edge, staleFraction float64) {
+	aliveIDs = st.sampleIDs[:0]
+	edges = st.sampleEdges[:0]
+	var stale, total int
+	for _, p := range st.peers {
+		if !p.Alive {
+			continue
+		}
+		aliveIDs = append(aliveIDs, p.ID)
+		v := p.Engine.View()
+		for j, l := 0, v.Len(); j < l; j++ {
+			d := v.At(j)
+			total++
+			if st.usableEdge(now, p, d) {
+				edges = append(edges, graph.Edge{From: p.ID, To: d.ID})
+			} else {
+				stale++
+			}
+		}
+	}
+	st.sampleIDs, st.sampleEdges = aliveIDs, edges
+	if total > 0 {
+		staleFraction = float64(stale) / float64(total)
+	}
+	return aliveIDs, edges, staleFraction
+}
+
+// verifySample cross-checks one zero-copy sample against the legacy
+// full-copy sweep (overlaySnapshot) and the incremental health accumulators.
+// Divergence means a bug in the observability layer, so it panics rather
+// than letting the series silently skew.
+func (st *runState) verifySample(now int64, aliveIDs []ident.NodeID, edges []graph.Edge, stale float64) {
+	refIDs, refEdges, refStale := st.overlaySnapshot(now)
+	if !slices.Equal(aliveIDs, refIDs) || !slices.Equal(edges, refEdges) || stale != refStale {
+		panic(fmt.Sprintf("exp: sample diverges from reference sweep (%d vs %d ids, %d vs %d edges, stale %v vs %v)",
+			len(aliveIDs), len(refIDs), len(edges), len(refEdges), stale, refStale))
+	}
+	st.verifyAccumulators()
+}
+
+// verifyAccumulators recounts the health accumulators from scratch — every
+// view of every peer, dead ones included — and panics on any mismatch with
+// the incrementally maintained values.
+func (st *runState) verifyAccumulators() {
+	h := st.health
+	if h == nil {
+		return
+	}
+	var alive, entries, deadEntries, deadRefs int64
+	refs := make(map[ident.NodeID]int64, len(st.peers))
+	for _, p := range st.peers {
+		v := p.Engine.View()
+		n := int64(v.Len())
+		entries += n
+		if p.Alive {
+			alive++
+		} else {
+			deadEntries += n
+		}
+		for j, l := 0, v.Len(); j < l; j++ {
+			d := v.At(j)
+			refs[d.ID]++
+			if q := st.net.Peer(d.ID); q == nil || !q.Alive {
+				deadRefs++
+			}
+		}
+	}
+	if h.Alive() != alive || h.Entries() != entries || h.DeadEntries() != deadEntries || h.DeadRefs() != deadRefs {
+		panic(fmt.Sprintf("exp: health accumulators diverge from recount: alive %d vs %d, entries %d vs %d, dead entries %d vs %d, dead refs %d vs %d",
+			h.Alive(), alive, h.Entries(), entries, h.DeadEntries(), deadEntries, h.DeadRefs(), deadRefs))
+	}
+	for id, want := range refs {
+		if got := int64(h.Indegree(id)); got != want {
+			panic(fmt.Sprintf("exp: indegree accumulator for peer %d diverges: %d vs recount %d", id, got, want))
+		}
+	}
+}
+
 // overlaySnapshot walks every alive peer's view once and returns the usable
-// edge set plus the stale fraction. Both the periodic series sampler and the
-// final measurement build on it.
+// edge set plus the stale fraction, copying entries out through EntriesInto.
+// The final measurement builds on the same semantics; the periodic series
+// uses the zero-copy sampleOverlay, for which this remains the
+// independently-coded reference (Config.VerifySamples).
 func (st *runState) overlaySnapshot(now int64) (aliveIDs []ident.NodeID, edges []graph.Edge, staleFraction float64) {
 	var stale, total float64
 	aliveIDs = make([]ident.NodeID, 0, len(st.peers))
@@ -119,7 +208,10 @@ func (st *runState) scheduleSeries() *[]SamplePoint {
 		r := r
 		st.kern.Global().At(int64(r)*st.cfg.PeriodMs, func() {
 			now := st.now()
-			aliveIDs, edges, stale := st.overlaySnapshot(now)
+			aliveIDs, edges, stale := st.sampleOverlay(now)
+			if st.cfg.VerifySamples {
+				st.verifySample(now, aliveIDs, edges, stale)
+			}
 			pt := SamplePoint{
 				Round:          r,
 				BiggestCluster: graph.BiggestClusterFraction(aliveIDs, edges),
@@ -135,6 +227,9 @@ func (st *runState) scheduleSeries() *[]SamplePoint {
 				pt.ColluderShare = s.colluderShare()
 			}
 			*series = append(*series, pt)
+			if st.cfg.Obs != nil {
+				st.cfg.Obs.PublishSample(r, pt.AlivePeers, pt.BiggestCluster, pt.StaleFraction)
+			}
 		})
 	}
 	return series

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// Server is the live ops endpoint: Prometheus text on /metrics, an
+// expvar-style JSON dump on /debug/vars, pprof under /debug/pprof/, and a
+// trivial /healthz. It reads only atomics (registry slots, timing probe,
+// health accumulators), so scraping a run in flight never perturbs it.
+type Server struct {
+	Addr string // the bound address, resolved from the requested one (":0" works)
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve binds addr and serves the hub's ops endpoint in the background.
+func Serve(addr string, hub *Hub) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: NewMux(hub)},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// NewMux builds the ops endpoint's handler tree. Exposed separately so hosts
+// with their own HTTP server can mount it.
+func NewMux(hub *Hub) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, hub)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(MetricsJSON(hub))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writePrometheus emits the registry's series followed by the synthesized
+// kernel, health, and process series.
+func writePrometheus(w io.Writer, hub *Hub) {
+	if reg := hub.Registry(); reg != nil {
+		reg.WritePrometheus(w)
+	}
+	if t := hub.Timing(); t != nil {
+		promHeader(w, "nylon_kernel_events_total", "events processed as of the latest barrier", "counter")
+		fmt.Fprintf(w, "nylon_kernel_events_total %d\n", t.Events())
+		promHeader(w, "nylon_kernel_exec_seconds_total", "shard execute-phase wall time (summed across shards)", "counter")
+		fmt.Fprintf(w, "nylon_kernel_exec_seconds_total %g\n", float64(t.ExecNs())/1e9)
+		promHeader(w, "nylon_kernel_barrier_seconds_total", "single-threaded barrier wall time", "counter")
+		fmt.Fprintf(w, "nylon_kernel_barrier_seconds_total %g\n", float64(t.BarrierNs())/1e9)
+		promHeader(w, "nylon_kernel_windows_total", "lookahead windows executed", "counter")
+		fmt.Fprintf(w, "nylon_kernel_windows_total %d\n", t.Windows())
+		promHeader(w, "nylon_kernel_pending_events", "kernel queue depth at the latest barrier", "gauge")
+		fmt.Fprintf(w, "nylon_kernel_pending_events %d\n", t.PendingEvents())
+		promHeader(w, "nylon_kernel_virtual_time_ms", "virtual clock at the latest barrier", "gauge")
+		fmt.Fprintf(w, "nylon_kernel_virtual_time_ms %d\n", t.VirtualMs())
+		promHeader(w, "nylon_kernel_shard_exec_seconds_total", "per-shard execute-phase wall time", "counter")
+		for i := 0; i < t.Shards(); i++ {
+			fmt.Fprintf(w, "nylon_kernel_shard_exec_seconds_total{shard=\"%d\"} %g\n", i, float64(t.ShardExecNs(i))/1e9)
+		}
+		promHeader(w, "nylon_kernel_shard_events_total", "per-shard events executed", "counter")
+		for i := 0; i < t.Shards(); i++ {
+			fmt.Fprintf(w, "nylon_kernel_shard_events_total{shard=\"%d\"} %d\n", i, t.ShardEvents(i))
+		}
+	}
+	if h := hub.Health(); h != nil {
+		maxDeg, isolated := h.IndegreeStats()
+		promHeader(w, "nylon_health_alive_peers", "alive peer population", "gauge")
+		fmt.Fprintf(w, "nylon_health_alive_peers %d\n", h.Alive())
+		promHeader(w, "nylon_health_total_peers", "total peers ever attached", "gauge")
+		fmt.Fprintf(w, "nylon_health_total_peers %d\n", h.Total())
+		promHeader(w, "nylon_health_view_entries", "view occupancy across all views (dead views freeze)", "gauge")
+		fmt.Fprintf(w, "nylon_health_view_entries %d\n", h.Entries())
+		promHeader(w, "nylon_health_view_entries_alive", "view occupancy of alive peers' views", "gauge")
+		fmt.Fprintf(w, "nylon_health_view_entries_alive %d\n", h.AliveEntries())
+		promHeader(w, "nylon_health_dead_refs", "view entries referencing departed peers", "gauge")
+		fmt.Fprintf(w, "nylon_health_dead_refs %d\n", h.DeadRefs())
+		promHeader(w, "nylon_health_indegree_max", "maximum indegree across peers", "gauge")
+		fmt.Fprintf(w, "nylon_health_indegree_max %d\n", maxDeg)
+		promHeader(w, "nylon_health_isolated_peers", "alive peers no view references", "gauge")
+		fmt.Fprintf(w, "nylon_health_isolated_peers %d\n", isolated)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	promHeader(w, "nylon_heap_alloc_bytes", "process heap in use", "gauge")
+	fmt.Fprintf(w, "nylon_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	promHeader(w, "nylon_goroutines", "live goroutines", "gauge")
+	fmt.Fprintf(w, "nylon_goroutines %d\n", runtime.NumGoroutine())
+	promHeader(w, "nylon_uptime_seconds", "seconds since the hub was created", "gauge")
+	fmt.Fprintf(w, "nylon_uptime_seconds %g\n", hub.Uptime().Seconds())
+}
+
+// WriteMetricsJSON writes the full metrics document (see MetricsJSON) to w,
+// indented — the -metrics-json dump of the CLIs.
+func WriteMetricsJSON(w io.Writer, hub *Hub) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(MetricsJSON(hub))
+}
+
+// MetricsJSON assembles the /debug/vars document: registry values plus the
+// kernel, health, run, and process sections.
+func MetricsJSON(hub *Hub) map[string]any {
+	doc := map[string]any{}
+	if reg := hub.Registry(); reg != nil {
+		doc["metrics"] = reg.JSONValues()
+	}
+	if t := hub.Timing(); t != nil {
+		shardExec := make([]float64, t.Shards())
+		shardEvents := make([]uint64, t.Shards())
+		for i := 0; i < t.Shards(); i++ {
+			shardExec[i] = float64(t.ShardExecNs(i)) / 1e9
+			shardEvents[i] = t.ShardEvents(i)
+		}
+		doc["kernel"] = map[string]any{
+			"events_processed":   t.Events(),
+			"exec_seconds":       float64(t.ExecNs()) / 1e9,
+			"barrier_seconds":    float64(t.BarrierNs()) / 1e9,
+			"windows":            t.Windows(),
+			"pending_events":     t.PendingEvents(),
+			"virtual_time_ms":    t.VirtualMs(),
+			"shard_exec_seconds": shardExec,
+			"shard_events":       shardEvents,
+		}
+	}
+	if h := hub.Health(); h != nil {
+		maxDeg, isolated := h.IndegreeStats()
+		doc["health"] = map[string]any{
+			"alive_peers":        h.Alive(),
+			"total_peers":        h.Total(),
+			"view_entries":       h.Entries(),
+			"view_entries_alive": h.AliveEntries(),
+			"dead_entries":       h.DeadEntries(),
+			"dead_refs":          h.DeadRefs(),
+			"indegree_max":       maxDeg,
+			"isolated_peers":     isolated,
+		}
+	}
+	if info := hub.Info(); info.Shards > 0 {
+		doc["run"] = map[string]any{
+			"shards":    info.Shards,
+			"workers":   info.Workers,
+			"peers":     info.N,
+			"rounds":    info.Rounds,
+			"period_ms": info.PeriodMs,
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	doc["process"] = map[string]any{
+		"heap_alloc_bytes": ms.HeapAlloc,
+		"goroutines":       runtime.NumGoroutine(),
+		"uptime_seconds":   hub.Uptime().Seconds(),
+	}
+	return doc
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/ident"
+)
+
+// boundHub builds a hub bound to a small fake run with a little traffic in
+// every subsystem, so each synthesized series has something to report.
+func boundHub() *Hub {
+	hub := NewHub()
+	hub.BindSim(RunInfo{Shards: 2, Workers: 1, N: 8, Rounds: 10, PeriodMs: 1000})
+	hub.Registry().Counter("nylon_net_datagrams_sent_total", "datagrams handed to the network").Add(0, 42)
+	h := hub.Health()
+	for id := 1; id <= 8; id++ {
+		h.AddPeer(ident.NodeID(id))
+	}
+	h.Observer(0).ViewEntryAdded(1, desc(2))
+	hub.PublishSample(5, 8, 1.0, 0.25)
+	return hub
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return string(body)
+}
+
+func TestServeScrapesMidRun(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", boundHub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	metrics := get(t, base+"/metrics")
+	for _, series := range []string{
+		"nylon_net_datagrams_sent_total 42",
+		"nylon_overlay_sample_round 5",
+		"nylon_overlay_stale_fraction 0.25",
+		"nylon_kernel_events_total",
+		"nylon_kernel_exec_seconds_total",
+		"nylon_kernel_barrier_seconds_total",
+		`nylon_kernel_shard_events_total{shard="1"}`,
+		"nylon_health_alive_peers 8",
+		"nylon_health_view_entries 1",
+		"nylon_health_dead_refs 0",
+		"nylon_heap_alloc_bytes",
+		"nylon_uptime_seconds",
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(get(t, base+"/debug/vars")), &doc); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	for _, section := range []string{"metrics", "kernel", "health", "run", "process"} {
+		if _, ok := doc[section]; !ok {
+			t.Errorf("/debug/vars missing section %q", section)
+		}
+	}
+	if run, ok := doc["run"].(map[string]any); !ok || run["peers"] != float64(8) {
+		t.Errorf("/debug/vars run section = %v, want peers=8", doc["run"])
+	}
+
+	if body := get(t, base+"/healthz"); body != "ok\n" {
+		t.Errorf("/healthz = %q, want \"ok\\n\"", body)
+	}
+	if body := get(t, base+"/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline returned an empty body")
+	}
+}
+
+func TestServeUnboundHub(t *testing.T) {
+	// A hub that never saw BindSim (nylon-sweep, nylon-node) must still
+	// serve: registry-only metrics plus the process series.
+	hub := NewHub()
+	hub.EnsureRegistry().Gauge("nylon_sweep_jobs_total", "jobs in the sweep").Set(12)
+	srv, err := Serve("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	metrics := get(t, "http://"+srv.Addr+"/metrics")
+	if !strings.Contains(metrics, "nylon_sweep_jobs_total 12") {
+		t.Error("/metrics missing the registry gauge")
+	}
+	if strings.Contains(metrics, "nylon_kernel_events_total") {
+		t.Error("/metrics reports kernel series for an unbound hub")
+	}
+	if !strings.Contains(metrics, "nylon_goroutines") {
+		t.Error("/metrics missing process series")
+	}
+}
+
+func TestHubDoubleBindPanics(t *testing.T) {
+	hub := NewHub()
+	hub.BindSim(RunInfo{Shards: 1, N: 1, Rounds: 1, PeriodMs: 1000})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second BindSim did not panic")
+		}
+	}()
+	hub.BindSim(RunInfo{Shards: 1, N: 1, Rounds: 1, PeriodMs: 1000})
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// StartProgress spawns a goroutine that writes one status line to w every
+// `every` interval: simulated round, alive population, a rolling events/s
+// over the interval, and the heap size. It reads only atomics published by
+// the probe and the accumulators, so it never perturbs the run. The returned
+// stop function halts the reporter and waits for it to exit.
+func StartProgress(w io.Writer, hub *Hub, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		var lastEvents uint64
+		lastAt := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			t := hub.Timing()
+			if t == nil {
+				continue // run not bound yet
+			}
+			now := time.Now()
+			ev := t.Events()
+			rate := EventsPerSec(ev-lastEvents, now.Sub(lastAt))
+			lastEvents, lastAt = ev, now
+			info := hub.Info()
+			round := int64(-1)
+			if info.PeriodMs > 0 {
+				round = t.VirtualMs() / info.PeriodMs
+			}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			line := fmt.Sprintf("progress: t=%dms", t.VirtualMs())
+			if round >= 0 {
+				line += fmt.Sprintf(" round %d/%d", round, info.Rounds)
+			}
+			if h := hub.Health(); h != nil {
+				line += fmt.Sprintf(" alive %d/%d", h.Alive(), h.Total())
+			}
+			line += fmt.Sprintf(" | %d events (%.0f/s) | heap %dMB\n",
+				ev, rate, ms.HeapAlloc>>20)
+			fmt.Fprint(w, line)
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// JobTracker tracks completion of a known-size batch of jobs (the sweep
+// grid): done count, rolling jobs/s, and a naive linear ETA.
+type JobTracker struct {
+	start time.Time
+	total int64
+	done  atomic.Int64
+}
+
+// NewJobTracker starts tracking a batch of total jobs.
+func NewJobTracker(total int) *JobTracker {
+	return &JobTracker{start: time.Now(), total: int64(total)}
+}
+
+// Total returns the batch size.
+func (t *JobTracker) Total() int64 { return t.total }
+
+// Done records one finished job and returns the completion count, the
+// overall jobs/s so far, and the estimated time remaining.
+func (t *JobTracker) Done() (done int64, rate float64, eta time.Duration) {
+	done = t.done.Add(1)
+	elapsed := time.Since(t.start)
+	if elapsed > 0 {
+		rate = float64(done) / elapsed.Seconds()
+	}
+	if rate > 0 && done < t.total {
+		eta = time.Duration(float64(t.total-done) / rate * float64(time.Second)).Round(time.Second)
+	}
+	return done, rate, eta
+}

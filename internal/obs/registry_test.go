@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterMergesShards(t *testing.T) {
+	r := NewRegistry(4)
+	c := r.Counter("test_ops_total", "ops")
+	c.Add(0, 5)
+	c.Inc(1)
+	c.Inc(1)
+	c.Add(3, 10)
+	if got := c.Total(); got != 17 {
+		t.Fatalf("Total = %d, want 17", got)
+	}
+}
+
+func TestGaugeRoundTrips(t *testing.T) {
+	r := NewRegistry(1)
+	g := r.Gauge("test_level", "level")
+	for _, v := range []float64{0, 1.5, -3.25, 1e12} {
+		g.Set(v)
+		if got := g.Value(); got != v {
+			t.Fatalf("Value = %v, want %v", got, v)
+		}
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry(2)
+	h := r.Histogram("test_latency_seconds", "latency", []float64{1, 10})
+	h.Observe(0, 0.5)  // bucket le=1
+	h.Observe(1, 5)    // bucket le=10
+	h.Observe(0, 100)  // +Inf
+	h.Observe(1, 0.25) // bucket le=1
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 105.75 {
+		t.Fatalf("Sum = %v, want 105.75", got)
+	}
+	if got := h.bucketTotals(); got[0] != 2 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("bucketTotals = %v, want [2 1 1]", got)
+	}
+}
+
+func TestLookupIdempotentAndKindChecked(t *testing.T) {
+	r := NewRegistry(2)
+	a := r.Counter("test_x_total", "x")
+	b := r.Counter("test_x_total", "x")
+	if a != b {
+		t.Fatal("second Counter lookup returned a different metric")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gauge on a counter name did not panic")
+		}
+	}()
+	r.Gauge("test_x_total", "x")
+}
+
+func TestCheckNameRejectsInvalid(t *testing.T) {
+	for _, bad := range []string{"", "9leading", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q did not panic", bad)
+				}
+			}()
+			checkName(bad)
+		}()
+	}
+	for _, good := range []string{"nylon_net_drops_nat_total", "a:b", "x9"} {
+		checkName(good)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry(2)
+	r.Counter("test_ops_total", "operations").Add(1, 3)
+	r.Gauge("test_level", "level").Set(2.5)
+	h := r.Histogram("test_dur_seconds", "duration", []float64{1})
+	h.Observe(0, 0.5)
+	h.Observe(0, 2)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total operations",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 3",
+		"test_level 2.5",
+		`test_dur_seconds_bucket{le="1"} 1`,
+		`test_dur_seconds_bucket{le="+Inf"} 2`,
+		"test_dur_seconds_sum 2.5",
+		"test_dur_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHotPathAllocs pins the instrumentation hot path at zero allocations:
+// a counter bump, a gauge store, or a histogram observation inside a shard
+// event must never touch the heap.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry(8)
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_level", "level")
+	h := r.Histogram("test_dur_seconds", "duration", []float64{1, 10, 100})
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3, 7) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.5) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(5, 42) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ShardedScheduler is the sharded, conservatively-synchronized parallel
@@ -46,6 +47,10 @@ type ShardedScheduler struct {
 	// global events and before the next window's shard events: the network
 	// drains its cross-shard mailboxes here.
 	barrierFn func()
+	// probe, when set, accumulates phase wall times and event counts (see
+	// Timing). A nil probe costs nothing; a set one reads the wall clock
+	// around phases but never feeds anything back into the simulation.
+	probe *Timing
 
 	workers   int
 	deadline  int64 // phase parameters, published before waking workers
@@ -102,6 +107,15 @@ func (k *ShardedScheduler) Global() *Scheduler { return &k.global }
 // global events.
 func (k *ShardedScheduler) SetBarrierFn(fn func()) { k.barrierFn = fn }
 
+// SetProbe installs (or, with nil, removes) the phase-timing probe. The
+// probe must be sized for this kernel's shard count. Install before RunUntil.
+func (k *ShardedScheduler) SetProbe(t *Timing) {
+	if t != nil && t.Shards() != len(k.shards) {
+		panic("sim: SetProbe with a Timing sized for a different shard count")
+	}
+	k.probe = t
+}
+
 // Now returns the last completed barrier time. Between barriers, shard
 // clocks may be ahead of it (within the current window).
 func (k *ShardedScheduler) Now() int64 { return k.now }
@@ -138,12 +152,22 @@ func (k *ShardedScheduler) RunUntil(end int64) {
 		defer k.stopWorkers()
 	}
 	for {
+		var t0 time.Time
+		if k.probe != nil {
+			t0 = time.Now()
+		}
 		k.global.RunUntil(k.now)
 		if k.barrierFn != nil {
 			k.barrierFn()
 		}
+		if k.probe != nil {
+			k.probe.recordBarrier(time.Since(t0).Nanoseconds(), k.now, int64(k.Pending()), k.Processed())
+		}
 		if k.now >= end {
 			k.phase(end, true, parallel)
+			if k.probe != nil {
+				k.probe.recordBarrier(0, end, int64(k.Pending()), k.Processed())
+			}
 			return
 		}
 		b := end
@@ -164,19 +188,37 @@ func (k *ShardedScheduler) RunUntil(end int64) {
 // (or up to and including it, for the final phase), advancing each shard
 // clock to deadline.
 func (k *ShardedScheduler) phase(deadline int64, inclusive bool, parallel bool) {
+	k.deadline, k.inclusive = deadline, inclusive
+	if k.probe != nil {
+		k.probe.recordWindow()
+	}
 	if !parallel {
-		for _, s := range k.shards {
-			runPhase(s, deadline, inclusive)
+		for i := range k.shards {
+			k.runShard(i)
 		}
 		return
 	}
-	k.deadline, k.inclusive = deadline, inclusive
 	k.next.Store(0)
 	k.wg.Add(len(k.wake))
 	for _, c := range k.wake {
 		c <- struct{}{}
 	}
 	k.wg.Wait()
+}
+
+// runShard executes the current phase on shard i, timing it when a probe is
+// installed. Only the claiming worker touches the shard during the phase, so
+// the Processed delta needs no synchronization beyond the probe's own slot.
+func (k *ShardedScheduler) runShard(i int) {
+	s := k.shards[i]
+	if p := k.probe; p != nil {
+		t0 := time.Now()
+		e0 := s.Processed()
+		runPhase(s, k.deadline, k.inclusive)
+		p.recordShard(i, time.Since(t0).Nanoseconds(), s.Processed()-e0)
+		return
+	}
+	runPhase(s, k.deadline, k.inclusive)
 }
 
 func runPhase(s *Scheduler, deadline int64, inclusive bool) {
@@ -202,7 +244,7 @@ func (k *ShardedScheduler) startWorkers() {
 					if i >= len(k.shards) {
 						break
 					}
-					runPhase(k.shards[i], k.deadline, k.inclusive)
+					k.runShard(i)
 				}
 				k.wg.Done()
 			}

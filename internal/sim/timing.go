@@ -1,0 +1,90 @@
+package sim
+
+import "sync/atomic"
+
+// Timing is the kernel's phase-timing probe: per-shard execute wall time and
+// event counts, aggregate barrier wall time, window count, and the queue
+// depth / virtual clock / total events observed at the latest barrier.
+// Install with ShardedScheduler.SetProbe.
+//
+// The probe reads the wall clock but never feeds anything back into the
+// kernel, so an instrumented run stays bit-identical to an uninstrumented
+// one (the determinism contract of DESIGN.md §5 is about simulation output,
+// which wall time is not part of). All fields are atomic: shard workers
+// write their own padded slots mid-window and the barrier fields are written
+// single-threaded, while an HTTP goroutine may read everything mid-run.
+type Timing struct {
+	barrierNs atomic.Int64
+	windows   atomic.Int64
+	events    atomic.Uint64 // total processed, stored at each barrier
+	pending   atomic.Int64  // queue depth at the latest barrier
+	virtualMs atomic.Int64  // virtual clock at the latest barrier
+	exec      []execSlot
+}
+
+// execSlot is one shard's execute-phase accumulator, padded so parallel
+// shards never share a cache line.
+type execSlot struct {
+	ns     atomic.Int64
+	events atomic.Uint64
+	_      [cacheLinePad]byte
+}
+
+const cacheLinePad = 64 - 16
+
+// NewTiming creates a probe for a kernel with the given shard count.
+func NewTiming(shards int) *Timing {
+	if shards < 1 {
+		panic("sim: NewTiming needs at least one shard")
+	}
+	return &Timing{exec: make([]execSlot, shards)}
+}
+
+// Shards returns the shard count the probe was sized for.
+func (t *Timing) Shards() int { return len(t.exec) }
+
+// ShardExecNs returns shard i's accumulated execute-phase wall time.
+func (t *Timing) ShardExecNs(i int) int64 { return t.exec[i].ns.Load() }
+
+// ShardEvents returns the number of events shard i executed.
+func (t *Timing) ShardEvents(i int) uint64 { return t.exec[i].events.Load() }
+
+// ExecNs returns the execute-phase wall time summed across shards. With
+// parallel workers it exceeds the elapsed wall time — it is total shard CPU.
+func (t *Timing) ExecNs() int64 {
+	var total int64
+	for i := range t.exec {
+		total += t.exec[i].ns.Load()
+	}
+	return total
+}
+
+// BarrierNs returns the accumulated single-threaded barrier wall time
+// (global events plus the host's mailbox drain).
+func (t *Timing) BarrierNs() int64 { return t.barrierNs.Load() }
+
+// Windows returns the number of lookahead windows executed so far.
+func (t *Timing) Windows() int64 { return t.windows.Load() }
+
+// Events returns the total events processed as of the latest barrier.
+func (t *Timing) Events() uint64 { return t.events.Load() }
+
+// PendingEvents returns the kernel queue depth at the latest barrier.
+func (t *Timing) PendingEvents() int64 { return t.pending.Load() }
+
+// VirtualMs returns the virtual clock at the latest barrier.
+func (t *Timing) VirtualMs() int64 { return t.virtualMs.Load() }
+
+func (t *Timing) recordShard(i int, ns int64, events uint64) {
+	t.exec[i].ns.Add(ns)
+	t.exec[i].events.Add(events)
+}
+
+func (t *Timing) recordBarrier(ns, virtualMs, pending int64, processed uint64) {
+	t.barrierNs.Add(ns)
+	t.virtualMs.Store(virtualMs)
+	t.pending.Store(pending)
+	t.events.Store(processed)
+}
+
+func (t *Timing) recordWindow() { t.windows.Add(1) }

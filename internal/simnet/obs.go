@@ -1,0 +1,35 @@
+package simnet
+
+import "repro/internal/obs"
+
+// NetCounters mirrors the network's per-shard traffic and drop accounting
+// into a metrics registry so the live ops endpoint can expose it mid-run.
+// The counters are a one-way copy of state the network already maintains
+// (Peer byte counters, netShard.drops); nothing reads them back, so an
+// instrumented run is bit-identical to an uninstrumented one.
+type NetCounters struct {
+	Sent, Delivered    *obs.Counter
+	BytesSent          *obs.Counter
+	DropNAT, DropAddr  *obs.Counter
+	DropDead, DropLink *obs.Counter
+	DropPart           *obs.Counter
+}
+
+// SetObs attaches traffic counters from the given registry, which must be
+// sized for the network's shard count (each shard writes only its own slot).
+// Call at setup or barrier context, before traffic flows.
+func (n *Network) SetObs(reg *obs.Registry) {
+	if reg.Shards() != len(n.shards) {
+		panic("simnet: SetObs with a registry sized for a different shard count")
+	}
+	n.counters = &NetCounters{
+		Sent:      reg.Counter("nylon_net_datagrams_sent_total", "datagrams transmitted (after NAT egress)"),
+		Delivered: reg.Counter("nylon_net_datagrams_delivered_total", "datagrams delivered to an engine"),
+		BytesSent: reg.Counter("nylon_net_bytes_sent_total", "payload bytes transmitted"),
+		DropNAT:   reg.Counter("nylon_net_drops_nat_total", "datagrams refused by the destination NAT"),
+		DropAddr:  reg.Counter("nylon_net_drops_addr_total", "datagrams to endpoints with no live mapping"),
+		DropDead:  reg.Counter("nylon_net_drops_dead_total", "datagrams to departed peers"),
+		DropLink:  reg.Counter("nylon_net_drops_link_total", "datagrams lost in flight by the link model"),
+		DropPart:  reg.Counter("nylon_net_drops_partition_total", "datagrams dropped at a partition cut"),
+	}
+}

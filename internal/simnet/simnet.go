@@ -275,11 +275,16 @@ type Network struct {
 	// written from parallel shards would race and interleave
 	// nondeterministically.
 	Trace *trace.Ring
+
+	// counters, when non-nil, mirrors traffic and drop accounting into a
+	// metrics registry for the live ops endpoint (see SetObs).
+	counters *NetCounters
 }
 
 // netShard is the per-shard half of the network. Only the shard's events
 // (and barrier code) touch it.
 type netShard struct {
+	idx   int
 	sched *sim.Scheduler
 	// pool recycles wire messages consumed on this shard. It is nil in
 	// standalone mode, where the shared wire pool serves (a nil *wire.Pool
@@ -435,6 +440,7 @@ func newNetwork(kern *sim.ShardedScheduler, scheds []*sim.Scheduler, latencyMs i
 	}
 	for i := range n.shards {
 		sh := &n.shards[i]
+		sh.idx = i
 		sh.sched = scheds[i]
 		sh.shared = core.NewShared()
 		sh.shared.Intern = intern.NewLayered(n.baseIntern)
@@ -630,6 +636,10 @@ func (n *Network) Send(from *Peer, s core.Send) {
 	size := uint64(s.Msg.Size())
 	from.BytesSent += size
 	from.MsgsSent++
+	if c := n.counters; c != nil {
+		c.Sent.Inc(from.Shard)
+		c.BytesSent.Add(from.Shard, size)
+	}
 
 	now := sh.sched.Now()
 	srcEP := from.Priv
@@ -647,6 +657,9 @@ func (n *Network) Send(from *Peer, s core.Send) {
 			// In-flight loss, accounted at send time: the sender paid
 			// the bytes, nobody receives them.
 			sh.drops.LinkLost++
+			if c := n.counters; c != nil {
+				c.DropLink.Inc(sh.idx)
+			}
 			if n.Trace != nil {
 				n.Trace.Record(trace.Event{At: now, Op: trace.OpDropLink, From: srcEP, To: s.To, Kind: uint8(s.Msg.Kind), Size: int(size)})
 			}
@@ -686,6 +699,9 @@ func (n *Network) Send(from *Peer, s core.Send) {
 		// No owner now means none ever: IPs are allocated once and never
 		// reassigned. Account the drop at send time.
 		sh.drops.NoSuchAddr++
+		if c := n.counters; c != nil {
+			c.DropAddr.Inc(sh.idx)
+		}
 		if n.Trace != nil {
 			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: s.To})
 		}
@@ -761,6 +777,9 @@ func (n *Network) deliver(si int, srcEP, to ident.Endpoint, msg *wire.Message, s
 		// the partition strikes are swallowed by it too.
 		if src, ok := n.OwnerOfIP(srcEP.IP); ok && src.Side != target.Side {
 			sh.drops.Partitioned++
+			if c := n.counters; c != nil {
+				c.DropPart.Inc(sh.idx)
+			}
 			if n.Trace != nil {
 				n.Trace.Record(trace.Event{At: now, Op: trace.OpDropPartition, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
 			}
@@ -769,6 +788,9 @@ func (n *Network) deliver(si int, srcEP, to ident.Endpoint, msg *wire.Message, s
 	}
 	if !target.Alive {
 		sh.drops.DeadPeer++
+		if c := n.counters; c != nil {
+			c.DropDead.Inc(sh.idx)
+		}
 		if n.Trace != nil {
 			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropDead, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
 		}
@@ -776,6 +798,9 @@ func (n *Network) deliver(si int, srcEP, to ident.Endpoint, msg *wire.Message, s
 	}
 	target.BytesRecv += size
 	target.MsgsRecv++
+	if c := n.counters; c != nil {
+		c.Delivered.Inc(sh.idx)
+	}
 	if n.Trace != nil {
 		n.Trace.Record(trace.Event{At: now, Op: trace.OpDeliver, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
 	}
@@ -798,6 +823,9 @@ func (n *Network) resolve(sh *netShard, now int64, srcEP, to ident.Endpoint) (*P
 	}
 	if dev == nil {
 		sh.drops.NoSuchAddr++
+		if c := n.counters; c != nil {
+			c.DropAddr.Inc(sh.idx)
+		}
 		if n.Trace != nil {
 			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
 		}
@@ -806,6 +834,9 @@ func (n *Network) resolve(sh *netShard, now int64, srcEP, to ident.Endpoint) (*P
 	priv, ok := dev.Inbound(now, srcEP, to)
 	if !ok {
 		sh.drops.NATFiltered++
+		if c := n.counters; c != nil {
+			c.DropNAT.Inc(sh.idx)
+		}
 		if n.Trace != nil {
 			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropNAT, From: srcEP, To: to})
 		}
@@ -814,6 +845,9 @@ func (n *Network) resolve(sh *netShard, now int64, srcEP, to ident.Endpoint) (*P
 	p := n.privatePeerAt(priv)
 	if p == nil {
 		sh.drops.NoSuchAddr++
+		if c := n.counters; c != nil {
+			c.DropAddr.Inc(sh.idx)
+		}
 		if n.Trace != nil {
 			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
 		}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 // Options tunes one sweep execution.
@@ -22,8 +24,15 @@ type Options struct {
 	// ErrStopped with the completed jobs persisted — the test hook that
 	// simulates a killed sweep deterministically.
 	StopAfter int
-	// Log, when non-nil, receives one line per executed job.
+	// Log, when non-nil, receives one line per executed job, with running
+	// progress (done/total, jobs/s, ETA) over the jobs the cache did not
+	// already cover.
 	Log io.Writer
+	// Obs, when non-nil, publishes sweep progress (job counts, job wall
+	// times) to the hub's registry so a live ops endpoint can watch the
+	// sweep. The hub is host-level here: individual jobs stay unobserved
+	// (each exp run would need its own hub).
+	Obs *obs.Hub
 }
 
 // Stats reports how a sweep execution went.
@@ -71,6 +80,23 @@ func Execute(g *Grid, dir string, opts Options) ([]*JobResult, Stats, error) {
 	ex := exp.NewExecutor(opts.Workers)
 	workers := ex.Workers()
 	stats.Workers = workers
+
+	var tracker *obs.JobTracker
+	if opts.Log != nil || opts.Obs != nil {
+		tracker = obs.NewJobTracker(len(missing))
+	}
+	var gRan, gCached *obs.Gauge
+	var hJob *obs.Histogram
+	if opts.Obs != nil {
+		reg := opts.Obs.EnsureRegistry()
+		reg.Gauge("nylon_sweep_jobs_total", "sweep grid size").Set(float64(stats.Total))
+		gCached = reg.Gauge("nylon_sweep_jobs_cached", "jobs reused from the run directory cache")
+		gCached.Set(float64(stats.Cached))
+		gRan = reg.Gauge("nylon_sweep_jobs_ran", "jobs executed this invocation")
+		hJob = reg.Histogram("nylon_sweep_job_seconds", "per-job wall time",
+			[]float64{1, 2, 5, 10, 30, 60, 120, 300, 600})
+	}
+
 	jobs := make(chan int)
 	var (
 		mu       sync.Mutex
@@ -85,6 +111,7 @@ func Execute(g *Grid, dir string, opts Options) ([]*JobResult, Stats, error) {
 			defer wg.Done()
 			for i := range jobs {
 				job := g.Jobs[i]
+				t0 := time.Now()
 				res, err := ex.Run(job.Cfg)
 				if err != nil {
 					mu.Lock()
@@ -107,9 +134,22 @@ func Execute(g *Grid, dir string, opts Options) ([]*JobResult, Stats, error) {
 				results[i] = jr
 				stats.Ran++
 				mu.Unlock()
+				if hJob != nil {
+					hJob.Observe(0, time.Since(t0).Seconds())
+				}
+				var done int64
+				var rate float64
+				var eta time.Duration
+				if tracker != nil {
+					done, rate, eta = tracker.Done()
+				}
+				if gRan != nil {
+					gRan.Set(float64(done))
+				}
 				if opts.Log != nil {
-					fmt.Fprintf(opts.Log, "ran (%s, %s, seed %d) → cluster %.1f%%\n",
-						job.Scenario, job.Variant, job.Seed, jr.BiggestCluster*100)
+					fmt.Fprintf(opts.Log, "ran (%s, %s, seed %d) → cluster %.1f%% [%d/%d, %.2f jobs/s, eta %s]\n",
+						job.Scenario, job.Variant, job.Seed, jr.BiggestCluster*100,
+						done, tracker.Total(), rate, eta)
 				}
 			}
 		}()

@@ -129,6 +129,22 @@ type Scratch struct {
 	ages  []int64
 }
 
+// Observer receives view membership changes: one call per entry entering or
+// leaving a view, fired from Add, Remove and ApplyExchange. Duplicate
+// resolution (a younger descriptor replacing an older one for the same ID)
+// is not a membership change and fires nothing.
+//
+// Hooks run in the view owner's execution context — under the sharded
+// simulation kernel that is the owner's shard goroutine, so one Observer
+// shared by many views must either be bound to a single shard or tolerate
+// concurrent calls from different owners. Implementations must only
+// accumulate: a hook that feeds anything back into protocol state would
+// break the determinism contract instrumentation relies on.
+type Observer interface {
+	ViewEntryAdded(owner ident.NodeID, d Descriptor)
+	ViewEntryRemoved(owner ident.NodeID, d Descriptor)
+}
+
 // View is a bounded partial view of the overlay. The zero View is unusable;
 // construct with New or NewShared. View is not safe for concurrent use.
 type View struct {
@@ -136,6 +152,7 @@ type View struct {
 	maxSize int
 	entries []Descriptor
 	sc      *Scratch
+	obs     Observer
 }
 
 // New returns an empty view of the given maximum size owned by the given
@@ -160,11 +177,20 @@ func NewShared(self ident.NodeID, maxSize int, sc *Scratch) *View {
 	return &View{self: self, maxSize: maxSize, entries: make([]Descriptor, 0, maxSize), sc: sc}
 }
 
+// SetObserver installs the membership hook (nil to remove). Attach before
+// the view's first entry if the observer's tallies are to be complete.
+func (v *View) SetObserver(o Observer) { v.obs = o }
+
 // MaxSize returns the view's capacity.
 func (v *View) MaxSize() int { return v.maxSize }
 
 // Len returns the number of entries currently held.
 func (v *View) Len() int { return len(v.entries) }
+
+// At returns the i-th entry without copying the view. Indices are stable
+// only until the next mutation; pair with Len for zero-copy iteration where
+// EntriesInto's copy would be measurable (the simulator's samplers).
+func (v *View) At(i int) Descriptor { return v.entries[i] }
 
 // Entries returns a copy of the current entries. Callers may mutate the
 // returned slice freely. Hot paths should prefer EntriesInto with a reused
@@ -213,13 +239,20 @@ func (v *View) Add(d Descriptor) bool {
 		return false
 	}
 	v.entries = append(v.entries, d)
+	if v.obs != nil {
+		v.obs.ViewEntryAdded(v.self, d)
+	}
 	return true
 }
 
 // Remove deletes the entry for the given peer, reporting whether it existed.
 func (v *View) Remove(id ident.NodeID) bool {
 	if i := v.indexOf(id); i >= 0 {
+		d := v.entries[i]
 		v.entries = append(v.entries[:i], v.entries[i+1:]...)
+		if v.obs != nil {
+			v.obs.ViewEntryRemoved(v.self, d)
+		}
 		return true
 	}
 	return false
@@ -414,6 +447,7 @@ func (v *View) ApplyExchange(policy Merge, received, sent []Descriptor, rng *ran
 	// maxSize capacity — the merge-time spill above maxSize is shared
 	// per-shard state, not per-peer state.
 	union := append(v.sc.union[:0], v.entries...)
+	origLen := len(union)
 	ids := v.sc.ids[:0]
 	for _, d := range union {
 		ids = append(ids, uint64(d.ID))
@@ -493,6 +527,22 @@ func (v *View) ApplyExchange(policy Merge, received, sent []Descriptor, rng *ran
 		}
 	}
 	v.entries = ents
+	if v.obs != nil {
+		// Membership diff: union[:origLen] mirrors the pre-merge entries
+		// (dropped ones carry a negative age mark), entries beyond origLen
+		// are received newcomers (surviving ones were added). Duplicate
+		// resolution replaced descriptors in place — same ID, no hook.
+		for i := 0; i < origLen; i++ {
+			if ages[i] < 0 {
+				v.obs.ViewEntryRemoved(v.self, union[i])
+			}
+		}
+		for i := origLen; i < len(union); i++ {
+			if ages[i] >= 0 {
+				v.obs.ViewEntryAdded(v.self, union[i])
+			}
+		}
+	}
 	v.sc.union = union[:0]
 }
 

@@ -25,6 +25,12 @@
 # returns the inner engine itself — see TestWrapNoneIdentity and
 # TestNilAdversaryZeroOverhead), and any per-peer or per-message overhead
 # sneaking into the honest path shows up here as a wall/alloc regression.
+#
+# The 1k benchmark runs with the observability stack attached (metrics
+# registry, health accumulators, timing probe — see bench_test.go), so the
+# wall-time baseline also guards the instrumentation overhead; the 10k
+# memory benchmark runs uninstrumented so B/peer tracks the simulation
+# proper.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -43,8 +49,15 @@ out="$(COUNT="$COUNT" scripts/bench.sh -bench "$BENCH\$")"
 echo "$out"
 
 # Median ns/op across the benchmark lines (field 3 of Go's bench format).
+# Parse failures must be loud: an awk `exit 1` inside the substitution would
+# just kill the script via set -e with no diagnostic, so check the result
+# explicitly instead.
 median="$(echo "$out" | awk -v b="$BENCH" '$1 ~ "^"b {print $3}' | sort -n |
-  awk '{v[NR]=$1} END {if (NR==0) exit 1; print v[int((NR+1)/2)]}')"
+  awk '{v[NR]=$1} END {if (NR) print v[int((NR+1)/2)]}')" || true
+if [ -z "$median" ]; then
+  echo "bench_check: no $BENCH result lines in bench output — did the benchmark fail to run?" >&2
+  exit 2
+fi
 
 memout="$(COUNT=1 BENCHTIME=1x scripts/bench.sh -bench "$MEMBENCH\$")"
 echo "$memout"
