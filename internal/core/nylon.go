@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/ident"
+	"repro/internal/intern"
 	"repro/internal/rt"
 	"repro/internal/view"
 	"repro/internal/wire"
@@ -51,7 +52,37 @@ type Nylon struct {
 	// command slice — lives in sh, shared across the shard's engines.
 	reqSent []view.Descriptor
 	sh      *Shared
+	// Route-refresh memo: the per-datagram update_next_RVP(Via, Via,
+	// HOLE_TIMEOUT) is idempotent within one virtual instant for one
+	// observed Via descriptor — the stored expiry is always <= now +
+	// HoleTimeout, so the refresh unconditionally rewrites the row, and
+	// nothing else can displace a live direct row within the same instant
+	// (all other install paths use strictly earlier expiries and indirect
+	// RVPs, which the replacement policy rejects; removals only touch
+	// expired rows). Receive therefore skips the table walk entirely when
+	// the same (descriptor, virtual time) repeats — a batch of datagrams
+	// from one sender refreshes its route once — and reuses the interned
+	// handle it recorded. lastViaAt doubles as the generation stamp: any
+	// clock advance invalidates the memo by key mismatch.
+	lastVia   view.Descriptor
+	lastViaH  intern.Handle
+	lastViaAt int64
+	// tick counts Tick calls, driving the thinned purge cadence below.
+	tick uint64
+	// warmSink accumulates the values loaded by the routing-table warm
+	// passes (see installRoutes) so the compiler cannot elide the loads.
+	// Its value is meaningless and never read.
+	warmSink uint64
 }
+
+// purgeEvery is the Tick cadence at which expired routing-table rows are
+// reclaimed. Expired rows are invisible to every read (Next/Get/TTL
+// self-filter, Set overwrites them under the same policy either way), so
+// the cadence is unobservable; it only bounds how long dead rows occupy
+// memory. The exception is RefreshRoutesOnTraffic: RefreshVia extends an
+// existing row without checking expiry, so it could resurrect an
+// expired-but-unpurged row — that configuration purges every Tick.
+const purgeEvery = 4
 
 var _ Engine = (*Nylon)(nil)
 
@@ -153,6 +184,11 @@ func (n *Nylon) resolveHop(dest view.Descriptor, now int64) (view.Descriptor, bo
 // the swapper bookkeeping.
 func (n *Nylon) buffer(now int64, m *wire.Message, buf []view.Descriptor) []view.Descriptor {
 	sent := n.view.PrepareExchangeInto(n.cfg.Merge, n.cfg.RNG, buf)
+	var w uint64
+	for i := range sent {
+		w += n.routes.Warm(sent[i].ID) // overlap the TTL lookups' misses
+	}
+	n.warmSink += w
 	m.Entries = append(m.Entries[:0], wire.ViewEntry{Desc: n.Self()})
 	for _, d := range sent {
 		e := wire.ViewEntry{Desc: d}
@@ -170,8 +206,19 @@ func (n *Nylon) buffer(now int64, m *wire.Message, buf []view.Descriptor) []view
 // installRoutes records RVP routes for received (or snooped) natted view
 // entries: the next hop toward each of them is the peer that physically
 // handed us the message, and the TTL is the advertised remainder capped by
-// the hole lifetime and discounted by the latency bound.
-func (n *Nylon) installRoutes(now int64, entries []wire.ViewEntry, via view.Descriptor) {
+// the hole lifetime and discounted by the latency bound. viaH is via's
+// interned handle when the caller already has it (0 otherwise); all entries
+// share one via, so it is interned at most once here.
+func (n *Nylon) installRoutes(now int64, entries []wire.ViewEntry, via view.Descriptor, viaH intern.Handle) {
+	// Warm pass: touch every entry's index cell and row before the install
+	// loop below walks them. The probes are independent, so their cache
+	// misses — the table is one random peer's out of tens of thousands —
+	// resolve in parallel instead of one per loop iteration.
+	var w uint64
+	for i := range entries {
+		w += n.routes.Warm(entries[i].Desc.ID)
+	}
+	n.warmSink += w
 	for _, e := range entries {
 		if !e.Desc.Class.Natted() || e.RouteTTL == 0 || e.Desc.ID == n.cfg.Self.ID {
 			continue
@@ -184,7 +231,10 @@ func (n *Nylon) installRoutes(now int64, entries []wire.ViewEntry, via view.Desc
 		if ttl <= 0 {
 			continue
 		}
-		n.routes.Set(e.Desc.ID, via, now+ttl)
+		if viaH == 0 {
+			viaH = n.routes.Intern(via)
+		}
+		n.routes.SetInterned(e.Desc.ID, via.ID, viaH, now+ttl)
 	}
 }
 
@@ -206,11 +256,14 @@ func relayRespond(self, src view.Descriptor) bool {
 
 // Tick implements Engine: Fig. 6 lines 1-14.
 func (n *Nylon) Tick(now int64) []Send {
-	// Purge every period: expired rows are already invisible to every read
-	// (so the cadence changes nothing observable), and dropping them
-	// promptly keeps the table at its live size — at simulation scale the
-	// routing tables are the largest per-peer state.
-	n.routes.Purge(now)
+	// Purge on a thinned cadence (see purgeEvery): expired rows are already
+	// invisible to every read, so reclaiming them is pure memory hygiene —
+	// except under RefreshRoutesOnTraffic, where RefreshVia could resurrect
+	// a stale row and the purge must stay per-period.
+	n.tick++
+	if n.tick%purgeEvery == 0 || n.cfg.RefreshRoutesOnTraffic {
+		n.routes.Purge(now)
+	}
 	// Hole punches from previous periods are void: each PONG must map to a
 	// punch from the current round.
 	n.pending = n.pending[:0]
@@ -274,11 +327,31 @@ func (n *Nylon) Tick(now int64) []Send {
 // Receive implements Engine: Fig. 6 lines 15-46.
 func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Send {
 	// update_next_RVP(p, p, HOLE_TIMEOUT): the transport sender reached us,
-	// so a direct return path exists. Record its observed endpoint.
+	// so a direct return path exists. Record its observed endpoint. The
+	// memo (see lastVia) collapses repeated refreshes of one Via within one
+	// virtual instant to a single table walk and descriptor hash.
 	via := msg.Via
 	via.Addr = from
+	var viaH intern.Handle
 	if via.ID != n.cfg.Self.ID && !via.ID.IsNil() {
-		n.routes.SetDirect(via, now+n.cfg.HoleTimeout)
+		if via == n.lastVia && now == n.lastViaAt {
+			// This engine already wrote this via's direct row at this
+			// instant; the handle of an unchanged descriptor never
+			// changes, so both the write and the intern can be skipped.
+			viaH = n.lastViaH
+		} else {
+			if via == n.sh.lastVia {
+				// Another delivery on this shard (possibly to a
+				// different engine — the tables share one intern)
+				// interned this descriptor already.
+				viaH = n.sh.lastViaH
+			} else {
+				viaH = n.routes.Intern(via)
+				n.sh.lastVia, n.sh.lastViaH = via, viaH
+			}
+			n.routes.SetInterned(via.ID, via.ID, viaH, now+n.cfg.HoleTimeout)
+			n.lastVia, n.lastViaH, n.lastViaAt = via, viaH, now
+		}
 		if n.cfg.RefreshRoutesOnTraffic {
 			// §4 offers this reading — TTLs updated "every time a
 			// message from one RVP stored in the routing table is
@@ -291,18 +364,22 @@ func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Sen
 	// Reverse-path learning: the originator is reachable back through the
 	// peer that handed us this datagram.
 	if msg.Src.ID != via.ID && msg.Src.ID != n.cfg.Self.ID && !msg.Src.ID.IsNil() {
-		n.routes.Set(msg.Src.ID, via, now+n.cfg.HoleTimeout-n.cfg.LatencyBound)
+		if viaH != 0 {
+			n.routes.SetInterned(msg.Src.ID, via.ID, viaH, now+n.cfg.HoleTimeout-n.cfg.LatencyBound)
+		} else {
+			n.routes.Set(msg.Src.ID, via, now+n.cfg.HoleTimeout-n.cfg.LatencyBound)
+		}
 	}
 
 	switch msg.Kind {
 	case wire.KindRequest:
 		if msg.Dst.ID != n.cfg.Self.ID {
-			return n.forward(now, msg, via)
+			return n.forward(now, msg, via, viaH)
 		}
-		return n.handleRequest(now, from, msg, via)
+		return n.handleRequest(now, from, msg, via, viaH)
 	case wire.KindResponse:
 		if msg.Dst.ID != n.cfg.Self.ID {
-			return n.forward(now, msg, via)
+			return n.forward(now, msg, via, viaH)
 		}
 		if via.ID != msg.Src.ID {
 			n.stats.ChainHopsTotal += uint64(msg.Hops)
@@ -314,12 +391,12 @@ func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Sen
 		n.sh.recv = msg.AppendDescriptors(n.sh.recv[:0])
 		n.view.ApplyExchange(n.cfg.Merge, n.sh.recv, n.pendingSent, n.cfg.RNG)
 		n.pendingSent = nil
-		n.installRoutes(now, msg.Entries, via)
+		n.installRoutes(now, msg.Entries, via, viaH)
 		n.stats.ShufflesCompleted++
 		return nil
 	case wire.KindOpenHole:
 		if msg.Dst.ID != n.cfg.Self.ID {
-			return n.forward(now, msg, via)
+			return n.forward(now, msg, via, viaH)
 		}
 		// Fig. 6 lines 37-38: we are the hole-punch target; answer the
 		// originator directly so both NATs now hold matching rules.
@@ -352,7 +429,7 @@ func (n *Nylon) Receive(now int64, from ident.Endpoint, msg *wire.Message) []Sen
 
 // handleRequest processes a shuffle REQUEST addressed to this peer
 // (Fig. 6 lines 15-26).
-func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message, via view.Descriptor) []Send {
+func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message, via view.Descriptor, viaH intern.Handle) []Send {
 	if via.ID != msg.Src.ID {
 		n.stats.ChainHopsTotal += uint64(msg.Hops)
 		n.stats.ChainSamples++
@@ -391,7 +468,7 @@ func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message,
 	n.sh.recv = msg.AppendDescriptors(n.sh.recv[:0])
 	n.view.ApplyExchange(n.cfg.Merge, n.sh.recv, sentResp, n.cfg.RNG)
 	n.view.IncreaseAge()
-	n.installRoutes(now, msg.Entries, via)
+	n.installRoutes(now, msg.Entries, via, viaH)
 	n.stats.ShufflesAnswered++
 	n.sh.out = out
 	return out
@@ -400,7 +477,7 @@ func (n *Nylon) handleRequest(now int64, from ident.Endpoint, msg *wire.Message,
 // forward relays a datagram one hop along the RVP chain (Fig. 6 lines 17-19,
 // 29-31, 39-40), snooping carried view entries so the chain invariant holds
 // for routes learned through relayed shuffles.
-func (n *Nylon) forward(now int64, msg *wire.Message, via view.Descriptor) []Send {
+func (n *Nylon) forward(now int64, msg *wire.Message, via view.Descriptor, viaH intern.Handle) []Send {
 	if msg.Hops >= maxForwardHops {
 		// Counted as NoRoute (the chain is unusable) and separately as a
 		// hop-limit drop, so adversarial forwarding loops are observable.
@@ -408,7 +485,7 @@ func (n *Nylon) forward(now int64, msg *wire.Message, via view.Descriptor) []Sen
 		n.stats.HopLimitDrops++
 		return nil
 	}
-	n.installRoutes(now, msg.Entries, via)
+	n.installRoutes(now, msg.Entries, via, viaH)
 	hop, ok := n.resolveHop(msg.Dst, now)
 	if !ok || hop.ID == via.ID {
 		// No live chain — or our best route points straight back where

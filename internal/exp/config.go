@@ -181,6 +181,14 @@ type Config struct {
 	// it is host wiring, not an experiment parameter.
 	Obs *obs.Hub `json:"-"`
 
+	// PerDatagramDelivery disables the network's batched lane delivery:
+	// every delivery event dispatches exactly one datagram, as the
+	// pre-batching engine did. Results are bit-identical either way —
+	// TestBatchedDeliveryInvariance pins it — so this is a debugging and
+	// bisection knob, not an experiment parameter; excluded from
+	// serialization so sweep cache keys ignore it.
+	PerDatagramDelivery bool `json:"-"`
+
 	// VerifySamples re-derives every periodic series sample through the
 	// legacy full-copy EntriesInto sweep and cross-checks the zero-copy
 	// sampler and the incremental health accumulators against it, panicking

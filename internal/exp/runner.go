@@ -161,6 +161,7 @@ func Run(cfg Config) (Result, error) {
 	st.cfg.Shards = shards
 	st.cfg.Workers = st.kern.Workers()
 	st.net = simnet.NewSharded(st.kern, cfg.LatencyMs)
+	st.net.SetPerDatagramDelivery(cfg.PerDatagramDelivery)
 	if cfg.TraceCapacity > 0 {
 		st.net.Trace = trace.New(cfg.TraceCapacity)
 	}
@@ -203,6 +204,15 @@ func Run(cfg Config) (Result, error) {
 
 	end := int64(cfg.Rounds) * cfg.PeriodMs
 	st.kern.RunUntil(end)
+
+	// Message-pool books must balance at the end of every run: each message
+	// drawn from a shard pool is either back in a pool or still queued as an
+	// undelivered datagram. Batched delivery recycles messages on the hot
+	// path, so a leak here would otherwise only surface as slow memory
+	// growth.
+	if err := st.net.LeakCheck(); err != nil {
+		return Result{}, err
+	}
 
 	res := st.measure(end, *warmupBytes)
 	res.Series = *series

@@ -138,6 +138,30 @@ func (f *filterTable) set(key uint64, expire, now int64) {
 	}
 }
 
+// refresh extends the rule for key to the new expiry iff the rule is live
+// at now, and reports whether it was. One probe replaces the admit-time get
+// and refresh-time set of the inbound hot path; the end state is identical
+// (a live rule always takes set's update branch, and the rehash set might
+// have triggered is housekeeping a later insert performs instead).
+func (f *filterTable) refresh(key uint64, expire, now int64) bool {
+	if len(f.slots) == 0 {
+		return false
+	}
+	for j := f.hashSlot(key); ; j = (j + 1) & (len(f.slots) - 1) {
+		s := &f.slots[j]
+		if s.expire == 0 {
+			return false
+		}
+		if s.key == key {
+			if s.expire < now {
+				return false
+			}
+			s.expire = expire
+			return true
+		}
+	}
+}
+
 // get returns the expiry recorded for key, if any.
 func (f *filterTable) get(key uint64) (int64, bool) {
 	if len(f.slots) == 0 {
@@ -393,15 +417,43 @@ func (d *Device) Inbound(now int64, from, to ident.Endpoint) (ident.Endpoint, bo
 		d.drop(i)
 		return ident.Zero, false
 	}
-	if !d.admits(s, now, from) {
-		return ident.Zero, false
-	}
 	// Inbound traffic on a live session refreshes it, per the paper: the
 	// rule remains valid a limited time after the last message sent *or
-	// received* in the session.
+	// received* in the session. For unpinned sessions the admit check and
+	// the refresh touch the same class-reduced rule key, so one combined
+	// probe decides and refreshes together (end state identical to the old
+	// admits-then-set pair; the rehash set might have triggered on the way
+	// is housekeeping a later insert performs instead).
+	if s.pinned {
+		s.lastUse = now
+		s.filters.set(packEP(d.filterKey(from)), now+d.ruleTTL, now)
+		return s.key.private, true
+	}
+	if !s.filters.refresh(packEP(d.filterKey(from)), now+d.ruleTTL, now) {
+		return ident.Zero, false
+	}
 	s.lastUse = now
-	s.filters.set(packEP(d.filterKey(from)), now+d.ruleTTL, now)
 	return s.key.private, true
+}
+
+// Prefetch touches the state Inbound(now, from, to) would read — the port
+// index, the session, and the sender's filter slot — with pure loads and no
+// mutation, and returns the session's private endpoint (zero if no session
+// owns `to`). Hosts call it for a queued datagram ahead of its delivery so
+// the lines are cached when Inbound runs; the sink return folds the loaded
+// values so the loads survive the compiler.
+func (d *Device) Prefetch(from, to ident.Endpoint) (priv ident.Endpoint, sink uint64) {
+	i := d.sessionByPublic(to)
+	if i < 0 {
+		return ident.Zero, 0
+	}
+	s := &d.sessions[i]
+	sink = uint64(s.lastUse)
+	if f := &s.filters; len(f.slots) > 0 {
+		sl := &f.slots[f.hashSlot(packEP(d.filterKey(from)))]
+		sink += sl.key + uint64(sl.expire)
+	}
+	return s.key.private, sink
 }
 
 // Pinhole installs an explicit permanent port mapping for the private

@@ -69,6 +69,14 @@ type Scheduler struct {
 	tickFn func(actor uint64)
 	// processed counts executed events, for run statistics.
 	processed uint64
+	// limit is the deadline of the RunUntil/RunBefore loop currently
+	// executing (limitExcl marks RunBefore's strict bound); LaneContinue
+	// honours it so a batched lane run never crosses the loop's window.
+	// Outside a bounded loop (Step, Drain) limitSet is false and lane runs
+	// never extend, preserving one-event-per-Step semantics.
+	limit     int64
+	limitSet  bool
+	limitExcl bool
 }
 
 // laneEntry is one lane event: only its firing coordinates are stored, the
@@ -366,10 +374,45 @@ func (s *Scheduler) runNext(fromLane bool) {
 	e.fn()
 }
 
+// LaneContinue extends the lane event currently executing: it consumes the
+// next pending lane event iff it would be the scheduler's very next pick —
+// strictly before every heap event in (time, actor, seq) order and within
+// the driving loop's deadline — advancing the clock and the processed count
+// exactly as the main loop's pop would. Hosts whose laneFn delivers one item
+// per event call this in a loop to handle a whole run of back-to-back lane
+// events inside one callback, amortizing per-run state (destination
+// resolution, device lookups) over the run without changing execution order:
+// the batch ends precisely where an interleaved heap event would have
+// preempted it, or where the RunUntil/RunBefore loop would have stopped.
+// Because the check runs against the live heap, events scheduled by the
+// items themselves are honoured mid-run. Outside a bounded loop it always
+// declines, so Step still executes exactly one event.
+func (s *Scheduler) LaneContinue() bool {
+	if !s.limitSet || s.lane.Len() == 0 {
+		return false
+	}
+	l := s.lane.Peek()
+	if l.at > s.limit || (l.at == s.limit && s.limitExcl) {
+		return false
+	}
+	if len(s.pending) > 0 {
+		h := &s.pending[0]
+		if !(l.at < h.at || (l.at == h.at && (l.actor < h.actor || (l.actor == h.actor && l.seq < h.seq)))) {
+			return false
+		}
+	}
+	e := s.lane.Pop()
+	s.now = e.at
+	s.processed++
+	return true
+}
+
 // RunUntil executes events in order until the queue is empty or the next
 // event is later than deadline. The clock ends at deadline (or at the last
 // event, whichever is later) so subsequent scheduling is consistent.
 func (s *Scheduler) RunUntil(deadline int64) {
+	prevLimit, prevSet, prevExcl := s.limit, s.limitSet, s.limitExcl
+	s.limit, s.limitSet, s.limitExcl = deadline, true, false
 	for {
 		at, fromLane, ok := s.next()
 		if !ok || at > deadline {
@@ -377,6 +420,7 @@ func (s *Scheduler) RunUntil(deadline int64) {
 		}
 		s.runNext(fromLane)
 	}
+	s.limit, s.limitSet, s.limitExcl = prevLimit, prevSet, prevExcl
 	if s.now < deadline {
 		s.now = deadline
 	}
@@ -387,6 +431,8 @@ func (s *Scheduler) RunUntil(deadline int64) {
 // primitive of the sharded kernel: events at exactly deadline belong to the
 // next window (they run after the barrier's global events).
 func (s *Scheduler) RunBefore(deadline int64) {
+	prevLimit, prevSet, prevExcl := s.limit, s.limitSet, s.limitExcl
+	s.limit, s.limitSet, s.limitExcl = deadline, true, true
 	for {
 		at, fromLane, ok := s.next()
 		if !ok || at >= deadline {
@@ -394,6 +440,7 @@ func (s *Scheduler) RunBefore(deadline int64) {
 		}
 		s.runNext(fromLane)
 	}
+	s.limit, s.limitSet, s.limitExcl = prevLimit, prevSet, prevExcl
 	if s.now < deadline {
 		s.now = deadline
 	}

@@ -62,3 +62,27 @@ func TestHeapOrderingMatchesSort(t *testing.T) {
 		}
 	}
 }
+
+// TestRingZeroAllocs locks in the inflight ring's arena property: once the
+// buffer has grown to its working size, Push/Peek/Pop cycles allocate
+// nothing, including across wrap-around. The sharded network stages every
+// same-tick delivery through one of these.
+func TestRingZeroAllocs(t *testing.T) {
+	var q Ring[[3]uint64]
+	for i := 0; i < 128; i++ {
+		q.Push([3]uint64{uint64(i)})
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 100; i++ { // > capacity/3 per run: exercises wrap
+			q.Push([3]uint64{uint64(i)})
+			_ = q.Peek()
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Ring push+peek+pop allocates %.1f times per round, want 0", allocs)
+	}
+}

@@ -1,0 +1,63 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestJitHeapZeroAllocs locks in the arena property of the link-delay heap:
+// once the backing slice has grown to its working size, staging and firing
+// jittered deliveries allocates nothing. A regression here would put an
+// allocation on every jittered datagram of a lossy-link run.
+func TestJitHeapZeroAllocs(t *testing.T) {
+	var h jitHeap
+	// Warm the slice to its steady-state capacity.
+	for i := 0; i < 256; i++ {
+		h.push(jitEntry{at: int64(i % 31), seq: uint64(i)})
+	}
+	for len(h) > 0 {
+		h.pop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.push(jitEntry{at: 3, seq: 1})
+		h.push(jitEntry{at: 1, seq: 2})
+		h.push(jitEntry{at: 2, seq: 3})
+		h.pop()
+		h.pop()
+		h.pop()
+	})
+	if allocs != 0 {
+		t.Errorf("jit heap push+pop allocates %.1f times per round, want 0", allocs)
+	}
+}
+
+// TestJitHeapOrdering pops a large randomized batch and checks the heap
+// yields entries in exactly the scheduler's event order (at, actor, seq) —
+// the property that lets jittered deliveries share one reused callback.
+func TestJitHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 4000
+	var h jitHeap
+	want := make([]jitEntry, 0, n)
+	for i := 0; i < n; i++ {
+		e := jitEntry{
+			at:    int64(rng.Intn(53)), // dense: plenty of equal-time ties
+			actor: uint64(rng.Intn(7)),
+			seq:   uint64(i),
+		}
+		want = append(want, e)
+		h.push(e)
+	}
+	sort.Slice(want, func(a, b int) bool { return jitLess(&want[a], &want[b]) })
+	for i := range want {
+		got := h.pop()
+		if got.at != want[i].at || got.actor != want[i].actor || got.seq != want[i].seq {
+			t.Fatalf("pop %d: got (%d,%d,%d), want (%d,%d,%d)",
+				i, got.at, got.actor, got.seq, want[i].at, want[i].actor, want[i].seq)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not empty after draining: %d left", len(h))
+	}
+}

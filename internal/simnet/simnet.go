@@ -279,6 +279,45 @@ type Network struct {
 	// counters, when non-nil, mirrors traffic and drop accounting into a
 	// metrics registry for the live ops endpoint (see SetObs).
 	counters *NetCounters
+
+	// prefSink accumulates the values loaded by delivery prefetching (see
+	// prefetchNext) so the compiler cannot elide the loads. Its value is
+	// meaningless and never read.
+	prefSink uint64
+
+	// perDatagram disables batched lane delivery: every lane event delivers
+	// exactly one datagram, as the pre-batching engine did. The batched and
+	// per-datagram paths are bit-identical by construction — LaneContinue
+	// only consumes events the scheduler would have dispatched next anyway —
+	// and TestBatchedDeliveryInvariance pins that equivalence; the knob
+	// exists for that test and for bisecting.
+	perDatagram bool
+}
+
+// SetPerDatagramDelivery forces one-datagram-per-event delivery dispatch
+// (true) or restores batched lane runs (false, the default).
+func (n *Network) SetPerDatagramDelivery(v bool) { n.perDatagram = v }
+
+// LeakCheck verifies the wire-message books: every message drawn from the
+// shard pools must either have been returned or still be queued for
+// delivery (the in-flight ring, the jit heap, or a staged cross-shard run).
+// Messages cross shards — drawn on the sender's pool, returned to the
+// destination's — so only the summed balance is meaningful. A surplus means
+// a delivery path leaked messages; a deficit means a double release.
+func (n *Network) LeakCheck() error {
+	var bal, queued int64
+	for i := range n.shards {
+		sh := &n.shards[i]
+		bal += sh.pool.Balance()
+		queued += int64(sh.inflight.Len()) + int64(len(sh.jit))
+		for _, run := range sh.out {
+			queued += int64(len(run))
+		}
+	}
+	if bal != queued {
+		return fmt.Errorf("simnet: wire pool balance %d with %d datagrams queued (leaked or double-released messages)", bal, queued)
+	}
+	return nil
 }
 
 // netShard is the per-shard half of the network. Only the shard's events
@@ -301,14 +340,111 @@ type netShard struct {
 	// fire times are not monotone, so they go through the shard's heap.
 	inflight sim.Ring[delivery]
 
+	// jit stores link-delayed deliveries inline, ordered by the same
+	// (at, actor, seq) key as their scheduler events, so the heap head is
+	// always the datagram of the jit event firing now. jitFire is the one
+	// reused callback those events carry — replacing the per-datagram
+	// closure both in standalone sends and at barrier merges — and jitSeq
+	// orders standalone entries the way the scheduler's internal sequence
+	// orders their events (both count the same At calls).
+	jit     jitHeap
+	jitFire func()
+	jitSeq  uint64
+
+	// resolvedPriv/resolvedPeer memoize the last NAT-admitted private
+	// endpoint → peer resolution. Private endpoints are allocated once and
+	// never reassigned, so the memo can never go stale; it turns the
+	// back-to-back deliveries of a batched lane run into one lookup.
+	resolvedPriv ident.Endpoint
+	resolvedPeer *Peer
+
 	// out stages datagrams sent by this shard's peers, one slice per
-	// destination shard; the barrier drains them (see flush). Unused in
-	// standalone mode, which delivers immediately.
-	out [][]outEntry
-	// merge is the barrier's reusable gather-and-sort scratch.
-	merge []outEntry
+	// destination shard; the barrier drains them (see flush). outUnsorted
+	// flags a run whose keys regressed at append time (link-delayed
+	// arrivals): sorted runs merge at the barrier, unsorted ones re-sort.
+	// Unused in standalone mode, which delivers immediately.
+	out         [][]outEntry
+	outUnsorted []bool
+	// merge is the barrier's reusable gather-and-sort scratch; runScratch,
+	// mergeCur and mergeHeap are the sorted-run merge's reusable cursors.
+	merge      []outEntry
+	runScratch [][]outEntry
+	mergeCur   []int
+	mergeHeap  []int32
 
 	drops DropStats
+}
+
+// jitEntry is one link-delayed delivery waiting in a shard's jit heap.
+type jitEntry struct {
+	at         int64
+	actor, seq uint64
+	d          delivery
+}
+
+// jitLess orders jit entries exactly like the scheduler orders their events.
+func jitLess(a, b *jitEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.actor != b.actor {
+		return a.actor < b.actor
+	}
+	return a.seq < b.seq
+}
+
+// jitHeap is a 4-ary min-heap of link-delayed deliveries, mirroring the
+// scheduler's inline event heap: entries are stored by value and the backing
+// slice is reused across pushes, so a jittered datagram costs no allocation
+// beyond amortized growth.
+type jitHeap []jitEntry
+
+func (h *jitHeap) push(e jitEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !jitLess(&e, &s[parent]) {
+			break
+		}
+		s[i] = s[parent]
+		i = parent
+	}
+	s[i] = e
+}
+
+func (h *jitHeap) pop() jitEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	e := s[n]
+	s[n] = jitEntry{}
+	s = s[:n]
+	*h = s
+	if n > 0 {
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= n {
+				break
+			}
+			best := first
+			last := min(first+4, n)
+			for c := first + 1; c < last; c++ {
+				if jitLess(&s[c], &s[best]) {
+					best = c
+				}
+			}
+			if !jitLess(&s[best], &e) {
+				break
+			}
+			s[i] = s[best]
+			i = best
+		}
+		s[i] = e
+	}
+	return top
 }
 
 // delivery is one in-flight datagram.
@@ -447,9 +583,11 @@ func newNetwork(kern *sim.ShardedScheduler, scheds []*sim.Scheduler, latencyMs i
 		if kern != nil {
 			sh.pool = &wire.Pool{}
 			sh.out = make([][]outEntry, len(scheds))
+			sh.outUnsorted = make([]bool, len(scheds))
 		}
 		i := i
 		sh.sched.SetLaneFn(func() { n.deliverNext(i) })
+		sh.jitFire = func() { n.jitNext(i) }
 	}
 	return n
 }
@@ -675,12 +813,13 @@ func (n *Network) Send(from *Peer, s core.Send) {
 		// scheduler, exactly as before the kernel existed.
 		if extra > 0 {
 			// Jittered deliveries are not monotone, so they cannot ride
-			// the lane: route through the scheduler's heap. The closure
-			// allocates — acceptable, only perturbed datagrams pay it.
-			n.shards[0].sched.At(at, func() {
-				n.deliver(0, d.srcEP, d.to, d.msg, d.size)
-				n.shards[0].pool.Put(d.msg)
-			})
+			// the lane: the datagram waits in the jit heap and a reused
+			// callback goes through the scheduler's heap. jitSeq tracks
+			// the scheduler's internal sequence across these At calls, so
+			// the jit heap pops in exactly the event firing order.
+			sh.jitSeq++
+			sh.jit.push(jitEntry{at: at, seq: sh.jitSeq, d: d})
+			sh.sched.At(at, sh.jitFire)
 			return
 		}
 		sh.inflight.Push(d)
@@ -708,60 +847,205 @@ func (n *Network) Send(from *Peer, s core.Send) {
 		sh.pool.Put(s.Msg)
 		return
 	}
-	sh.out[owner.Shard] = append(sh.out[owner.Shard], outEntry{
-		at: at, actor: uint64(from.ID), seq: from.Seq, jittered: extra > 0, d: d,
-	})
+	e := outEntry{at: at, actor: uint64(from.ID), seq: from.Seq, jittered: extra > 0, d: d}
+	q := sh.out[owner.Shard]
+	if k := len(q); k > 0 && keyCompare(q[k-1], e) > 0 {
+		// A link-delayed arrival regressed the run's key order; the
+		// barrier will sort this run instead of merging it.
+		sh.outUnsorted[owner.Shard] = true
+	}
+	sh.out[owner.Shard] = append(q, e)
 }
 
 // flush is the kernel's barrier hook: it drains every outbox into its
 // destination shard in deterministic (arrival, sender, per-sender seq)
 // order. Constant-latency datagrams append to the shard's lane — batches
 // from successive windows never overlap in time, so the lane stays monotone
-// — and jittered ones go through the shard's heap with the same key.
+// — and jittered ones wait in the shard's jit heap behind reused heap
+// events with the same key.
+//
+// Each source run is already key-sorted by construction — virtual time
+// advances monotonically within a window and same-instant events execute in
+// (actor, seq) order, which is also the order staged sends draw their keys —
+// so the runs k-way merge straight into the destination's queues, with
+// ~log(runs) comparisons per datagram instead of a sort's log(total) and no
+// gather copy. A run whose producer saw a key regression at append time
+// (link-delayed arrivals) falls back to the gather-and-sort path; both
+// produce the identical keyCompare order, which the invariance tests pin.
 func (n *Network) flush() {
 	for di := range n.shards {
 		dst := &n.shards[di]
-		batch := dst.merge[:0]
+		runs := dst.runScratch[:0]
+		sorted := true
 		for si := range n.shards {
 			src := &n.shards[si]
 			if len(src.out[di]) > 0 {
-				batch = append(batch, src.out[di]...)
-				src.out[di] = src.out[di][:0]
-			}
-		}
-		if len(batch) > 0 {
-			slices.SortFunc(batch, keyCompare)
-			for i := range batch {
-				e := batch[i]
-				if e.jittered {
-					di, d := di, e.d
-					dst.sched.AtKey(e.at, e.actor, e.seq, func() {
-						n.deliver(di, d.srcEP, d.to, d.msg, d.size)
-						n.shards[di].pool.Put(d.msg)
-					})
-				} else {
-					dst.inflight.Push(e.d)
-					dst.sched.LaneAtKey(e.at, e.actor, e.seq)
+				runs = append(runs, src.out[di])
+				if src.outUnsorted[di] {
+					sorted = false
 				}
 			}
-			// Drop message references from the scratch so stale slots
-			// never alias live pool entries.
-			for i := range batch {
-				batch[i].d.msg = nil
+		}
+		if len(runs) > 0 {
+			if sorted {
+				n.mergeSortedRuns(dst, runs)
+			} else {
+				batch := dst.merge[:0]
+				for _, run := range runs {
+					batch = append(batch, run...)
+				}
+				slices.SortFunc(batch, keyCompare)
+				for i := range batch {
+					n.scheduleEntry(dst, &batch[i])
+				}
+				// Drop message references from the scratch so stale slots
+				// never alias live pool entries.
+				for i := range batch {
+					batch[i].d.msg = nil
+				}
+				dst.merge = batch[:0]
+			}
+			for si := range n.shards {
+				src := &n.shards[si]
+				if run := src.out[di]; len(run) > 0 {
+					for i := range run {
+						run[i].d.msg = nil
+					}
+					src.out[di] = run[:0]
+					src.outUnsorted[di] = false
+				}
 			}
 		}
-		dst.merge = batch[:0]
+		dst.runScratch = runs[:0]
 	}
 }
 
-// deliverNext completes shard i's oldest in-flight datagram: lane events
+// scheduleEntry queues one merged datagram on its destination shard.
+func (n *Network) scheduleEntry(dst *netShard, e *outEntry) {
+	if e.jittered {
+		dst.jit.push(jitEntry{at: e.at, actor: e.actor, seq: e.seq, d: e.d})
+		dst.sched.AtKey(e.at, e.actor, e.seq, dst.jitFire)
+	} else {
+		dst.inflight.Push(e.d)
+		dst.sched.LaneAtKey(e.at, e.actor, e.seq)
+	}
+}
+
+// mergeSortedRuns schedules the key-sorted source runs in exact merged key
+// order, using a small binary heap of run cursors. Keys never collide across
+// runs (a sender stages on exactly one shard and its seq is unique), so the
+// merge needs no stability tie-break.
+func (n *Network) mergeSortedRuns(dst *netShard, runs [][]outEntry) {
+	if len(runs) == 1 {
+		run := runs[0]
+		for i := range run {
+			n.scheduleEntry(dst, &run[i])
+		}
+		return
+	}
+	cur := dst.mergeCur[:0]
+	for range runs {
+		cur = append(cur, 0)
+	}
+	h := dst.mergeHeap[:0]
+	for r := range runs {
+		h = append(h, int32(r))
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if keyCompare(runs[h[i]][cur[h[i]]], runs[h[p]][cur[h[p]]]) >= 0 {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	for len(h) > 0 {
+		r := h[0]
+		n.scheduleEntry(dst, &runs[r][cur[r]])
+		cur[r]++
+		if cur[r] == len(runs[r]) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		for i := 0; ; {
+			c := 2*i + 1
+			if c >= len(h) {
+				break
+			}
+			if c+1 < len(h) && keyCompare(runs[h[c+1]][cur[h[c+1]]], runs[h[c]][cur[h[c]]]) < 0 {
+				c++
+			}
+			if keyCompare(runs[h[c]][cur[h[c]]], runs[h[i]][cur[h[i]]]) >= 0 {
+				break
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	dst.mergeCur, dst.mergeHeap = cur[:0], h[:0]
+}
+
+// deliverNext completes shard i's oldest in-flight datagrams: lane events
 // fire in exact key order, which is the order the ring was filled, so the
-// queue head is always the datagram the event belongs to.
+// queue head is always the datagram the event belongs to. After each
+// delivery the loop asks the scheduler to extend the run (LaneContinue):
+// back-to-back lane events — the overwhelming majority under constant
+// latency — are handled as one batch event, amortizing dispatch and keeping
+// the shard's resolve memo hot, while every datagram still advances the
+// clock and the processed count individually and any interleaved heap event
+// ends the batch exactly where per-datagram execution would have run it.
 func (n *Network) deliverNext(i int) {
 	sh := &n.shards[i]
-	d := sh.inflight.Pop()
-	n.deliver(i, d.srcEP, d.to, d.msg, d.size)
-	sh.pool.Put(d.msg)
+	for {
+		d := sh.inflight.Pop()
+		if sh.inflight.Len() > 0 {
+			// Warm the next datagram's destination state while this one is
+			// processed: deliveries in a batch hop between unrelated peers,
+			// so each destination's lines are cold random accesses the
+			// out-of-order window can otherwise only start fetching once
+			// the current Receive retires.
+			n.prefetchNext(sh.inflight.Peek())
+		}
+		n.deliver(i, d.srcEP, d.to, d.msg, d.size)
+		sh.pool.Put(d.msg)
+		if n.perDatagram || !sh.sched.LaneContinue() {
+			return
+		}
+	}
+}
+
+// prefetchNext touches the destination state of a queued delivery with pure
+// loads — the public slot, the owning peer, and for natted destinations the
+// NAT session, its filter slot and the private peer — so those cache lines
+// are warm when the datagram is actually delivered. It mutates nothing;
+// resolution still happens in resolve, and prefSink only keeps the loads
+// observable to the compiler.
+func (n *Network) prefetchNext(d *delivery) {
+	s := n.pubSlotFor(d.to.IP)
+	if s == nil {
+		return
+	}
+	if p := s.peer; p != nil {
+		n.prefSink += uint64(p.Addr.Port) + p.Seq
+		return
+	}
+	if s.dev != nil {
+		priv, v := s.dev.Prefetch(d.srcEP, d.to)
+		n.prefSink += v
+		if p := n.privatePeerAt(priv); p != nil {
+			n.prefSink += uint64(p.Addr.Port) + p.Seq
+		}
+	}
+}
+
+// jitNext completes shard i's earliest link-delayed delivery: jit events and
+// jit heap entries carry identical keys, so the heap head is always the
+// datagram of the event firing now.
+func (n *Network) jitNext(i int) {
+	sh := &n.shards[i]
+	e := sh.jit.pop()
+	n.deliver(i, e.d.srcEP, e.d.to, e.d.msg, e.d.size)
+	sh.pool.Put(e.d.msg)
 }
 
 // deliver completes one datagram on shard si (the destination's shard).
@@ -842,6 +1126,9 @@ func (n *Network) resolve(sh *netShard, now int64, srcEP, to ident.Endpoint) (*P
 		}
 		return nil, false
 	}
+	if priv == sh.resolvedPriv && sh.resolvedPeer != nil {
+		return sh.resolvedPeer, true
+	}
 	p := n.privatePeerAt(priv)
 	if p == nil {
 		sh.drops.NoSuchAddr++
@@ -853,6 +1140,7 @@ func (n *Network) resolve(sh *netShard, now int64, srcEP, to ident.Endpoint) (*P
 		}
 		return nil, false
 	}
+	sh.resolvedPriv, sh.resolvedPeer = priv, p
 	return p, true
 }
 

@@ -1,0 +1,47 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMarkOldestEquivalence pins the one-pass top-h selection in markOldest
+// against the reference repeated-argmax (oldest first, ties toward the
+// earlier index) it replaced: the marked sets must be identical for every
+// (ages, h), including h = 0, h > len, and heavy age ties.
+func TestMarkOldestEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 20000; iter++ {
+		n := 1 + rng.Intn(40)
+		ages := make([]int64, n)
+		for i := range ages {
+			ages[i] = int64(rng.Intn(6)) // few distinct ages: force ties
+		}
+		if iter%7 == 0 {
+			// Push one age outside the histogram range to exercise the
+			// generic fallback path.
+			ages[rng.Intn(n)] = 256 + int64(rng.Intn(1000))
+		}
+		h := rng.Intn(n + 2)
+		ref := append([]int64(nil), ages...)
+		hh := min(h, len(ref))
+		for k := 0; k < hh; k++ {
+			best, bestAge := 0, int64(-1)
+			for i, a := range ref {
+				if a > bestAge {
+					best, bestAge = i, a
+				}
+			}
+			ref[best] = -1
+		}
+		got := append([]int64(nil), ages...)
+		var cnt [256]uint16
+		markOldest(got, h, &cnt)
+		for i := range ref {
+			if (ref[i] < 0) != (got[i] < 0) {
+				t.Fatalf("iter %d: mismatch at index %d\nages=%v h=%d\nref=%v\ngot=%v",
+					iter, i, ages, h, ref, got)
+			}
+		}
+	}
+}

@@ -7,6 +7,13 @@
 #      (the B/op of one run divided by the population), compared the same
 #      way (>TOLERANCE% more fails). Allocation totals are deterministic up
 #      to runtime noise, so a single run suffices.
+#   3. Throughput: events/s (executed simulator events per wall-clock
+#      second, the delivery engine's headline — see reportEventsPerSec in
+#      bench_test.go) from both benchmarks above, guarded by a FLOOR:
+#      dropping more than TOLERANCE% below the baseline fails. Events
+#      processed is part of the determinism contract, so only wall time can
+#      move this number; like the wall-time baseline it is
+#      hardware-dependent.
 #
 #   scripts/bench_check.sh            # compare against the baseline
 #   scripts/bench_check.sh -update    # re-measure and rewrite the baseline
@@ -59,8 +66,26 @@ if [ -z "$median" ]; then
   exit 2
 fi
 
+# Median events/s across the same runs (the field before the "events/s"
+# unit). Higher is better: this one is guarded as a floor below.
+eps="$(echo "$out" | awk -v b="$BENCH" '
+  $1 ~ "^"b { for (i = 2; i < NF; i++) if ($(i+1) == "events/s") print $i }' | sort -n |
+  awk '{v[NR]=$1} END {if (NR) print v[int((NR+1)/2)]}')" || true
+if [ -z "$eps" ]; then
+  echo "bench_check: no events/s metric in $BENCH output" >&2
+  exit 2
+fi
+
 memout="$(COUNT=1 BENCHTIME=1x scripts/bench.sh -bench "$MEMBENCH\$")"
 echo "$memout"
+
+memeps="$(echo "$memout" | awk -v b="$MEMBENCH" '
+  $1 ~ "^"b { for (i = 2; i < NF; i++) if ($(i+1) == "events/s") print $i }' |
+  head -1)"
+if [ -z "$memeps" ]; then
+  echo "bench_check: no events/s metric in $MEMBENCH output" >&2
+  exit 2
+fi
 
 # B/op is the field before "B/op"; divide by the population for B/peer.
 bpp="$(echo "$memout" | awk -v b="$MEMBENCH" -v n="$MEMPEERS" '
@@ -72,8 +97,10 @@ if [ -z "$bpp" ]; then
 fi
 
 if [ "$update" = 1 ]; then
-  printf '%s %s\n%s-B/peer %s\n' "$BENCH" "$median" "$MEMBENCH" "$bpp" > "$BASELINE"
-  echo "bench_check: baseline updated: $BENCH $median ns/op, $MEMBENCH $bpp B/peer"
+  printf '%s %s\n%s-B/peer %s\n%s-events/s %s\n%s-events/s %s\n' \
+    "$BENCH" "$median" "$MEMBENCH" "$bpp" \
+    "$BENCH" "$eps" "$MEMBENCH" "$memeps" > "$BASELINE"
+  echo "bench_check: baseline updated: $BENCH $median ns/op ($eps events/s), $MEMBENCH $bpp B/peer ($memeps events/s)"
   exit 0
 fi
 
@@ -84,8 +111,10 @@ fi
 
 base="$(awk -v b="$BENCH" '$1 == b {print $2}' "$BASELINE")"
 membase="$(awk -v b="$MEMBENCH-B/peer" '$1 == b {print $2}' "$BASELINE")"
-if [ -z "$base" ] || [ -z "$membase" ]; then
-  echo "bench_check: $BENCH or $MEMBENCH-B/peer missing from $BASELINE (run with -update)" >&2
+epsbase="$(awk -v b="$BENCH-events/s" '$1 == b {print $2}' "$BASELINE")"
+memepsbase="$(awk -v b="$MEMBENCH-events/s" '$1 == b {print $2}' "$BASELINE")"
+if [ -z "$base" ] || [ -z "$membase" ] || [ -z "$epsbase" ] || [ -z "$memepsbase" ]; then
+  echo "bench_check: $BENCH, $MEMBENCH-B/peer or an events/s floor missing from $BASELINE (run with -update)" >&2
   exit 2
 fi
 
@@ -103,5 +132,21 @@ awk -v new="$bpp" -v old="$membase" -v tol="$TOLERANCE" 'BEGIN {
          "'"$MEMBENCH"'", new, old, pct, tol
   exit (pct > tol) ? 1 : 0
 }' || { echo "bench_check: FAIL — bytes-per-peer regression beyond tolerance" >&2; fail=1; }
+
+# Throughput floors: events/s is better when higher, so the guard trips when
+# the new number falls more than TOLERANCE% below the baseline.
+awk -v new="$eps" -v old="$epsbase" -v tol="$TOLERANCE" 'BEGIN {
+  pct = (new - old) * 100.0 / old
+  printf "bench_check: %s median %.0f events/s vs floor baseline %.0f events/s (%+.1f%%, tolerance -%s%%)\n",
+         "'"$BENCH"'", new, old, pct, tol
+  exit (pct < -tol) ? 1 : 0
+}' || { echo "bench_check: FAIL — 1k events/s dropped below the floor" >&2; fail=1; }
+
+awk -v new="$memeps" -v old="$memepsbase" -v tol="$TOLERANCE" 'BEGIN {
+  pct = (new - old) * 100.0 / old
+  printf "bench_check: %s %.0f events/s vs floor baseline %.0f events/s (%+.1f%%, tolerance -%s%%)\n",
+         "'"$MEMBENCH"'", new, old, pct, tol
+  exit (pct < -tol) ? 1 : 0
+}' || { echo "bench_check: FAIL — 10k events/s dropped below the floor" >&2; fail=1; }
 
 exit "$fail"
