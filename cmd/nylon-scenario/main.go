@@ -25,6 +25,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 	"repro/internal/view"
 )
 
@@ -50,6 +51,17 @@ func main() {
 		metricsJS = flag.String("metrics-json", "", "write the full metrics document to this file as JSON")
 		progress  = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 		verify    = flag.Bool("verify-samples", false, "cross-check every series sample against the legacy full-copy sweep and the health accumulators (slow; panics on divergence)")
+
+		traceOn  = flag.Bool("trace", false, "record network events (sends, deliveries, drops) in per-shard rings; tracing never perturbs the run")
+		traceOut = flag.String("trace-out", "", "write the merged trace to this file as JSON lines (implies -trace; inspect with nylon-trace)")
+		traceCap = flag.Int("trace-cap", 4096, "trace ring capacity: keep the last N events per shard")
+
+		flightDir     = flag.String("flight", "", "arm the flight recorder: write a forensic bundle (trace tail, health, kernel timing, drops) to this directory when a trigger fires")
+		flightStall   = flag.Int("flight-stall", 0, "recovery-stall trigger: fire after N consecutive samples below -flight-stall-below (0 = default 10 when -flight is set and no other trigger is armed)")
+		flightStallLo = flag.Float64("flight-stall-below", 0.95, "cluster fraction below which a sample counts as stalled")
+		flightEclipse = flag.Float64("flight-eclipse", 0, "eclipse trigger: fire when the eclipsed honest fraction reaches this (0 = off)")
+		flightCluster = flag.Float64("flight-cluster", 0, "collapse trigger: fire when the biggest-cluster fraction drops below this (0 = off)")
+		flightLeak    = flag.Bool("flight-leak", false, "pool-leak trigger: run the wire message-pool leak check at every sample and fire on imbalance")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -99,6 +111,24 @@ func main() {
 		fatal(err)
 	}
 	cfg.VerifySamples = *verify
+	if *traceOn || *traceOut != "" {
+		cfg.TraceCapacity = *traceCap
+	}
+	if *flightDir != "" {
+		trig := obs.Triggers{
+			StallRounds:  *flightStall,
+			StallBelow:   *flightStallLo,
+			EclipseAbove: *flightEclipse,
+			ClusterBelow: *flightCluster,
+			LeakCheck:    *flightLeak,
+		}
+		if trig.Zero() {
+			// An armed recorder with nothing to watch would never fire;
+			// default to the stall trigger, the broadest anomaly.
+			trig.StallRounds = 10
+		}
+		cfg.Flight = &obs.FlightSpec{Dir: *flightDir, Triggers: trig}
+	}
 	if *httpAddr != "" || *metrics || *metricsJS != "" || *progress > 0 || *verify {
 		cfg.Obs = obs.NewHub()
 	}
@@ -189,6 +219,20 @@ func main() {
 			fatal(err)
 		}
 		f.Close()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteJSONL(f, res.Trace); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s (inspect with nylon-trace)\n", len(res.Trace), *traceOut)
+	}
+	for _, b := range res.Bundles {
+		fmt.Printf("flight bundle       %s\n", b)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/view"
 )
 
@@ -37,7 +38,9 @@ func main() {
 		mix       = flag.String("mix", "paper", "NAT mix: paper (50/40/10 rc/prc/sym) or prc")
 		churnAt   = flag.Int("churn-at", 0, "round at which churn strikes (0 = none)")
 		churnPct  = flag.Float64("churn", 0, "percentage of peers departing at churn-at")
-		traceN    = flag.Int("trace", 0, "print the last N network events (sends, deliveries, drops)")
+		traceOn   = flag.Bool("trace", false, "record network events (sends, deliveries, drops) in per-shard rings; tracing never perturbs the run")
+		traceOut  = flag.String("trace-out", "", "write the merged trace to this file as JSON lines (implies -trace; inspect with nylon-trace)")
+		traceCap  = flag.Int("trace-cap", 4096, "trace ring capacity: keep the last N events per shard")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (results are identical for any value)")
 		shards    = flag.Int("shards", 0, "simulation shards (0 = default; results are identical for any value)")
 		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file (pprof format)")
@@ -70,9 +73,11 @@ func main() {
 		PushPull:      !*push,
 		ChurnAtRound:  *churnAt,
 		ChurnFraction: *churnPct / 100,
-		TraceCapacity: *traceN,
 		Workers:       *workers,
 		Shards:        *shards,
+	}
+	if *traceOn || *traceOut != "" {
+		cfg.TraceCapacity = *traceCap
 	}
 	var err error
 	if cfg.Selection, err = view.ParseSelection(*selection); err != nil {
@@ -144,8 +149,18 @@ func main() {
 		}
 		f.Close()
 	}
-	if res.TraceDump != "" {
-		fmt.Printf("--- last %d network events ---\n%s", *traceN, res.TraceDump)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteJSONL(f, res.Trace); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s (inspect with nylon-trace)\n", len(res.Trace), *traceOut)
+	} else if res.TraceDump != "" {
+		fmt.Printf("--- last %d network events ---\n%s", len(res.Trace), res.TraceDump)
 	}
 
 	if *memProf != "" {

@@ -152,7 +152,10 @@ type Config struct {
 	SampleEveryRounds int
 
 	// TraceCapacity, when positive, records the last that many network
-	// events (sends, deliveries, drops) into Result.TraceDump.
+	// events (sends, deliveries, drops) per shard into per-shard trace
+	// rings, merged into Result.Trace / Result.TraceDump in global
+	// scheduler-key order. Tracing works at any worker and shard count and
+	// never perturbs the run (TestTraceEffectInvariance pins both).
 	TraceCapacity int
 
 	// UPnPFraction is the fraction of natted peers whose NAT honours an
@@ -164,8 +167,7 @@ type Config struct {
 	// Shards is the number of simulation shards (default 8, a fixed
 	// constant — never derived from the machine). Results are invariant
 	// under the shard count (see DESIGN.md §5): it is purely a throughput
-	// knob bounding how many workers can help. Tracing (TraceCapacity)
-	// forces a single shard so the event trace is totally ordered.
+	// knob bounding how many workers can help.
 	Shards int
 	// Workers is the number of OS threads executing shards in parallel
 	// (default GOMAXPROCS, clamped to Shards). Results are bit-identical
@@ -180,6 +182,17 @@ type Config struct {
 	// exactly one run; give each run its own. Excluded from serialization:
 	// it is host wiring, not an experiment parameter.
 	Obs *obs.Hub `json:"-"`
+
+	// Flight, when non-nil, arms the anomaly-triggered flight recorder: the
+	// run's periodic health samples feed the spec's triggers, and each
+	// trigger that fires freezes a forensic bundle (merged trace tail,
+	// health and kernel snapshots, drop counters, series so far) into
+	// Flight.Dir; Result.Bundles lists the files written. A flight-armed
+	// run implies tracing (see traceCapacity) and health sampling
+	// (SampleEveryRounds defaults to 1) and, like Obs, never feeds back
+	// into the simulation. Host wiring, not an experiment parameter:
+	// excluded from serialization.
+	Flight *obs.FlightSpec `json:"-"`
 
 	// PerDatagramDelivery disables the network's batched lane delivery:
 	// every delivery event dispatches exactly one datagram, as the
@@ -237,6 +250,24 @@ func (c Config) Defaults() Config {
 	// reference configuration is (rand, healer, push/pull), which callers
 	// set explicitly.
 	return c
+}
+
+// DefaultFlightTraceCapacity is the per-shard trace ring capacity a
+// flight-armed run records with when TraceCapacity is unset: bundles embed
+// the merged trace tail, so the recorder needs rings to freeze.
+const DefaultFlightTraceCapacity = 16384
+
+// traceCapacity returns the effective per-shard trace ring capacity:
+// TraceCapacity when set, else the flight default when the flight recorder
+// is armed, else zero (tracing off).
+func (c Config) traceCapacity() int {
+	if c.TraceCapacity > 0 {
+		return c.TraceCapacity
+	}
+	if c.Flight != nil {
+		return DefaultFlightTraceCapacity
+	}
+	return 0
 }
 
 func (c Config) validate() error {

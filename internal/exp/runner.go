@@ -78,9 +78,15 @@ type Result struct {
 	// Recovery condenses Series into a recovery curve summary (zero when
 	// no series was sampled).
 	Recovery Recovery
-	// TraceDump holds the tail of the network event trace when
-	// Config.TraceCapacity is set (one event per line).
+	// Trace holds the merged network event trace when Config.TraceCapacity
+	// is set: the most recent TraceCapacity events across all shards, in
+	// global scheduler-key order. Bit-identical for any worker or shard
+	// count. TraceDump is its rendered form (one event per line).
+	Trace     []trace.Event
 	TraceDump string
+	// Bundles lists the forensic bundle files written by the flight
+	// recorder (see Config.Flight), in trigger order.
+	Bundles []string
 	// EventsProcessed is the total number of simulator events the run
 	// executed. It is part of the determinism contract: the same
 	// (Config, Scenario, Seed) executes the same events for any worker or
@@ -124,6 +130,9 @@ type runState struct {
 	// health, when Config.Obs is set, accumulates overlay health from
 	// view-mutation hooks; nil otherwise (the unobserved fast path).
 	health *obs.Health
+	// flight, when Config.Flight is set, watches the health samples for
+	// anomalies and freezes forensic bundles; nil otherwise.
+	flight *flightState
 	// sampleIDs and sampleEdges are the periodic sampler's run-lifetime
 	// scratch (see sampleOverlay).
 	sampleIDs   []ident.NodeID
@@ -146,24 +155,32 @@ func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	shards := cfg.Shards
-	if cfg.TraceCapacity > 0 {
-		// Tracing needs a totally ordered event log: run on one shard.
-		shards = 1
+	if cfg.Flight != nil {
+		// Flight bundles freeze health and kernel snapshots and are fed by
+		// the periodic health samples: arm both when the host didn't.
+		if cfg.Obs == nil {
+			cfg.Obs = obs.NewHub()
+		}
+		if cfg.SampleEveryRounds <= 0 {
+			cfg.SampleEveryRounds = 1
+		}
 	}
+	shards := cfg.Shards
 	st := &runState{
 		cfg:  cfg,
 		rng:  xrand.New(cfg.Seed),
 		kern: sim.NewSharded(shards, cfg.Workers, cfg.LatencyMs),
 	}
-	// Echo the effective execution shape (workers clamp to shards;
-	// tracing forces one shard) so Result.Cfg reports what actually ran.
-	st.cfg.Shards = shards
+	// Echo the effective execution shape (workers clamp to shards) so
+	// Result.Cfg reports what actually ran.
 	st.cfg.Workers = st.kern.Workers()
 	st.net = simnet.NewSharded(st.kern, cfg.LatencyMs)
 	st.net.SetPerDatagramDelivery(cfg.PerDatagramDelivery)
-	if cfg.TraceCapacity > 0 {
-		st.net.Trace = trace.New(cfg.TraceCapacity)
+	if cap := cfg.traceCapacity(); cap > 0 {
+		// Per-shard rings written lock-free from the delivery path, merged
+		// on demand in scheduler-key order: tracing works at any worker and
+		// shard count and never perturbs the run.
+		st.net.SetTrace(trace.NewSharded(shards, cap))
 	}
 	if cfg.Obs != nil {
 		// Bind the observability surface before any peer exists: health
@@ -175,6 +192,14 @@ func Run(cfg Config) (Result, error) {
 		st.health = cfg.Obs.Health()
 		st.kern.SetProbe(cfg.Obs.Timing())
 		st.net.SetObs(cfg.Obs.Registry())
+		if ts := st.net.Trace(); ts != nil {
+			// Expose the rings on the hub so the live ops endpoint can
+			// serve /debug/trace through the barrier tap.
+			cfg.Obs.SetTrace(ts)
+		}
+	}
+	if cfg.Flight != nil {
+		st.flight = newFlightState(cfg.Flight)
 	}
 	st.measureAfter = int64(cfg.Rounds) / 3 * cfg.PeriodMs
 	st.adv = newAdversaryState(cfg)
@@ -213,6 +238,14 @@ func Run(cfg Config) (Result, error) {
 	if err := st.net.LeakCheck(); err != nil {
 		return Result{}, err
 	}
+	if st.flight != nil && st.flight.err != nil {
+		return Result{}, st.flight.err
+	}
+	if cfg.Obs != nil {
+		// Barriers no longer fire: let the live endpoint read the trace
+		// rings directly instead of waiting on the tap.
+		cfg.Obs.MarkSimDone()
+	}
 
 	res := st.measure(end, *warmupBytes)
 	res.Series = *series
@@ -221,8 +254,12 @@ func Run(cfg Config) (Result, error) {
 	if st.scn != nil {
 		res.Scenario = st.scn.finishStats()
 	}
-	if st.net.Trace != nil {
-		res.TraceDump = st.net.Trace.Dump()
+	if ts := st.net.Trace(); ts != nil {
+		res.Trace = ts.Merged()
+		res.TraceDump = trace.Format(res.Trace)
+	}
+	if st.flight != nil {
+		res.Bundles = st.flight.bundles
 	}
 	return res, nil
 }

@@ -230,6 +230,7 @@ func (st *runState) scheduleSeries() *[]SamplePoint {
 			if st.cfg.Obs != nil {
 				st.cfg.Obs.PublishSample(r, pt.AlivePeers, pt.BiggestCluster, pt.StaleFraction)
 			}
+			st.observeFlight(pt, *series)
 		})
 	}
 	return series

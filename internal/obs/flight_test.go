@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+func TestFlightRecorderStall(t *testing.T) {
+	rec := NewFlightRecorder(Triggers{StallRounds: 3})
+	if got := rec.Triggers().StallBelow; got != 0.95 {
+		t.Fatalf("StallBelow default %v, want 0.95", got)
+	}
+	obs := func(round int, cluster float64) []Trigger {
+		return rec.Observe(Observation{Round: round, Cluster: cluster})
+	}
+	if f := obs(1, 0.5); f != nil {
+		t.Fatalf("fired after 1 low sample: %v", f)
+	}
+	if f := obs(2, 0.5); f != nil {
+		t.Fatalf("fired after 2 low samples: %v", f)
+	}
+	// A healthy sample resets the streak.
+	if f := obs(3, 0.99); f != nil {
+		t.Fatalf("fired on healthy sample: %v", f)
+	}
+	obs(4, 0.5)
+	obs(5, 0.5)
+	f := obs(6, 0.5)
+	if len(f) != 1 || f[0].Name != TriggerStall || f[0].Round != 6 {
+		t.Fatalf("want stall at round 6, got %v", f)
+	}
+	// Fires at most once per run.
+	if f := obs(7, 0.5); f != nil {
+		t.Fatalf("stall fired twice: %v", f)
+	}
+}
+
+func TestFlightRecorderEclipseCollapseLeak(t *testing.T) {
+	rec := NewFlightRecorder(Triggers{EclipseAbove: 0.3, ClusterBelow: 0.6, LeakCheck: true})
+	f := rec.Observe(Observation{Round: 9, Cluster: 0.5, Eclipse: 0.35, LeakErr: errors.New("imbalance")})
+	if len(f) != 3 {
+		t.Fatalf("want 3 triggers, got %v", f)
+	}
+	// Fixed evaluation order: eclipse, collapse, leak (stall disarmed).
+	for i, name := range []string{TriggerEclipse, TriggerCollapse, TriggerLeak} {
+		if f[i].Name != name {
+			t.Fatalf("trigger %d: want %s, got %s", i, name, f[i].Name)
+		}
+	}
+	if f := rec.Observe(Observation{Round: 10, Cluster: 0.1, Eclipse: 0.9, LeakErr: errors.New("x")}); f != nil {
+		t.Fatalf("triggers refired: %v", f)
+	}
+}
+
+func TestTriggersZero(t *testing.T) {
+	if !(Triggers{}).Zero() {
+		t.Error("empty Triggers not Zero")
+	}
+	for _, trig := range []Triggers{
+		{StallRounds: 1}, {EclipseAbove: 0.1}, {ClusterBelow: 0.1}, {LeakCheck: true},
+	} {
+		if trig.Zero() {
+			t.Errorf("%+v reported Zero", trig)
+		}
+	}
+}
+
+func testBundle() *Bundle {
+	return &Bundle{
+		Schema:  BundleSchema,
+		Trigger: Trigger{Name: TriggerEclipse, Round: 42, Detail: "test"},
+		Run:     RunDescriptor{Protocol: "nylon", Seed: 7, N: 100, Shards: 8, Workers: 2},
+		Drops:   map[string]uint64{"nylon_net_drops_nat_total": 3},
+		Trace: []trace.Event{
+			{At: 100, Op: trace.OpSend, Kind: 1, Src: 3, Dst: 9, OriginSeq: 1, Path: trace.PathRoot(3, 1)},
+			{At: 150, Op: trace.OpDeliver, Kind: 1, Src: 3, Dst: 9, OriginSeq: 1, Path: trace.PathRoot(3, 1)},
+		},
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bundle.json")
+	b := testBundle()
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trigger != b.Trigger || got.Run.Protocol != "nylon" || len(got.Trace) != 2 {
+		t.Fatalf("round trip mangled bundle: %+v", got)
+	}
+	if got.Trace[0] != b.Trace[0] {
+		t.Fatalf("trace event round trip: %v vs %v", got.Trace[0], b.Trace[0])
+	}
+
+	// Unknown schemas are rejected, not misparsed.
+	bad := testBundle()
+	bad.Schema = "nylon-flight-bundle/v999"
+	badPath := filepath.Join(dir, "bad.json")
+	if err := bad.Write(badPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(badPath); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	b := testBundle()
+	b.Kernel = &KernelSnapshot{
+		Events: 10, ExecNs: 5e6, BarrierNs: 1e6, Windows: 2, VirtualMs: 200,
+		WindowSamples: []sim.WindowSample{
+			{VirtualMs: 50, ExecNs: 2e6, BarrierNs: 4e5, Events: 5},
+			{VirtualMs: 100, ExecNs: 3e6, BarrierNs: 6e5, Events: 5},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome export is not a JSON array: %v", err)
+	}
+	var instants, metas int
+	for _, e := range events {
+		switch e["ph"] {
+		case "i":
+			instants++
+			if e["ts"].(float64) == 0 {
+				t.Error("instant event with zero timestamp")
+			}
+		case "M":
+			metas++
+		}
+	}
+	if instants != len(b.Trace) {
+		t.Errorf("%d instant events for %d trace events", instants, len(b.Trace))
+	}
+	if metas == 0 {
+		t.Error("no metadata (process/thread name) events")
+	}
+}
+
+// TestChromeKindNames pins the obs-local wire kind names against the wire
+// package itself (obs cannot import wire in non-test code: it sits below it
+// in the dependency order).
+func TestChromeKindNames(t *testing.T) {
+	for k := wire.KindRequest; k <= wire.KindPong; k++ {
+		if got, want := wireKindName(uint8(k)), k.String(); got != want {
+			t.Errorf("wireKindName(%d) = %q, want %q", k, got, want)
+		}
+	}
+}

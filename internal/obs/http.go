@@ -8,6 +8,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // Server is the live ops endpoint: Prometheus text on /metrics, an
@@ -55,12 +59,59 @@ func NewMux(hub *Hub) *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeTraceTail(w, r, hub)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// writeTraceTail serves /debug/trace: a bounded JSON tail of the merged
+// event trace (?n=, default 256, capped at 4096). Mid-run it posts a tap
+// request answered at the next kernel barrier — the only context allowed to
+// read the rings — so a scrape never races the shard writers; once the run
+// has finished (Hub.MarkSimDone) it reads the rings directly. 404 when
+// tracing is off, 503 when no barrier serves the tap in time.
+func writeTraceTail(w http.ResponseWriter, r *http.Request, hub *Hub) {
+	ts := hub.Trace()
+	if ts == nil {
+		http.Error(w, "tracing is off (run with -trace)", http.StatusNotFound)
+		return
+	}
+	n := 256
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "invalid n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	if n > 4096 {
+		n = 4096
+	}
+	var events []trace.Event
+	if hub.SimDone() {
+		events = ts.MergedTail(n)
+	} else {
+		var ok bool
+		events, ok = ts.RequestTail(n, 2*time.Second)
+		if !ok {
+			http.Error(w, "trace tap not served (no kernel barrier within 2s)", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(map[string]any{
+		"total":  ts.Total(),
+		"events": events,
+	})
 }
 
 // writePrometheus emits the registry's series followed by the synthesized

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // RunInfo describes the execution shape of the simulation a Hub observes.
@@ -33,6 +34,9 @@ type Hub struct {
 	info   RunInfo
 	bound  bool
 	start  time.Time
+
+	traces  *trace.Sharded
+	simDone bool
 
 	gRound, gAlive, gCluster, gStale *Gauge
 }
@@ -82,6 +86,20 @@ func (h *Hub) Timing() *sim.Timing { h.mu.Lock(); defer h.mu.Unlock(); return h.
 
 // Info returns the bound run's execution shape (zero until BindSim).
 func (h *Hub) Info() RunInfo { h.mu.Lock(); defer h.mu.Unlock(); return h.info }
+
+// SetTrace hands the hub the run's sharded trace recorder so the live
+// endpoint can serve /debug/trace. The runner calls it when tracing is on.
+func (h *Hub) SetTrace(ts *trace.Sharded) { h.mu.Lock(); defer h.mu.Unlock(); h.traces = ts }
+
+// Trace returns the run's trace recorder (nil when tracing is off).
+func (h *Hub) Trace() *trace.Sharded { h.mu.Lock(); defer h.mu.Unlock(); return h.traces }
+
+// MarkSimDone records that the bound simulation has returned: barriers no
+// longer fire, so /debug/trace switches from the live tap to direct reads.
+func (h *Hub) MarkSimDone() { h.mu.Lock(); defer h.mu.Unlock(); h.simDone = true }
+
+// SimDone reports whether MarkSimDone was called.
+func (h *Hub) SimDone() bool { h.mu.Lock(); defer h.mu.Unlock(); return h.simDone }
 
 // Uptime returns the time since the hub was created.
 func (h *Hub) Uptime() time.Duration { return time.Since(h.start) }

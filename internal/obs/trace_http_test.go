@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestDebugTraceEndpoint exercises /debug/trace in its three states: no
+// recorder (404), mid-run (served through the barrier tap), and after the
+// run (direct merged read).
+func TestDebugTraceEndpoint(t *testing.T) {
+	hub := boundHub()
+	srv, err := Serve("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr + "/debug/trace"
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no recorder: status %d, want 404", resp.StatusCode)
+	}
+
+	ts := trace.NewSharded(2, 64)
+	for i := 0; i < 10; i++ {
+		ts.Shard(i % 2).Record(trace.Event{At: int64(i), Actor: uint64(i), Op: trace.OpSend, Src: 1, Dst: 2})
+	}
+	hub.SetTrace(ts)
+
+	// Mid-run: a reader goroutine's tap is served at the next "barrier"
+	// (here simulated by a ServeTap loop, as the network's flush does).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				ts.ServeTap()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	body := get(t, url+"?n=4")
+	done <- struct{}{}
+	var doc struct {
+		Total  uint64        `json:"total"`
+		Events []trace.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/trace is not JSON: %v", err)
+	}
+	if doc.Total != 10 || len(doc.Events) != 4 {
+		t.Fatalf("mid-run tail: total %d (want 10), %d events (want 4)", doc.Total, len(doc.Events))
+	}
+	if doc.Events[3].At != 9 {
+		t.Errorf("tail does not end at the latest event: %+v", doc.Events)
+	}
+
+	// After the run no barrier will serve taps; MarkSimDone switches the
+	// handler to direct reads.
+	hub.MarkSimDone()
+	if err := json.Unmarshal([]byte(get(t, url)), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Events) != 10 {
+		t.Fatalf("post-run read returned %d events, want 10", len(doc.Events))
+	}
+}

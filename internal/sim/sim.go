@@ -77,6 +77,10 @@ type Scheduler struct {
 	limit     int64
 	limitSet  bool
 	limitExcl bool
+	// curActor/curSeq are the ordering key of the event currently
+	// executing (see CurrentKey).
+	curActor uint64
+	curSeq   uint64
 }
 
 // laneEntry is one lane event: only its firing coordinates are stored, the
@@ -355,17 +359,27 @@ func (s *Scheduler) NextAt() (at int64, ok bool) {
 	return at, ok
 }
 
+// CurrentKey returns the (actor, seq) ordering key of the event currently
+// executing. Together with Now it totally orders everything the event does:
+// observers (the network's trace rings) stamp their records with it so that
+// records from different shards merge back into the exact global execution
+// order. During a batched lane run the key tracks the lane entry currently
+// being delivered.
+func (s *Scheduler) CurrentKey() (actor, seq uint64) { return s.curActor, s.curSeq }
+
 // runNext executes the earliest pending event.
 func (s *Scheduler) runNext(fromLane bool) {
 	if fromLane {
 		e := s.lane.Pop()
 		s.now = e.at
+		s.curActor, s.curSeq = e.actor, e.seq
 		s.processed++
 		s.laneFn()
 		return
 	}
 	e := s.pop()
 	s.now = e.at
+	s.curActor, s.curSeq = e.actor, e.seq
 	s.processed++
 	if e.fn == nil {
 		s.tickFn(e.actor)
@@ -403,6 +417,7 @@ func (s *Scheduler) LaneContinue() bool {
 	}
 	e := s.lane.Pop()
 	s.now = e.at
+	s.curActor, s.curSeq = e.actor, e.seq
 	s.processed++
 	return true
 }

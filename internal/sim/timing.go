@@ -20,7 +20,33 @@ type Timing struct {
 	pending   atomic.Int64  // queue depth at the latest barrier
 	virtualMs atomic.Int64  // virtual clock at the latest barrier
 	exec      []execSlot
+
+	// samples is a bounded ring of per-window phase samples (deltas between
+	// consecutive barriers), feeding the flight recorder's kernel swimlane.
+	// It is written only from barrier context (single-threaded) and must be
+	// read only from barrier context or after the run — unlike the atomic
+	// aggregates above it is not safe for mid-run HTTP readers.
+	samples    []WindowSample
+	sampleNext int
+	sampleN    int
+	prevExecNs int64
+	prevBarNs  int64
+	prevEvents uint64
 }
+
+// WindowSample is one lookahead window's phase timings: the virtual clock at
+// its closing barrier, total shard CPU and barrier wall time spent since the
+// previous sample, and events executed in between.
+type WindowSample struct {
+	VirtualMs int64  `json:"virtual_ms"`
+	ExecNs    int64  `json:"exec_ns"`
+	BarrierNs int64  `json:"barrier_ns"`
+	Events    uint64 `json:"events"`
+}
+
+// maxWindowSamples bounds the phase-sample ring; at the default 50 ms window
+// this covers the last ~13 virtual seconds of kernel behaviour.
+const maxWindowSamples = 256
 
 // execSlot is one shard's execute-phase accumulator, padded so parallel
 // shards never share a cache line.
@@ -85,6 +111,38 @@ func (t *Timing) recordBarrier(ns, virtualMs, pending int64, processed uint64) {
 	t.virtualMs.Store(virtualMs)
 	t.pending.Store(pending)
 	t.events.Store(processed)
+
+	if t.samples == nil {
+		t.samples = make([]WindowSample, maxWindowSamples)
+	}
+	execNs := t.ExecNs()
+	barNs := t.BarrierNs()
+	t.samples[t.sampleNext] = WindowSample{
+		VirtualMs: virtualMs,
+		ExecNs:    execNs - t.prevExecNs,
+		BarrierNs: barNs - t.prevBarNs,
+		Events:    processed - t.prevEvents,
+	}
+	t.prevExecNs, t.prevBarNs, t.prevEvents = execNs, barNs, processed
+	t.sampleNext = (t.sampleNext + 1) % len(t.samples)
+	if t.sampleN < len(t.samples) {
+		t.sampleN++
+	}
+}
+
+// WindowSamples returns the most recent per-window phase samples, oldest
+// first. Call only from barrier context (a global event) or after the run;
+// mid-run callers on other goroutines would race the barrier writer.
+func (t *Timing) WindowSamples() []WindowSample {
+	out := make([]WindowSample, 0, t.sampleN)
+	start := t.sampleNext - t.sampleN
+	if start < 0 {
+		start += len(t.samples)
+	}
+	for i := 0; i < t.sampleN; i++ {
+		out = append(out, t.samples[(start+i)%len(t.samples)])
+	}
+	return out
 }
 
 func (t *Timing) recordWindow() { t.windows.Add(1) }

@@ -1,18 +1,26 @@
 package simnet
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
 
 // NetCounters mirrors the network's per-shard traffic and drop accounting
 // into a metrics registry so the live ops endpoint can expose it mid-run.
 // The counters are a one-way copy of state the network already maintains
 // (Peer byte counters, netShard.drops); nothing reads them back, so an
-// instrumented run is bit-identical to an uninstrumented one.
+// instrumented run is bit-identical to an uninstrumented one. The per-cause
+// drop counters are registered from the trace.DropCauses taxonomy table —
+// one source of truth with the trace ops and DropStats fields.
 type NetCounters struct {
-	Sent, Delivered    *obs.Counter
-	BytesSent          *obs.Counter
-	DropNAT, DropAddr  *obs.Counter
-	DropDead, DropLink *obs.Counter
-	DropPart           *obs.Counter
+	Sent, Delivered *obs.Counter
+	BytesSent       *obs.Counter
+	drops           [trace.NumDropCauses]*obs.Counter
+}
+
+// DropCounter returns the counter for one drop cause.
+func (c *NetCounters) DropCounter(cause trace.DropCause) *obs.Counter {
+	return c.drops[cause]
 }
 
 // SetObs attaches traffic counters from the given registry, which must be
@@ -22,14 +30,13 @@ func (n *Network) SetObs(reg *obs.Registry) {
 	if reg.Shards() != len(n.shards) {
 		panic("simnet: SetObs with a registry sized for a different shard count")
 	}
-	n.counters = &NetCounters{
+	c := &NetCounters{
 		Sent:      reg.Counter("nylon_net_datagrams_sent_total", "datagrams transmitted (after NAT egress)"),
 		Delivered: reg.Counter("nylon_net_datagrams_delivered_total", "datagrams delivered to an engine"),
 		BytesSent: reg.Counter("nylon_net_bytes_sent_total", "payload bytes transmitted"),
-		DropNAT:   reg.Counter("nylon_net_drops_nat_total", "datagrams refused by the destination NAT"),
-		DropAddr:  reg.Counter("nylon_net_drops_addr_total", "datagrams to endpoints with no live mapping"),
-		DropDead:  reg.Counter("nylon_net_drops_dead_total", "datagrams to departed peers"),
-		DropLink:  reg.Counter("nylon_net_drops_link_total", "datagrams lost in flight by the link model"),
-		DropPart:  reg.Counter("nylon_net_drops_partition_total", "datagrams dropped at a partition cut"),
 	}
+	for cause, info := range trace.DropCauses {
+		c.drops[cause] = reg.Counter(info.Metric, info.Help)
+	}
+	n.counters = c
 }

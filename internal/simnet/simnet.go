@@ -30,6 +30,7 @@ package simnet
 
 import (
 	"fmt"
+	"reflect"
 	"slices"
 
 	"repro/internal/core"
@@ -69,6 +70,11 @@ type Peer struct {
 	// value as its ordering key, making same-time tie-breaks a pure
 	// function of the simulated world (see sim.Scheduler.AtKey).
 	Seq uint64
+	// StampSeq counts the messages the peer originated (hop 0), numbering
+	// its causal chains: (ID, StampSeq) names every forwarding chain the
+	// peer starts (see internal/trace). Advanced unconditionally at send
+	// time so traced and untraced runs stay bit-identical.
+	StampSeq uint32
 
 	// Traffic counters, in bytes and datagrams. Sent counts every datagram
 	// the engine emitted; Recv counts only datagrams actually delivered
@@ -95,14 +101,6 @@ type DropStats struct {
 	LinkLost uint64
 	// Partitioned datagrams were dropped at a partition cut.
 	Partitioned uint64
-}
-
-func (d *DropStats) add(o DropStats) {
-	d.NATFiltered += o.NATFiltered
-	d.NoSuchAddr += o.NoSuchAddr
-	d.DeadPeer += o.DeadPeer
-	d.LinkLost += o.LinkLost
-	d.Partitioned += o.Partitioned
 }
 
 // LinkPolicy perturbs individual datagram transmissions: a scenario's link
@@ -270,11 +268,11 @@ type Network struct {
 	// whose Side differs are dropped at the cut.
 	partitionOn bool
 
-	// Trace, when non-nil, records every transmission, delivery and drop.
-	// Tracing requires a single shard (the host forces one): a shared ring
-	// written from parallel shards would race and interleave
-	// nondeterministically.
-	Trace *trace.Ring
+	// traces, when non-nil, records every transmission, delivery and drop
+	// into per-shard rings (see SetTrace): each shard writes only its own
+	// ring, lock-free, and the rings merge back into the global event order
+	// by scheduler key. Works at any worker and shard count.
+	traces *trace.Sharded
 
 	// counters, when non-nil, mirrors traffic and drop accounting into a
 	// metrics registry for the live ops endpoint (see SetObs).
@@ -372,7 +370,50 @@ type netShard struct {
 	mergeCur   []int
 	mergeHeap  []int32
 
-	drops DropStats
+	// tr is this shard's trace ring (nil when tracing is off — the
+	// zero-cost fast path, one nil check per event).
+	tr *trace.Ring
+
+	// drops counts dropped datagrams per cause; DropStats and the obs
+	// counters are derived from the same trace.DropCauses table.
+	drops [trace.NumDropCauses]uint64
+}
+
+// trace records one event on the shard's ring, stamped with the scheduler
+// key of the event currently executing so per-shard rings merge back into
+// the exact global order. No-op (one nil check) when tracing is off.
+func (sh *netShard) trace(op trace.Op, from, to ident.Endpoint, msg *wire.Message, size uint64) {
+	tr := sh.tr
+	if tr == nil {
+		return
+	}
+	actor, seq := sh.sched.CurrentKey()
+	tr.Record(trace.Event{
+		At:        sh.sched.Now(),
+		Actor:     actor,
+		Seq:       seq,
+		Op:        op,
+		Kind:      uint8(msg.Kind),
+		Hop:       msg.Hops,
+		Src:       msg.Src.ID,
+		Dst:       msg.Dst.ID,
+		OriginSeq: msg.OriginSeq,
+		Path:      msg.PathHash,
+		From:      from,
+		To:        to,
+		Size:      uint32(size),
+	})
+}
+
+// drop accounts one dropped datagram across all three views of the drop
+// taxonomy — the per-cause stats, the obs counter, and the trace — driven
+// by the single trace.DropCauses table.
+func (n *Network) drop(sh *netShard, cause trace.DropCause, from, to ident.Endpoint, msg *wire.Message, size uint64) {
+	sh.drops[cause]++
+	if c := n.counters; c != nil {
+		c.drops[cause].Inc(sh.idx)
+	}
+	sh.trace(trace.DropCauses[cause].Op, from, to, msg, size)
 }
 
 // jitEntry is one link-delayed delivery waiting in a shard's jit heap.
@@ -616,14 +657,49 @@ func (n *Network) ShardPool(i int) *wire.Pool { return n.shards[i].pool }
 // contract of core.Shared.
 func (n *Network) ShardShared(i int) *core.Shared { return n.shards[i].shared }
 
-// Drops returns the datagram drop counters aggregated across shards.
+// Drops returns the datagram drop counters aggregated across shards. The
+// DropStats fields are populated from the trace.DropCauses table (the
+// single source of the drop taxonomy); TestDropStatFields pins that every
+// table entry names a real field.
 func (n *Network) Drops() DropStats {
-	var total DropStats
-	for i := range n.shards {
-		total.add(n.shards[i].drops)
+	causes := n.DropTotals()
+	var d DropStats
+	v := reflect.ValueOf(&d).Elem()
+	for c := range trace.DropCauses {
+		v.FieldByName(trace.DropCauses[c].StatField).SetUint(causes[c])
 	}
-	return total
+	return d
 }
+
+// DropTotals returns the per-cause drop counters aggregated across shards,
+// indexed by trace.DropCause. Call at setup or barrier context.
+func (n *Network) DropTotals() [trace.NumDropCauses]uint64 {
+	var causes [trace.NumDropCauses]uint64
+	for i := range n.shards {
+		for c, v := range n.shards[i].drops {
+			causes[c] += v
+		}
+	}
+	return causes
+}
+
+// SetTrace installs (or, with nil, removes) the sharded trace recorder,
+// which must be sized for the network's shard count. Call at setup or
+// barrier context. Recording costs one nil check per event when installed
+// rings are absent; every barrier additionally serves at most one pending
+// live tap (see trace.Sharded.RequestTail).
+func (n *Network) SetTrace(ts *trace.Sharded) {
+	if ts != nil && ts.Shards() != len(n.shards) {
+		panic("simnet: SetTrace with a recorder sized for a different shard count")
+	}
+	n.traces = ts
+	for i := range n.shards {
+		n.shards[i].tr = ts.Shard(i)
+	}
+}
+
+// Trace returns the installed sharded trace recorder, or nil.
+func (n *Network) Trace() *trace.Sharded { return n.traces }
 
 // SetLinkPolicy installs (or, with nil, removes) the transmission
 // perturbation policy. With no policy the constant-latency lane fast path is
@@ -779,28 +855,33 @@ func (n *Network) Send(from *Peer, s core.Send) {
 		c.BytesSent.Add(from.Shard, size)
 	}
 
+	// Causal stamp (see internal/trace): a hop-0 send opens a fresh chain
+	// numbered by the origin's private counter; a relayed send folds the
+	// relay into the path hash. Stamps live in in-memory message fields the
+	// protocol never reads and are maintained unconditionally, so traced
+	// and untraced runs execute identically.
+	if s.Msg.Hops == 0 {
+		from.StampSeq++
+		s.Msg.OriginSeq = from.StampSeq
+		s.Msg.PathHash = trace.PathRoot(from.ID, from.StampSeq)
+	} else {
+		s.Msg.PathHash = trace.PathExtend(s.Msg.PathHash, from.ID)
+	}
+
 	now := sh.sched.Now()
 	srcEP := from.Priv
 	if from.Device != nil {
 		srcEP = from.Device.Outbound(now, from.Priv, s.To)
 	}
-	if n.Trace != nil {
-		n.Trace.Record(trace.Event{At: now, Op: trace.OpSend, From: srcEP, To: s.To, Kind: uint8(s.Msg.Kind), Size: int(size)})
-	}
+	sh.trace(trace.OpSend, srcEP, s.To, s.Msg, size)
 	var extra int64
 	if n.policy != nil {
-		var drop bool
-		extra, drop = n.policy.Transmit(now, from.ID, srcEP, s.To, size)
-		if drop {
+		var dropped bool
+		extra, dropped = n.policy.Transmit(now, from.ID, srcEP, s.To, size)
+		if dropped {
 			// In-flight loss, accounted at send time: the sender paid
 			// the bytes, nobody receives them.
-			sh.drops.LinkLost++
-			if c := n.counters; c != nil {
-				c.DropLink.Inc(sh.idx)
-			}
-			if n.Trace != nil {
-				n.Trace.Record(trace.Event{At: now, Op: trace.OpDropLink, From: srcEP, To: s.To, Kind: uint8(s.Msg.Kind), Size: int(size)})
-			}
+			n.drop(sh, trace.DropLink, srcEP, s.To, s.Msg, size)
 			sh.pool.Put(s.Msg)
 			return
 		}
@@ -837,13 +918,7 @@ func (n *Network) Send(from *Peer, s core.Send) {
 	if !ok {
 		// No owner now means none ever: IPs are allocated once and never
 		// reassigned. Account the drop at send time.
-		sh.drops.NoSuchAddr++
-		if c := n.counters; c != nil {
-			c.DropAddr.Inc(sh.idx)
-		}
-		if n.Trace != nil {
-			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: s.To})
-		}
+		n.drop(sh, trace.DropAddr, srcEP, s.To, s.Msg, size)
 		sh.pool.Put(s.Msg)
 		return
 	}
@@ -873,6 +948,9 @@ func (n *Network) Send(from *Peer, s core.Send) {
 // (link-delayed arrivals) falls back to the gather-and-sort path; both
 // produce the identical keyCompare order, which the invariance tests pin.
 func (n *Network) flush() {
+	// Barrier context: no shard worker is running, so this is the one safe
+	// place to serve a live trace read posted by another goroutine.
+	n.traces.ServeTap()
 	for di := range n.shards {
 		dst := &n.shards[di]
 		runs := dst.runScratch[:0]
@@ -1052,7 +1130,7 @@ func (n *Network) jitNext(i int) {
 func (n *Network) deliver(si int, srcEP, to ident.Endpoint, msg *wire.Message, size uint64) {
 	sh := &n.shards[si]
 	now := sh.sched.Now()
-	target, ok := n.resolve(sh, now, srcEP, to)
+	target, ok := n.resolve(sh, now, srcEP, to, msg, size)
 	if !ok {
 		return
 	}
@@ -1060,24 +1138,12 @@ func (n *Network) deliver(si int, srcEP, to ident.Endpoint, msg *wire.Message, s
 		// The cut is evaluated at delivery time: datagrams in flight when
 		// the partition strikes are swallowed by it too.
 		if src, ok := n.OwnerOfIP(srcEP.IP); ok && src.Side != target.Side {
-			sh.drops.Partitioned++
-			if c := n.counters; c != nil {
-				c.DropPart.Inc(sh.idx)
-			}
-			if n.Trace != nil {
-				n.Trace.Record(trace.Event{At: now, Op: trace.OpDropPartition, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
-			}
+			n.drop(sh, trace.DropPartition, srcEP, to, msg, size)
 			return
 		}
 	}
 	if !target.Alive {
-		sh.drops.DeadPeer++
-		if c := n.counters; c != nil {
-			c.DropDead.Inc(sh.idx)
-		}
-		if n.Trace != nil {
-			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropDead, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
-		}
+		n.drop(sh, trace.DropDead, srcEP, to, msg, size)
 		return
 	}
 	target.BytesRecv += size
@@ -1085,9 +1151,7 @@ func (n *Network) deliver(si int, srcEP, to ident.Endpoint, msg *wire.Message, s
 	if c := n.counters; c != nil {
 		c.Delivered.Inc(sh.idx)
 	}
-	if n.Trace != nil {
-		n.Trace.Record(trace.Event{At: now, Op: trace.OpDeliver, From: srcEP, To: to, Kind: uint8(msg.Kind), Size: int(size)})
-	}
+	sh.trace(trace.OpDeliver, srcEP, to, msg, size)
 	outs := target.Engine.Receive(now, srcEP, msg)
 	for _, out := range outs {
 		n.Send(target, out)
@@ -1097,7 +1161,7 @@ func (n *Network) deliver(si int, srcEP, to ident.Endpoint, msg *wire.Message, s
 // resolve finds the live owner of a destination endpoint, applying NAT
 // admission. It updates the shard's drop statistics and the trace on
 // failure.
-func (n *Network) resolve(sh *netShard, now int64, srcEP, to ident.Endpoint) (*Peer, bool) {
+func (n *Network) resolve(sh *netShard, now int64, srcEP, to ident.Endpoint, msg *wire.Message, size uint64) (*Peer, bool) {
 	var dev *nat.Device
 	if s := n.pubSlotFor(to.IP); s != nil {
 		if s.peer != nil && s.peer.Addr == to {
@@ -1106,24 +1170,12 @@ func (n *Network) resolve(sh *netShard, now int64, srcEP, to ident.Endpoint) (*P
 		dev = s.dev
 	}
 	if dev == nil {
-		sh.drops.NoSuchAddr++
-		if c := n.counters; c != nil {
-			c.DropAddr.Inc(sh.idx)
-		}
-		if n.Trace != nil {
-			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
-		}
+		n.drop(sh, trace.DropAddr, srcEP, to, msg, size)
 		return nil, false
 	}
 	priv, ok := dev.Inbound(now, srcEP, to)
 	if !ok {
-		sh.drops.NATFiltered++
-		if c := n.counters; c != nil {
-			c.DropNAT.Inc(sh.idx)
-		}
-		if n.Trace != nil {
-			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropNAT, From: srcEP, To: to})
-		}
+		n.drop(sh, trace.DropNAT, srcEP, to, msg, size)
 		return nil, false
 	}
 	if priv == sh.resolvedPriv && sh.resolvedPeer != nil {
@@ -1131,13 +1183,7 @@ func (n *Network) resolve(sh *netShard, now int64, srcEP, to ident.Endpoint) (*P
 	}
 	p := n.privatePeerAt(priv)
 	if p == nil {
-		sh.drops.NoSuchAddr++
-		if c := n.counters; c != nil {
-			c.DropAddr.Inc(sh.idx)
-		}
-		if n.Trace != nil {
-			n.Trace.Record(trace.Event{At: now, Op: trace.OpDropAddr, From: srcEP, To: to})
-		}
+		n.drop(sh, trace.DropAddr, srcEP, to, msg, size)
 		return nil, false
 	}
 	sh.resolvedPriv, sh.resolvedPeer = priv, p

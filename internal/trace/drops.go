@@ -1,0 +1,97 @@
+package trace
+
+// DropCause enumerates why the network dropped a datagram. It is the single
+// source of truth for the drop taxonomy: the trace Op variants, the
+// simulated network's DropStats fields, and the nylon_net_drops_* metric
+// names are all derived from the DropCauses table below, so the three views
+// can never drift apart (a cross-check test in exp pins the equality at
+// runtime too).
+type DropCause int
+
+// Drop causes, in DropStats field order.
+const (
+	// DropNAT: refused by the destination NAT filter.
+	DropNAT DropCause = iota
+	// DropAddr: addressed to an endpoint nobody owns.
+	DropAddr
+	// DropDead: addressed to a departed peer.
+	DropDead
+	// DropLink: lost in flight by the link model.
+	DropLink
+	// DropPartition: dropped at a network partition cut.
+	DropPartition
+
+	// NumDropCauses sizes per-cause counter arrays.
+	NumDropCauses
+)
+
+// DropCauseInfo describes one drop cause across its three representations.
+type DropCauseInfo struct {
+	// Cause is the table index, for self-checks.
+	Cause DropCause
+	// Op is the trace op recorded for this cause.
+	Op Op
+	// OpName is the op's render name (Op.String output).
+	OpName string
+	// Metric is the Prometheus counter name registered by simnet.SetObs.
+	Metric string
+	// Help is the counter's help string.
+	Help string
+	// StatField is the simnet.DropStats field fed by this cause.
+	StatField string
+}
+
+// DropCauses is the taxonomy table, indexed by DropCause.
+var DropCauses = [NumDropCauses]DropCauseInfo{
+	DropNAT: {
+		Cause:     DropNAT,
+		Op:        OpDropNAT,
+		OpName:    "drop-nat",
+		Metric:    "nylon_net_drops_nat_total",
+		Help:      "datagrams refused by the destination NAT",
+		StatField: "NATFiltered",
+	},
+	DropAddr: {
+		Cause:     DropAddr,
+		Op:        OpDropAddr,
+		OpName:    "drop-addr",
+		Metric:    "nylon_net_drops_addr_total",
+		Help:      "datagrams to endpoints with no live mapping",
+		StatField: "NoSuchAddr",
+	},
+	DropDead: {
+		Cause:     DropDead,
+		Op:        OpDropDead,
+		OpName:    "drop-dead",
+		Metric:    "nylon_net_drops_dead_total",
+		Help:      "datagrams to departed peers",
+		StatField: "DeadPeer",
+	},
+	DropLink: {
+		Cause:     DropLink,
+		Op:        OpDropLink,
+		OpName:    "drop-link",
+		Metric:    "nylon_net_drops_link_total",
+		Help:      "datagrams lost in flight by the link model",
+		StatField: "LinkLost",
+	},
+	DropPartition: {
+		Cause:     DropPartition,
+		Op:        OpDropPartition,
+		OpName:    "drop-part",
+		Metric:    "nylon_net_drops_partition_total",
+		Help:      "datagrams dropped at a partition cut",
+		StatField: "Partitioned",
+	},
+}
+
+// DropCauseOf maps a trace op back to its drop cause. ok is false for
+// non-drop ops.
+func DropCauseOf(op Op) (DropCause, bool) {
+	for _, d := range DropCauses {
+		if d.Op == op {
+			return d.Cause, true
+		}
+	}
+	return 0, false
+}

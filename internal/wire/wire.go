@@ -79,6 +79,17 @@ type Message struct {
 	Dst     view.Descriptor
 	Via     view.Descriptor
 	Entries []ViewEntry
+
+	// OriginSeq and PathHash are the causal stamp maintained by the host
+	// network at send time (see internal/trace): (Src.ID, OriginSeq) names
+	// the forwarding chain this datagram belongs to — the origin's
+	// per-message counter — and PathHash folds in every relay the datagram
+	// crossed. The stamp is in-memory forensic state, deliberately NOT part
+	// of the wire codec: Marshal ignores it and Unmarshal leaves it zero, so
+	// encoded sizes — the paper's bandwidth accounting (Figs. 7/8) — are
+	// unchanged. Clone preserves it along forwarding; Release clears it.
+	OriginSeq uint32
+	PathHash  uint64
 }
 
 // Codec constants.

@@ -16,8 +16,9 @@ trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
 
 go build -o "$tmp/nylon-sim" ./cmd/nylon-sim
 
-# A run big enough to still be in flight when we scrape.
-"$tmp/nylon-sim" -n 2000 -rounds 300 -protocol nylon -nat 80 \
+# A run big enough to still be in flight when we scrape; -trace arms the
+# per-shard rings so /debug/trace has something to serve.
+"$tmp/nylon-sim" -n 2000 -rounds 300 -protocol nylon -nat 80 -trace \
   -http 127.0.0.1:0 >"$tmp/out.log" 2>"$tmp/err.log" &
 pid=$!
 
@@ -67,6 +68,11 @@ done
 # The health endpoint and the JSON dump must answer too.
 [ "$(scrape /healthz)" = "ok" ] || { echo "ops_smoke: /healthz did not answer ok" >&2; fail=1; }
 scrape /debug/vars | grep -q '"kernel"' || { echo "ops_smoke: /debug/vars missing kernel section" >&2; fail=1; }
+
+# /debug/trace must serve a bounded JSON tail through the live barrier tap.
+tracebody="$(scrape '/debug/trace?n=16')" || { echo "ops_smoke: /debug/trace did not answer" >&2; fail=1; tracebody=""; }
+printf '%s' "$tracebody" | grep -q '"events"' || { echo "ops_smoke: /debug/trace missing events array" >&2; fail=1; }
+printf '%s' "$tracebody" | grep -q '"op"' || { echo "ops_smoke: /debug/trace tail holds no events" >&2; fail=1; }
 
 # Alive peers must be non-zero mid-run.
 alive="$(printf '%s\n' "$metrics" | awk '$1 == "nylon_health_alive_peers" {print $2}')"
