@@ -13,15 +13,27 @@
 // cohort — from the file's "adversaries" block or the -adversary flags —
 // the series gains eclipse%/colluder% columns and the summary an attack
 // block (see internal/adversary and DESIGN.md §8).
+//
+// Long runs survive interruptions: -checkpoint DIR snapshots the world every
+// -checkpoint-every rounds (and at the next barrier after SIGINT/SIGTERM),
+// and -resume FILE continues bit-identically. Pass -f together with -resume
+// to branch: the restored world replays under the new scenario from the
+// resume round on ("what if the adversary fraction doubled at round 400?"):
+//
+//	nylon-scenario -f storm.json -rounds 600 -checkpoint /tmp/ck -checkpoint-every 100
+//	nylon-scenario -resume /tmp/ck/round-00000400.snap -f storm-worse.json
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/scenario"
@@ -62,25 +74,44 @@ func main() {
 		flightEclipse = flag.Float64("flight-eclipse", 0, "eclipse trigger: fire when the eclipsed honest fraction reaches this (0 = off)")
 		flightCluster = flag.Float64("flight-cluster", 0, "collapse trigger: fire when the biggest-cluster fraction drops below this (0 = off)")
 		flightLeak    = flag.Bool("flight-leak", false, "pool-leak trigger: run the wire message-pool leak check at every sample and fire on imbalance")
+
+		ckDir   = flag.String("checkpoint", "", "write crash-survivable world snapshots into this directory; SIGINT/SIGTERM checkpoints at the next round barrier and exits")
+		ckEvery = flag.Int("checkpoint-every", 0, "with -checkpoint, also snapshot every N rounds (0 = only on signal)")
+		resume  = flag.String("resume", "", "resume from this snapshot file; with -f the run branches onto that scenario from the resume round, without it the snapshot's scenario continues")
 	)
 	flag.Parse()
-	if *file == "" {
-		fatal(fmt.Errorf("-f scenario.json is required"))
+	if *resume != "" {
+		cliutil.RejectResumeOverrides("nylon-scenario",
+			"n", "nat", "view", "rounds", "seed", "protocol", "selection", "merge",
+			"push", "every", "verify-samples", "trace", "trace-out", "trace-cap",
+			"flight", "flight-stall", "flight-stall-below", "flight-eclipse", "flight-cluster", "flight-leak")
+		if *adv != "" && *file == "" {
+			fatal(fmt.Errorf("-adversary with -resume needs -f: flag cohorts stack onto the branch scenario"))
+		}
+	} else if *file == "" {
+		fatal(fmt.Errorf("-f scenario.json is required (or -resume a snapshot)"))
 	}
 
-	sc, err := scenario.Load(*file)
-	if err != nil {
-		fatal(err)
-	}
-	if *adv != "" {
-		// Flag-injected cohorts stack on top of whatever the file declares.
-		sc.Adversaries = append(sc.Adversaries, scenario.Adversary{
-			Strategy:  *adv,
-			Fraction:  *advPct / 100,
-			FromRound: *advFrom,
-		})
-		if err := sc.Validate(*rounds); err != nil {
+	var sc *scenario.Scenario
+	var err error
+	if *file != "" {
+		if sc, err = scenario.Load(*file); err != nil {
 			fatal(err)
+		}
+		if *adv != "" {
+			// Flag-injected cohorts stack on top of whatever the file declares.
+			sc.Adversaries = append(sc.Adversaries, scenario.Adversary{
+				Strategy:  *adv,
+				Fraction:  *advPct / 100,
+				FromRound: *advFrom,
+			})
+			// On a branch the horizon comes from the snapshot, so validation
+			// happens inside Resume instead.
+			if *resume == "" {
+				if err := sc.Validate(*rounds); err != nil {
+					fatal(err)
+				}
+			}
 		}
 	}
 	sample := *every
@@ -129,11 +160,13 @@ func main() {
 		}
 		cfg.Flight = &obs.FlightSpec{Dir: *flightDir, Triggers: trig}
 	}
+	var hub *obs.Hub
 	if *httpAddr != "" || *metrics || *metricsJS != "" || *progress > 0 || *verify {
-		cfg.Obs = obs.NewHub()
+		hub = obs.NewHub()
 	}
+	cfg.Obs = hub
 	if *httpAddr != "" {
-		srv, err := obs.Serve(*httpAddr, cfg.Obs)
+		srv, err := obs.Serve(*httpAddr, hub)
 		if err != nil {
 			fatal(err)
 		}
@@ -141,25 +174,66 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ops endpoint listening on http://%s\n", srv.Addr)
 	}
 	if *progress > 0 {
-		stop := obs.StartProgress(os.Stderr, cfg.Obs, *progress)
+		stop := obs.StartProgress(os.Stderr, hub, *progress)
 		defer stop()
 	}
 
+	// A resumed run keeps checkpointing into its snapshot's directory unless
+	// -checkpoint redirects it; a signal always checkpoints when a directory
+	// is armed.
+	ckInto := *ckDir
+	if ckInto == "" && *resume != "" {
+		ckInto = filepath.Dir(*resume)
+	}
+	var spec *exp.CheckpointSpec
+	if ckInto != "" {
+		_, stop := cliutil.NotifyStop(os.Stderr, "nylon-scenario")
+		spec = &exp.CheckpointSpec{Dir: ckInto, EveryRounds: *ckEvery, Stop: stop}
+	}
+	cfg.Checkpoint = spec
+
 	start := time.Now()
-	res, err := exp.Run(cfg)
+	var res exp.Result
+	if *resume != "" {
+		res, err = exp.ResumeFile(*resume, exp.ResumeOptions{
+			Workers:    *workers,
+			Scenario:   sc, // nil: continue the snapshot's scenario; non-nil: branch
+			Checkpoint: spec,
+			Obs:        hub,
+		})
+	} else {
+		res, err = exp.Run(cfg)
+	}
+	var ie *exp.InterruptedError
+	if errors.As(err, &ie) {
+		fmt.Fprintf(os.Stderr, "nylon-scenario: interrupted at round %d\n", ie.Round)
+		fmt.Fprintf(os.Stderr, "nylon-scenario: resume with: nylon-scenario -resume %s\n", ie.Path)
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	wall := time.Since(start)
 
-	name := sc.Name
-	if name == "" {
-		name = *file
+	// On resume the effective scenario and parameters come from the result's
+	// config (the snapshot's, or the branch), not from this process's flags.
+	rc := res.Cfg
+	scEff := rc.Scenario
+	name := ""
+	if scEff != nil {
+		name = scEff.Name
 	}
-	fmt.Printf("# scenario %q: %s\n", name, describe(sc))
+	if name == "" {
+		if *file != "" {
+			name = *file
+		} else {
+			name = *resume
+		}
+	}
+	fmt.Printf("# scenario %q: %s\n", name, describe(scEff))
 	fmt.Printf("# %s, %d peers (%.0f%% natted), view %d, %d rounds, seed %d\n",
-		cfg.Protocol, cfg.N, *natPct, cfg.ViewSize, cfg.Rounds, cfg.Seed)
-	hostile := len(sc.AdversaryList()) > 0
+		rc.Protocol, rc.N, rc.NATRatio*100, rc.ViewSize, rc.Rounds, rc.Seed)
+	hostile := len(scEff.AdversaryList()) > 0
 	if hostile {
 		fmt.Println("round\talive\tcluster%\tstale%\tjoins\tleaves\teclipse%\tcolluder%")
 	} else {
@@ -208,14 +282,14 @@ func main() {
 	}
 	fmt.Printf("throughput          %s\n", res.ThroughputLine(wall))
 	if *metrics {
-		fmt.Print(obs.KernelTable(cfg.Obs))
+		fmt.Print(obs.KernelTable(hub))
 	}
 	if *metricsJS != "" {
 		f, err := os.Create(*metricsJS)
 		if err != nil {
 			fatal(err)
 		}
-		if err := obs.WriteMetricsJSON(f, cfg.Obs); err != nil {
+		if err := obs.WriteMetricsJSON(f, hub); err != nil {
 			fatal(err)
 		}
 		f.Close()
@@ -238,6 +312,10 @@ func main() {
 
 // describe renders a one-line summary of the scenario's dimensions.
 func describe(sc *scenario.Scenario) string {
+	if sc == nil {
+		// A resumed snapshot of a scenario-less run (e.g. from nylon-sim).
+		return "no scenario"
+	}
 	s := ""
 	if c := sc.Churn; c != nil {
 		s += fmt.Sprintf("churn λjoin=%.3g λleave=%.3g; ", c.JoinsPerRound, c.LeavesPerRound)

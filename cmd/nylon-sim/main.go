@@ -8,16 +8,28 @@
 // Compare with the NAT-oblivious baseline:
 //
 //	nylon-sim -n 10000 -nat 90 -rounds 600 -protocol generic -mix prc
+//
+// Long runs survive crashes and interruptions: -checkpoint DIR snapshots the
+// complete world state into DIR (every -checkpoint-every rounds, and at the
+// next round barrier after SIGINT/SIGTERM), and -resume FILE continues a run
+// from such a snapshot, bit-identical to never having stopped:
+//
+//	nylon-sim -n 100000 -rounds 600 -checkpoint /tmp/ck -checkpoint-every 50
+//	^C
+//	nylon-sim -resume /tmp/ck/round-00000150.snap
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -49,8 +61,16 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print the kernel phase-timing and overlay-health table at the end of the run")
 		metricsJS = flag.String("metrics-json", "", "write the full metrics document (registry, kernel, health) to this file as JSON")
 		progress  = flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 10s; 0 = off)")
+		ckDir     = flag.String("checkpoint", "", "write crash-survivable world snapshots into this directory; SIGINT/SIGTERM checkpoints at the next round barrier and exits")
+		ckEvery   = flag.Int("checkpoint-every", 0, "with -checkpoint, also snapshot every N rounds (0 = only on signal)")
+		resume    = flag.String("resume", "", "resume from this snapshot file; the snapshot fixes the experiment parameters, so only execution flags (-workers, -shards, -checkpoint…, observability) may be combined with it")
 	)
 	flag.Parse()
+	if *resume != "" {
+		cliutil.RejectResumeOverrides("nylon-sim",
+			"n", "nat", "view", "rounds", "seed", "protocol", "selection", "merge",
+			"push", "mix", "churn-at", "churn", "trace", "trace-out", "trace-cap")
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -98,11 +118,13 @@ func main() {
 		fatal(fmt.Errorf("unknown mix %q", *mix))
 	}
 
+	var hub *obs.Hub
 	if *httpAddr != "" || *metrics || *metricsJS != "" || *progress > 0 {
-		cfg.Obs = obs.NewHub()
+		hub = obs.NewHub()
 	}
+	cfg.Obs = hub
 	if *httpAddr != "" {
-		srv, err := obs.Serve(*httpAddr, cfg.Obs)
+		srv, err := obs.Serve(*httpAddr, hub)
 		if err != nil {
 			fatal(err)
 		}
@@ -110,22 +132,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ops endpoint listening on http://%s\n", srv.Addr)
 	}
 	if *progress > 0 {
-		stop := obs.StartProgress(os.Stderr, cfg.Obs, *progress)
+		stop := obs.StartProgress(os.Stderr, hub, *progress)
 		defer stop()
 	}
 
+	// A resumed run keeps checkpointing into its snapshot's directory unless
+	// -checkpoint redirects it; a signal always checkpoints when a directory
+	// is armed.
+	ckInto := *ckDir
+	if ckInto == "" && *resume != "" {
+		ckInto = filepath.Dir(*resume)
+	}
+	var spec *exp.CheckpointSpec
+	if ckInto != "" {
+		_, stop := cliutil.NotifyStop(os.Stderr, "nylon-sim")
+		spec = &exp.CheckpointSpec{Dir: ckInto, EveryRounds: *ckEvery, Stop: stop}
+	}
+	cfg.Checkpoint = spec
+
 	start := time.Now()
-	res, err := exp.Run(cfg)
-	if err != nil {
-		fatal(err)
+	var res exp.Result
+	var err2 error
+	if *resume != "" {
+		res, err2 = exp.ResumeFile(*resume, exp.ResumeOptions{
+			Workers:    *workers,
+			Shards:     *shards,
+			Checkpoint: spec,
+			Obs:        hub,
+		})
+	} else {
+		res, err2 = exp.Run(cfg)
+	}
+	var ie *exp.InterruptedError
+	if errors.As(err2, &ie) {
+		fmt.Fprintf(os.Stderr, "nylon-sim: interrupted at round %d\n", ie.Round)
+		fmt.Fprintf(os.Stderr, "nylon-sim: resume with: nylon-sim -resume %s\n", ie.Path)
+		os.Exit(130)
+	}
+	if err2 != nil {
+		fatal(err2)
 	}
 	wall := time.Since(start)
-	fmt.Printf("protocol            %v (%v, %v, push/pull=%v)\n", cfg.Protocol, cfg.Selection, cfg.Merge, cfg.PushPull)
+	rc := res.Cfg // on resume this is the snapshot's config, not the flags'
+	fmt.Printf("protocol            %v (%v, %v, push/pull=%v)\n", rc.Protocol, rc.Selection, rc.Merge, rc.PushPull)
 	fmt.Printf("peers               %d (%.0f%% natted), view %d, %d rounds, seed %d\n",
-		cfg.N, *natPct, cfg.ViewSize, cfg.Rounds, cfg.Seed)
+		rc.N, rc.NATRatio*100, rc.ViewSize, rc.Rounds, rc.Seed)
 	fmt.Printf("biggest cluster     %.1f%%\n", res.BiggestCluster*100)
 	fmt.Printf("stale references    %.1f%%\n", res.StaleFraction*100)
-	fmt.Printf("natted non-stale    %.1f%% (population share %.1f%%)\n", res.NattedNonStale*100, *natPct)
+	fmt.Printf("natted non-stale    %.1f%% (population share %.1f%%)\n", res.NattedNonStale*100, rc.NATRatio*100)
 	fmt.Printf("bytes/s per peer    %.0f (public %.0f, natted %.0f)\n", res.BytesPerSecAll, res.BytesPerSecPublic, res.BytesPerSecNatted)
 	fmt.Printf("avg RVP chain       %.2f\n", res.AvgChainLen)
 	fmt.Printf("shuffle completion  %.1f%% (no-route %.1f%%)\n", res.CompletionRate*100, res.NoRouteRate*100)
@@ -137,14 +191,14 @@ func main() {
 		res.Drops.NATFiltered, res.Drops.NoSuchAddr, res.Drops.DeadPeer)
 	fmt.Printf("throughput          %s\n", res.ThroughputLine(wall))
 	if *metrics {
-		fmt.Print(obs.KernelTable(cfg.Obs))
+		fmt.Print(obs.KernelTable(hub))
 	}
 	if *metricsJS != "" {
 		f, err := os.Create(*metricsJS)
 		if err != nil {
 			fatal(err)
 		}
-		if err := obs.WriteMetricsJSON(f, cfg.Obs); err != nil {
+		if err := obs.WriteMetricsJSON(f, hub); err != nil {
 			fatal(err)
 		}
 		f.Close()

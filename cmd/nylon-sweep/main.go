@@ -19,12 +19,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 )
@@ -40,6 +42,7 @@ func main() {
 		resume   = flag.Bool("resume", false, "require an existing run directory for this exact spec (fails on a hash mismatch instead of silently starting over)")
 		verbose  = flag.Bool("v", false, "log each executed job with progress (done/total, jobs/s, ETA)")
 		httpAddr = flag.String("http", "", "serve the live ops endpoint (/metrics, /debug/vars, /debug/pprof) on this address")
+		ckEvery  = flag.Int("checkpoint-every", 0, "checkpoint every running job's world every N rounds into <run dir>/snapshots/; an interrupted sweep then resumes each unfinished job mid-run instead of from round zero (0 = off)")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -91,7 +94,11 @@ func main() {
 		fatal(err)
 	}
 
-	opts := sweep.Options{Workers: *workers}
+	// SIGINT/SIGTERM cancel the same context that StopAfter-style shutdown
+	// uses inside Execute: dequeuing stops, and with -checkpoint-every armed
+	// every in-flight job snapshots at its next round barrier before exiting.
+	ctx, _ := cliutil.NotifyStop(os.Stderr, "nylon-sweep")
+	opts := sweep.Options{Workers: *workers, Ctx: ctx, CheckpointEveryRounds: *ckEvery}
 	if *verbose {
 		opts.Log = os.Stderr
 	}
@@ -106,6 +113,10 @@ func main() {
 	}
 	start := time.Now()
 	results, stats, err := sweep.Execute(grid, dir, opts)
+	if errors.Is(err, sweep.ErrStopped) {
+		fmt.Fprintf(os.Stderr, "nylon-sweep: stopped (%s); rerun the same command to resume\n", stats)
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}

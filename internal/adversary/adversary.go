@@ -203,7 +203,10 @@ type Engine struct {
 	inner core.Engine
 	cfg   Config
 	rng   *rand.Rand
-	self  ident.NodeID
+	// src is rng's underlying source, kept so checkpoints can capture and
+	// replay the wrapper's private stream (see RNGState/SetRNGState).
+	src  *xrand.SplitMix64
+	self ident.NodeID
 }
 
 // Wrap decorates an honest engine with the configured strategy, seeding the
@@ -213,8 +216,15 @@ func Wrap(inner core.Engine, cfg Config, seed int64) core.Engine {
 	if cfg.Strategy == None {
 		return inner
 	}
-	return &Engine{inner: inner, cfg: cfg, rng: xrand.New(seed), self: inner.Self().ID}
+	src := xrand.NewSource(seed)
+	return &Engine{inner: inner, cfg: cfg, rng: rand.New(src), src: src, self: inner.Self().ID}
 }
+
+// RNGState returns the wrapper's private RNG stream state, for checkpoints.
+func (e *Engine) RNGState() uint64 { return e.src.State() }
+
+// SetRNGState restores a stream state captured by RNGState.
+func (e *Engine) SetRNGState(v uint64) { e.src.SetState(v) }
 
 // Unwrap returns the honest engine behind e, or e itself when unwrapped.
 // Hosts that type-switch on concrete engines (bootstrap, metrics) use it to

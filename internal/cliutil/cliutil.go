@@ -1,0 +1,52 @@
+// Package cliutil holds the shutdown plumbing the nylon commands share: one
+// context-cancellation path that both operator signals (SIGINT/SIGTERM) and
+// programmatic stop conditions feed, so "wind down cleanly" means the same
+// thing everywhere — a simulation checkpoints at its next round barrier, a
+// sweep stops dequeuing jobs and lets the in-flight ones checkpoint.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// RejectResumeOverrides exits with a usage error when any of the named flags
+// was set on the command line. The resume-flow commands call it so that a
+// flag fixing an experiment parameter a snapshot already carries fails loudly
+// instead of being silently ignored.
+func RejectResumeOverrides(name string, banned ...string) {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, b := range banned {
+		if set[b] {
+			fmt.Fprintf(os.Stderr, "%s: -%s cannot be combined with -resume: the snapshot fixes the experiment parameters\n", name, b)
+			os.Exit(2)
+		}
+	}
+}
+
+// NotifyStop returns a context cancelled by the first SIGINT or SIGTERM, and
+// a predicate suited for exp.CheckpointSpec.Stop (true once the context is
+// done, whatever cancelled it). The first signal asks for a graceful exit —
+// the caller is expected to checkpoint and return — and says so on w; a
+// second signal exits the process immediately with the conventional 128+SIGINT
+// status, for operators facing a run that cannot reach a barrier.
+func NotifyStop(w io.Writer, name string) (context.Context, func() bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-ch
+		fmt.Fprintf(w, "%s: %v — checkpointing at the next barrier, signal again to exit immediately\n", name, s)
+		cancel()
+		<-ch
+		fmt.Fprintf(w, "%s: second signal, exiting without a checkpoint\n", name)
+		os.Exit(130)
+	}()
+	return ctx, func() bool { return ctx.Err() != nil }
+}

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/snapshot"
+	"repro/internal/view"
+)
+
+// BenchmarkSnapshot100kPeers measures what one checkpoint of the headline
+// 100k-peer world costs: the canonical payload serialization plus the
+// enveloped (sha256) atomic file write — exactly what the barrier hook pays
+// per checkpoint. The world is built once and run to its horizon outside the
+// timer; each iteration captures and writes one snapshot. payload-bytes
+// reports the capture size (the on-disk file adds the 54-byte envelope).
+// Skipped under -short like the other 100k benchmarks.
+func BenchmarkSnapshot100kPeers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-peer snapshot skipped in -short mode")
+	}
+	cfg := Config{
+		N: 100_000, Rounds: 20, NATRatio: 0.7, Protocol: ProtoNylon,
+		Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
+		EvictUnanswered: true, Seed: 1, Shards: 32,
+	}.Defaults()
+	if err := cfg.validate(); err != nil {
+		b.Fatal(err)
+	}
+	st := newRunState(cfg)
+	st.build()
+	st.bootstrap()
+	st.schedule()
+	st.armGlobals(-1)
+	end := int64(cfg.Rounds) * cfg.PeriodMs
+	st.kern.RunUntil(end)
+
+	path := filepath.Join(b.TempDir(), SnapshotFileName(cfg.Rounds))
+	var size int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload := st.snapshotPayload(end)
+		size = len(payload)
+		if err := snapshot.WriteFile(path, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(size), "payload-bytes")
+}

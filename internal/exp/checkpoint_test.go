@@ -1,0 +1,346 @@
+package exp
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/snapshot"
+	"repro/internal/view"
+)
+
+// ckTestConfig is the shared experiment point of the checkpoint tests: small
+// enough to run many times, big enough to have in-flight traffic, NAT state,
+// scenario churn and adversaries in every snapshot.
+func ckTestConfig(sc *scenario.Scenario) Config {
+	return Config{
+		N: 120, Rounds: 40, NATRatio: 0.7, Protocol: ProtoNylon,
+		Selection: view.SelectRand, Merge: view.MergeHealer, PushPull: true,
+		EvictUnanswered: true, Seed: 42,
+		SampleEveryRounds: 10,
+		Scenario:          sc,
+	}
+}
+
+func ckStorm() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:  "ck-storm",
+		Churn: &scenario.Churn{JoinsPerRound: 1, LeavesPerRound: 1, StartRound: 5},
+		Link:  &scenario.Link{JitterMs: 15, Loss: 0.05},
+		Events: []scenario.Event{
+			{Round: 10, Kind: scenario.KindFlashCrowd, Count: 20},
+			// The partition heals at round 25, after the round-20 snapshot:
+			// resume must re-arm the auto-heal from the serialized healRound.
+			{Round: 15, Kind: scenario.KindPartition, Fraction: 0.25, DurationRounds: 10},
+		},
+	}
+}
+
+func ckAdversarial() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:  "ck-adversary",
+		Churn: &scenario.Churn{JoinsPerRound: 1, LeavesPerRound: 1, StartRound: 5},
+		Adversaries: []scenario.Adversary{
+			{Strategy: "poison-view", Fraction: 0.2, FromRound: 5},
+		},
+	}
+}
+
+// normalizeResult strips the config echo (which legitimately differs across
+// execution shapes and checkpoint wiring) so everything measured remains.
+func normalizeResult(r Result) Result {
+	r.Cfg = Config{}
+	return r
+}
+
+// runCheckpointed runs cfg with checkpoints every everyRounds rounds into a
+// fresh directory and returns the result and the directory.
+func runCheckpointed(t *testing.T, cfg Config, everyRounds int) (Result, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg.Checkpoint = &CheckpointSpec{Dir: dir, EveryRounds: everyRounds}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	return res, dir
+}
+
+// TestSnapshotResumeInvariance pins the tentpole contract: a run that
+// snapshots at round k and resumes is bit-identical to one that ran straight
+// through — across worker and shard counts on the resuming side, for a
+// quiescent run, a full scenario storm, and an adversarial cohort.
+func TestSnapshotResumeInvariance(t *testing.T) {
+	legs := []struct {
+		name string
+		sc   *scenario.Scenario
+	}{
+		{"quiescent", nil},
+		{"storm", ckStorm()},
+		{"adversary", ckAdversarial()},
+	}
+	for _, leg := range legs {
+		leg := leg
+		t.Run(leg.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := ckTestConfig(leg.sc)
+			straight, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := normalizeResult(straight)
+
+			withCk, dir := runCheckpointed(t, cfg, 10)
+			if !reflect.DeepEqual(normalizeResult(withCk), want) {
+				t.Fatalf("enabling checkpoints perturbed the run")
+			}
+			names, _ := filepath.Glob(filepath.Join(dir, "*.snap"))
+			if len(names) < 3 {
+				t.Fatalf("expected snapshots every 10 rounds, found %v", names)
+			}
+
+			// Resume from round 10 (before the warmup baseline is taken) and
+			// round 20 (after it), across execution shapes.
+			for _, round := range []int{10, 20} {
+				path := filepath.Join(dir, SnapshotFileName(round))
+				for _, shape := range []struct{ workers, shards int }{
+					{1, 1}, {8, 1}, {1, 16}, {8, 16},
+				} {
+					res, err := ResumeFile(path, ResumeOptions{
+						Workers: shape.workers, Shards: shape.shards,
+					})
+					if err != nil {
+						t.Fatalf("resume round %d (%d workers, %d shards): %v",
+							round, shape.workers, shape.shards, err)
+					}
+					if !reflect.DeepEqual(normalizeResult(res), want) {
+						t.Errorf("resume from round %d with %d workers, %d shards diverges from straight-through",
+							round, shape.workers, shape.shards)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotResumeFromCheckpointOfResume pins that resuming is closed under
+// itself: a snapshot written by a resumed run resumes to the same result.
+func TestSnapshotResumeFromCheckpointOfResume(t *testing.T) {
+	cfg := ckTestConfig(ckStorm())
+	straight, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dir := runCheckpointed(t, cfg, 10)
+
+	dir2 := t.TempDir()
+	res2, err := ResumeFile(filepath.Join(dir, SnapshotFileName(10)), ResumeOptions{
+		Checkpoint: &CheckpointSpec{Dir: dir2, EveryRounds: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeResult(res2), normalizeResult(straight)) {
+		t.Fatalf("checkpointed resume diverges from straight-through")
+	}
+	// The resumed run's first periodic target is strictly after round 10, so
+	// it must not rewrite its own source round but cover the rest.
+	res3, err := ResumeFile(filepath.Join(dir2, SnapshotFileName(30)), ResumeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeResult(res3), normalizeResult(straight)) {
+		t.Fatalf("second-generation resume diverges from straight-through")
+	}
+}
+
+// TestSnapshotBranchedResume pins branch semantics: replaying from round 20
+// with a different adversary fraction is deterministic (two branched replays
+// agree bit for bit) and actually branches (the cohort shows up in the
+// result).
+func TestSnapshotBranchedResume(t *testing.T) {
+	cfg := ckTestConfig(ckStorm())
+	_, dir := runCheckpointed(t, cfg, 10)
+	path := filepath.Join(dir, SnapshotFileName(20))
+
+	branch := ckStorm()
+	branch.Adversaries = []scenario.Adversary{
+		{Strategy: "poison-view", Fraction: 0.3, FromRound: 25},
+	}
+	a, err := ResumeFile(path, ResumeOptions{Scenario: branch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ResumeFile(path, ResumeOptions{Scenario: branch, Workers: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeResult(a), normalizeResult(b)) {
+		t.Fatalf("branched replays diverge from each other")
+	}
+	if a.Adversary.AdversaryCount == 0 {
+		t.Fatalf("branched scenario assigned no adversaries")
+	}
+	straightBranch := a
+	plain, err := ResumeFile(path, ResumeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(normalizeResult(straightBranch), normalizeResult(plain)) {
+		t.Fatalf("branch with adversaries is identical to the unbranched resume")
+	}
+}
+
+// TestResumeConfigGuard pins the sweep's cache-trust guard: resuming against
+// an expectation that differs in a simulated parameter fails typed, while
+// execution-shape differences pass.
+func TestResumeConfigGuard(t *testing.T) {
+	cfg := ckTestConfig(nil)
+	_, dir := runCheckpointed(t, cfg, 10)
+	path := filepath.Join(dir, SnapshotFileName(10))
+
+	wrong := cfg
+	wrong.Seed = 43
+	if _, err := ResumeFile(path, ResumeOptions{Config: &wrong}); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("seed mismatch: got %v, want ErrConfigMismatch", err)
+	}
+	ok := cfg
+	ok.Workers = 3
+	ok.Shards = 2
+	if _, err := ResumeFile(path, ResumeOptions{Config: &ok}); err != nil {
+		t.Fatalf("execution-shape difference must match: %v", err)
+	}
+}
+
+// TestResumeRejectsHostileSnapshots drives the restore path with damaged
+// inputs — truncations, bit flips, a wrong version, and payload corruptions
+// re-sealed under a valid checksum — and requires a typed error every time.
+func TestResumeRejectsHostileSnapshots(t *testing.T) {
+	cfg := ckTestConfig(ckStorm())
+	_, dir := runCheckpointed(t, cfg, 10)
+	path := filepath.Join(dir, SnapshotFileName(20))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeFile(path, ResumeOptions{}); err != nil {
+		t.Fatalf("pristine snapshot must resume: %v", err)
+	}
+
+	writeTemp := func(b []byte) string {
+		p := filepath.Join(t.TempDir(), "bad.snap")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 5, len(snapshot.Magic), len(snapshot.Magic) + 8,
+			len(data) / 2, len(data) - 1} {
+			_, err := ResumeFile(writeTemp(data[:n]), ResumeOptions{})
+			if !errors.Is(err, snapshot.ErrTruncated) {
+				t.Errorf("truncation to %d bytes: got %v, want ErrTruncated", n, err)
+			}
+		}
+	})
+
+	t.Run("bit-flipped", func(t *testing.T) {
+		// Flip one bit at positions spread across the payload and the
+		// trailing checksum; every flip must fail the checksum.
+		for _, pos := range []int{len(snapshot.Magic) + 8, len(data) / 3,
+			len(data) / 2, len(data) - 10} {
+			bad := append([]byte(nil), data...)
+			bad[pos] ^= 0x40
+			_, err := ResumeFile(writeTemp(bad), ResumeOptions{})
+			if !errors.Is(err, snapshot.ErrChecksum) {
+				t.Errorf("bit flip at %d: got %v, want ErrChecksum", pos, err)
+			}
+		}
+	})
+
+	t.Run("wrong-version", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		copy(bad, "nylon-snap/v9\n")
+		_, err := ResumeFile(writeTemp(bad), ResumeOptions{})
+		if !errors.Is(err, snapshot.ErrVersion) {
+			t.Fatalf("got %v, want ErrVersion", err)
+		}
+	})
+
+	// The remaining cases corrupt the payload and re-seal it under a fresh,
+	// valid envelope: the decode itself must reject them, typed, without the
+	// checksum's help.
+	payload, err := snapshot.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resealed := func(mutate func(p []byte) []byte) error {
+		_, err := Resume(mutate(append([]byte(nil), payload...)), ResumeOptions{})
+		return err
+	}
+
+	t.Run("payload-truncated", func(t *testing.T) {
+		for frac := 1; frac < 10; frac++ {
+			err := resealed(func(p []byte) []byte { return p[:len(p)*frac/10] })
+			if !errors.Is(err, snapshot.ErrCorrupt) {
+				t.Errorf("payload truncated to %d/10: got %v, want ErrCorrupt", frac, err)
+			}
+		}
+	})
+
+	t.Run("payload-trailing-garbage", func(t *testing.T) {
+		err := resealed(func(p []byte) []byte { return append(p, 0xff, 0xfe) })
+		if !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("wrong-section-tag", func(t *testing.T) {
+		err := resealed(func(p []byte) []byte {
+			copy(p[:4], "nope")
+			return p
+		})
+		if !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("config-garbage", func(t *testing.T) {
+		err := resealed(func(p []byte) []byte {
+			// The config JSON starts after the exp! tag and the I64 time,
+			// length-prefixed; stomp its opening brace.
+			p[4+8+4] = '!'
+			return p
+		})
+		if !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("byte-blasts", func(t *testing.T) {
+		// Blast 0xff swaths across the whole payload under a valid envelope.
+		// Some swaths land in fields where any bits are a legal value (RNG
+		// states, traffic counters) and decode into a world that merely
+		// measures differently — that is fine. What must never happen is a
+		// panic or an untyped error: every rejection goes through the
+		// decoder's sticky ErrCorrupt (this is what keeps a hostile snapshot
+		// from crashing a sweep instead of falling back to a re-run).
+		step := len(payload) / 24
+		for at := step; at < len(payload); at += step {
+			at := at
+			err := resealed(func(p []byte) []byte {
+				for i := at; i < at+64 && i < len(p); i++ {
+					p[i] = 0xff
+				}
+				return p
+			})
+			if err != nil && !errors.Is(err, snapshot.ErrCorrupt) {
+				t.Errorf("garbage at %d: untyped error %v", at, err)
+			}
+		}
+	})
+}

@@ -208,6 +208,29 @@ type Config struct {
 	// on divergence. A debugging and CI cross-check: it restores the O(N)
 	// copying cost the sampler exists to avoid.
 	VerifySamples bool
+
+	// Checkpoint, when non-nil, arms crash-survivable checkpointing: the
+	// run serializes its complete state into Dir at round boundaries (see
+	// internal/snapshot and Resume). Host wiring like Obs — a checkpointed
+	// run's simulation is bit-identical to an unchecked one — and excluded
+	// from serialization, so a snapshot never embeds its own spec.
+	Checkpoint *CheckpointSpec `json:"-"`
+}
+
+// CheckpointSpec configures checkpoint writing for one run.
+type CheckpointSpec struct {
+	// Dir receives the snapshot files (created if missing), one per
+	// checkpoint, named by round (see SnapshotFileName).
+	Dir string
+	// EveryRounds, when positive, writes a snapshot at the first kernel
+	// barrier at or past every EveryRounds-round mark. Zero writes no
+	// periodic snapshots (useful with Stop alone).
+	EveryRounds int
+	// Stop, when non-nil, is polled at every kernel barrier; returning true
+	// makes the run write a final snapshot and exit with an
+	// *InterruptedError carrying its path — the graceful-shutdown hook the
+	// CLIs wire to SIGINT/SIGTERM.
+	Stop func() bool
 }
 
 // Defaults fills unset fields with the paper's parameters scaled to a
@@ -299,6 +322,14 @@ func (c Config) validate() error {
 	}
 	if err := c.Scenario.Validate(c.Rounds); err != nil {
 		return fmt.Errorf("exp: %w", err)
+	}
+	if ck := c.Checkpoint; ck != nil {
+		if ck.Dir == "" {
+			return fmt.Errorf("exp: CheckpointSpec needs a directory")
+		}
+		if ck.EveryRounds < 0 {
+			return fmt.Errorf("exp: CheckpointSpec.EveryRounds %d is negative", ck.EveryRounds)
+		}
 	}
 	return nil
 }

@@ -47,6 +47,17 @@ func (e *Executor) Run(cfg Config) (Result, error) {
 	return Run(cfg)
 }
 
+// ResumeFile resumes a snapshot through the pool under the same worker-budget
+// policy as Run: one slot, single-worker kernel. Results are bit-identical to
+// Run for any slot or worker count, so callers may mix fresh and resumed
+// executions of the same grid freely.
+func (e *Executor) ResumeFile(path string, opt ResumeOptions) (Result, error) {
+	e.slots <- struct{}{}
+	defer func() { <-e.slots }()
+	opt.Workers = 1
+	return ResumeFile(path, opt)
+}
+
 // RunPoint executes one configuration across all seeds through the pool and
 // returns the per-seed results in seed order.
 func (e *Executor) RunPoint(cfg Config, seeds []int64) ([]Result, error) {

@@ -104,10 +104,24 @@ func (r Result) ThroughputLine(wall time.Duration) string {
 // runState carries the wiring of one simulation run.
 type runState struct {
 	cfg   Config
-	rng   *rand.Rand
+	rng   *xrand.Stream
 	kern  *sim.ShardedScheduler
 	net   *simnet.Network
 	peers []*simnet.Peer // index i holds NodeID i+1
+
+	// engineSrcs[i] is peer index i's engine RNG source, held so a
+	// checkpoint can capture each engine's stream state (the engine itself
+	// only sees the *rand.Rand draw surface).
+	engineSrcs []*xrand.SplitMix64
+
+	// warmup and series collect the round-boundary measurements armed on
+	// the global queue (see armGlobals); fields rather than Run locals so
+	// checkpoints can serialize and restore them.
+	warmup *[]uint64
+	series *[]SamplePoint
+
+	// ck carries checkpoint wiring; nil without Config.Checkpoint.
+	ck *ckState
 
 	// selections counts, per peer, how often it was chosen as a gossip
 	// target during the measurement window — the sample stream whose
@@ -155,6 +169,22 @@ func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
+	st := newRunState(cfg)
+	st.build()
+	st.bootstrap()
+	st.schedule()
+	st.armGlobals(-1)
+	st.installCheckpoint(-1)
+
+	end := int64(st.cfg.Rounds) * st.cfg.PeriodMs
+	st.kern.RunUntil(end)
+	return st.finish(end)
+}
+
+// newRunState wires the kernel, the network and the observability surface of
+// one run. It performs no world construction: the fresh path follows with
+// build/bootstrap/schedule, the resume path with a snapshot restore.
+func newRunState(cfg Config) *runState {
 	if cfg.Flight != nil {
 		// Flight bundles freeze health and kernel snapshots and are fed by
 		// the periodic health samples: arm both when the host didn't.
@@ -168,7 +198,7 @@ func Run(cfg Config) (Result, error) {
 	shards := cfg.Shards
 	st := &runState{
 		cfg:  cfg,
-		rng:  xrand.New(cfg.Seed),
+		rng:  xrand.NewStream(cfg.Seed),
 		kern: sim.NewSharded(shards, cfg.Workers, cfg.LatencyMs),
 	}
 	// Echo the effective execution shape (workers clamp to shards) so
@@ -203,33 +233,63 @@ func Run(cfg Config) (Result, error) {
 	}
 	st.measureAfter = int64(cfg.Rounds) / 3 * cfg.PeriodMs
 	st.adv = newAdversaryState(cfg)
-	st.build()
-	st.bootstrap()
-	st.schedule()
+	// The static-RVP resolver resolves live descriptors lazily against the
+	// network; the assignment map it reads is filled by build (fresh runs)
+	// or the snapshot restore.
+	st.resolver = func(id ident.NodeID) (view.Descriptor, bool) {
+		rid, ok := st.rvpOf[id]
+		if !ok {
+			return view.Descriptor{}, false
+		}
+		p := st.net.Peer(rid)
+		if p == nil {
+			return view.Descriptor{}, false
+		}
+		return p.Descriptor(), true
+	}
+	return st
+}
 
-	// Round-boundary work — snapshots, series samples, legacy churn, the
-	// scenario timeline — runs on the kernel's global queue: at a barrier,
-	// global events fire before any shard event of the same round, in
-	// arming order.
-	warmupBytes := st.snapshotBytesAt(int64(cfg.Rounds) / 3 * cfg.PeriodMs)
-	series := st.scheduleSeries()
+// armGlobals schedules the round-boundary work — the warmup byte snapshot,
+// series samples, legacy churn, the scenario timeline — on the kernel's
+// global queue: at a barrier, global events fire before any shard event of
+// the same round, in arming order (which is therefore part of the
+// determinism contract; resume re-arms in the same order). Only events
+// strictly after the given time are armed: fresh runs pass -1 (arm
+// everything), resumed runs the snapshot time, whose past events are already
+// reflected in the restored state.
+func (st *runState) armGlobals(after int64) {
+	cfg := st.cfg
+	warmupAt := int64(cfg.Rounds) / 3 * cfg.PeriodMs
+	if warmupAt > after {
+		st.warmup = st.snapshotBytesAt(warmupAt)
+	} else if st.warmup == nil {
+		st.warmup = &[]uint64{}
+	}
+	st.scheduleSeries(after)
 
 	if cfg.ChurnAtRound > 0 {
 		churnAt := int64(cfg.ChurnAtRound) * cfg.PeriodMs
-		st.kern.Global().At(churnAt, func() { st.applyChurn() })
+		if churnAt > after {
+			st.kern.Global().At(churnAt, func() { st.applyChurn() })
+		}
 	}
 	// The scenario driver is armed last: at a shared round boundary the
 	// health sample and the legacy churn fire before that round's scenario
 	// events. A quiescent scenario installs nothing, keeping the run
 	// bit-identical to the no-scenario path.
 	if !cfg.Scenario.Quiescent() {
-		st.scn = newScenarioDriver(st)
-		st.scn.arm()
+		if st.scn == nil {
+			st.scn = newScenarioDriver(st)
+		}
+		st.scn.arm(after)
 	}
+}
 
-	end := int64(cfg.Rounds) * cfg.PeriodMs
-	st.kern.RunUntil(end)
-
+// finish closes the books of a run that reached its RunUntil exit and
+// computes the Result.
+func (st *runState) finish(end int64) (Result, error) {
+	cfg := st.cfg
 	// Message-pool books must balance at the end of every run: each message
 	// drawn from a shard pool is either back in a pool or still queued as an
 	// undelivered datagram. Batched delivery recycles messages on the hot
@@ -241,14 +301,25 @@ func Run(cfg Config) (Result, error) {
 	if st.flight != nil && st.flight.err != nil {
 		return Result{}, st.flight.err
 	}
+	if st.ck != nil {
+		if st.ck.err != nil {
+			return Result{}, st.ck.err
+		}
+		if st.ck.interrupted != nil {
+			// Checkpoint-then-exit: the world stopped at a barrier short of
+			// the horizon, so no final measurement exists. The error carries
+			// the snapshot to resume from.
+			return Result{}, st.ck.interrupted
+		}
+	}
 	if cfg.Obs != nil {
 		// Barriers no longer fire: let the live endpoint read the trace
 		// rings directly instead of waiting on the tap.
 		cfg.Obs.MarkSimDone()
 	}
 
-	res := st.measure(end, *warmupBytes)
-	res.Series = *series
+	res := st.measure(end, *st.warmup)
+	res.Series = *st.series
 	res.Recovery = recoveryFrom(res.Series)
 	res.EventsProcessed = st.kern.Processed()
 	if st.scn != nil {
@@ -277,9 +348,9 @@ func (st *runState) build() {
 	st.rng.Shuffle(len(classes), func(i, j int) { classes[i], classes[j] = classes[j], classes[i] })
 
 	// Static-RVP needs a global assignment natted peer -> public RVP. The
-	// descriptors do not exist yet, so resolve lazily against the network.
-	// The assignment state lives on the run so scenario joins can extend
-	// it mid-run.
+	// descriptors do not exist yet, so resolve lazily against the network
+	// (see the resolver in newRunState). The assignment state lives on the
+	// run so scenario joins can extend it mid-run.
 	if cfg.Protocol == ProtoStaticRVP {
 		st.rvpOf = make(map[ident.NodeID]ident.NodeID)
 		for i, c := range classes {
@@ -298,26 +369,14 @@ func (st *runState) build() {
 			}
 		}
 	}
-	st.resolver = func(id ident.NodeID) (view.Descriptor, bool) {
-		rid, ok := st.rvpOf[id]
-		if !ok {
-			return view.Descriptor{}, false
-		}
-		return st.net.Peer(rid).Descriptor(), true
-	}
 
 	st.peers = make([]*simnet.Peer, cfg.N)
 	// Two passes: public peers first, so the static-RVP resolver can hand
 	// natted peers their already-constructed rendez-vous descriptors.
-	// Engine RNG seeds are derived independently from the run seed and the
-	// peer index (not drawn from a shared RNG chain), so each peer's stream
-	// is reproducible regardless of construction order — and of which
-	// worker of a parallel sweep runs this experiment point. UPnP
-	// capabilities are drawn per ID up front for the same reason.
-	seeds := make([]int64, cfg.N)
+	// UPnP capabilities are drawn per ID up front so they do not depend on
+	// construction order.
 	upnp := make([]bool, cfg.N)
-	for i := range seeds {
-		seeds[i] = xrand.Mix(cfg.Seed, uint64(i))
+	for i := range upnp {
 		upnp[i] = classes[i].Natted() && st.rng.Float64() < cfg.UPnPFraction
 	}
 	for pass := 0; pass < 2; pass++ {
@@ -325,7 +384,7 @@ func (st *runState) build() {
 			if (classes[i] == ident.Public) != (pass == 0) {
 				continue
 			}
-			st.addPeer(ident.NodeID(i+1), classes[i], seeds[i], upnp[i], st.resolver)
+			st.addPeer(ident.NodeID(i+1), classes[i], upnp[i])
 		}
 	}
 }
@@ -334,49 +393,70 @@ func (st *runState) build() {
 // global event being executed).
 func (st *runState) now() int64 { return st.kern.Global().Now() }
 
-func (st *runState) addPeer(id ident.NodeID, class ident.NATClass, seed int64, upnp bool, resolver core.RVPResolver) {
+// buildEngine constructs the honest engine for the peer at the given index.
+// The engine RNG seed is derived independently from the run seed and the
+// peer index (not drawn from a shared RNG chain), so each peer's stream is
+// reproducible regardless of construction order — and of which worker of a
+// parallel sweep runs this experiment point; the source is recorded in
+// engineSrcs so checkpoints can capture the stream's position.
+func (st *runState) buildEngine(idx int, self view.Descriptor) core.Engine {
 	cfg := st.cfg
-	honest := func(self view.Descriptor) core.Engine {
-		ecfg := core.Config{
-			Self:            self,
-			ViewSize:        cfg.ViewSize,
-			Selection:       cfg.Selection,
-			Merge:           cfg.Merge,
-			PushPull:        cfg.PushPull,
-			HoleTimeout:     cfg.HoleTimeoutMs,
-			LatencyBound:    2 * cfg.LatencyMs,
-			RNG:             xrand.New(seed),
-			EvictUnanswered: cfg.EvictUnanswered,
-			// The engine allocates from (and releases to) its shard's
-			// message pool, so recycling never crosses shard boundaries —
-			// and shares its shard's scratch and descriptor intern state,
-			// since all of a shard's engine calls are serialized.
-			Msgs:   st.net.ShardPool(st.net.ShardOf(id)),
-			Shared: st.net.ShardShared(st.net.ShardOf(id)),
-		}
-		switch cfg.Protocol {
-		case ProtoNylon:
-			return core.NewNylon(ecfg)
-		case ProtoARRG:
-			return core.NewARRG(ecfg, cfg.CacheSize)
-		case ProtoStaticRVP:
-			var own view.Descriptor
-			if self.Class.Natted() {
-				own, _ = resolver(self.ID)
-			}
-			return core.NewStaticRVP(ecfg, own, resolver)
-		default:
-			return core.NewGeneric(ecfg)
-		}
+	id := ident.NodeID(idx + 1)
+	src := xrand.NewSource(xrand.Mix(cfg.Seed, uint64(idx)))
+	for len(st.engineSrcs) <= idx {
+		st.engineSrcs = append(st.engineSrcs, nil)
 	}
-	factory := honest
-	if st.adv != nil {
-		// Decorate cohort members with their adversarial wrapper. The
-		// factory runs at barrier context (AddPeer), so registering
-		// colluders and strategies is race-free.
-		factory = func(self view.Descriptor) core.Engine {
-			return st.adv.wrap(int(id)-1, cfg.HoleTimeoutMs, honest(self))
+	st.engineSrcs[idx] = src
+	ecfg := core.Config{
+		Self:            self,
+		ViewSize:        cfg.ViewSize,
+		Selection:       cfg.Selection,
+		Merge:           cfg.Merge,
+		PushPull:        cfg.PushPull,
+		HoleTimeout:     cfg.HoleTimeoutMs,
+		LatencyBound:    2 * cfg.LatencyMs,
+		RNG:             rand.New(src),
+		EvictUnanswered: cfg.EvictUnanswered,
+		// The engine allocates from (and releases to) its shard's
+		// message pool, so recycling never crosses shard boundaries —
+		// and shares its shard's scratch and descriptor intern state,
+		// since all of a shard's engine calls are serialized.
+		Msgs:   st.net.ShardPool(st.net.ShardOf(id)),
+		Shared: st.net.ShardShared(st.net.ShardOf(id)),
+	}
+	switch cfg.Protocol {
+	case ProtoNylon:
+		return core.NewNylon(ecfg)
+	case ProtoARRG:
+		return core.NewARRG(ecfg, cfg.CacheSize)
+	case ProtoStaticRVP:
+		var own view.Descriptor
+		if self.Class.Natted() {
+			own, _ = st.resolver(self.ID)
 		}
+		return core.NewStaticRVP(ecfg, own, st.resolver)
+	default:
+		return core.NewGeneric(ecfg)
+	}
+}
+
+// engineFor builds the full engine for peer index idx: the honest engine,
+// decorated with its adversarial wrapper when the peer belongs to a cohort
+// (registering colluders and strategies — barrier context only). Checkpoint
+// restore calls it per restored peer in attachment order, which replays
+// cohort registration identically to the original construction.
+func (st *runState) engineFor(idx int, self view.Descriptor) core.Engine {
+	eng := st.buildEngine(idx, self)
+	if st.adv != nil {
+		eng = st.adv.wrap(idx, st.cfg.HoleTimeoutMs, eng)
+	}
+	return eng
+}
+
+func (st *runState) addPeer(id ident.NodeID, class ident.NATClass, upnp bool) {
+	cfg := st.cfg
+	factory := func(self view.Descriptor) core.Engine {
+		return st.engineFor(int(id)-1, self)
 	}
 	if int(id) == len(st.peers)+1 {
 		// Scenario joins extend the population one peer at a time.

@@ -48,14 +48,16 @@ type scenarioDriver struct {
 	st *runState
 	sc *scenario.Scenario
 
-	churnRNG *rand.Rand
-	topoRNG  *rand.Rand
+	// The streams are capturable (xrand.Stream) so checkpoints can record
+	// and replay exactly where each one stands.
+	churnRNG *xrand.Stream
+	topoRNG  *xrand.Stream
 	// linkSeed is the root of the per-sender link streams; linkRNGs[i]
 	// drives peer index i's jitter and loss draws. The slice is extended
 	// at barriers when peers join and only indexed mid-window, so shards
 	// never contend on it.
 	linkSeed int64
-	linkRNGs []*rand.Rand
+	linkRNGs []*xrand.Stream
 
 	// Live link model (mutated by set_link events).
 	jitterMs int64
@@ -68,10 +70,14 @@ type scenarioDriver struct {
 	// Active partition bookkeeping: partSince is the round the current
 	// partition started, -1 when none; partFraction assigns sides to
 	// peers joining mid-partition; partGen identifies the current
-	// partition so a pending auto-heal cannot end a later one.
+	// partition so a pending auto-heal cannot end a later one; healRound
+	// is the round of the current partition's scheduled auto-heal (0 when
+	// none) — checkpoints serialize it so a resumed run can re-arm the
+	// heal, which lives in an unserializable closure.
 	partSince    int
 	partFraction float64
 	partGen      int
+	healRound    int
 
 	stats ScenarioStats
 
@@ -84,8 +90,8 @@ func newScenarioDriver(st *runState) *scenarioDriver {
 	d := &scenarioDriver{
 		st:        st,
 		sc:        cfg.Scenario,
-		churnRNG:  xrand.New(xrand.Mix(cfg.Seed, saltScenarioChurn)),
-		topoRNG:   xrand.New(xrand.Mix(cfg.Seed, saltScenarioTopo)),
+		churnRNG:  xrand.NewStream(xrand.Mix(cfg.Seed, saltScenarioChurn)),
+		topoRNG:   xrand.NewStream(xrand.Mix(cfg.Seed, saltScenarioTopo)),
 		linkSeed:  xrand.Mix(cfg.Seed, saltScenarioLink),
 		natRatio:  cfg.NATRatio,
 		mix:       cfg.Mix,
@@ -103,14 +109,18 @@ func newScenarioDriver(st *runState) *scenarioDriver {
 func (d *scenarioDriver) growLinkRNGs() {
 	for len(d.linkRNGs) < len(d.st.peers) {
 		i := len(d.linkRNGs)
-		d.linkRNGs = append(d.linkRNGs, xrand.New(xrand.Mix(d.linkSeed, uint64(i))))
+		d.linkRNGs = append(d.linkRNGs, xrand.NewStream(xrand.Mix(d.linkSeed, uint64(i))))
 	}
 }
 
-// arm schedules the whole timeline. Within one round boundary, events run in
-// scheduling order: the health-series sample (armed earlier) first, then the
-// round's continuous-churn draw, then explicit events in corpus order.
-func (d *scenarioDriver) arm() {
+// arm schedules the timeline from strictly after the given time onward
+// (fresh runs pass -1): within one round boundary, events run in scheduling
+// order — the health-series sample (armed earlier) first, then the round's
+// continuous-churn draw, then explicit events in corpus order. Resumed runs
+// pass the snapshot time; its past events already happened in the captured
+// world, and the restored driver state (link model, partition bookkeeping)
+// is overlaid after arming, so the init below stays overridable.
+func (d *scenarioDriver) arm(after int64) {
 	cfg := d.st.cfg
 	period := cfg.PeriodMs
 
@@ -132,13 +142,17 @@ func (d *scenarioDriver) arm() {
 		}
 		fn := d.churnRound
 		for r := start; r <= end; r++ {
-			d.st.kern.Global().At(int64(r)*period, fn)
+			if int64(r)*period > after {
+				d.st.kern.Global().At(int64(r)*period, fn)
+			}
 		}
 	}
 
 	for i := range d.sc.Events {
 		ev := d.sc.Events[i]
-		d.st.kern.Global().At(int64(ev.Round)*period, func() { d.apply(ev) })
+		if int64(ev.Round)*period > after {
+			d.st.kern.Global().At(int64(ev.Round)*period, func() { d.apply(ev) })
+		}
 	}
 }
 
@@ -159,11 +173,11 @@ func (d *scenarioDriver) Transmit(now int64, from ident.NodeID, srcEP, to ident.
 // churnRound applies one round of continuous Poisson churn.
 func (d *scenarioDriver) churnRound() {
 	c := d.sc.Churn
-	joins := scenario.Poisson(d.churnRNG, c.JoinsPerRound)
+	joins := scenario.Poisson(d.churnRNG.Rand, c.JoinsPerRound)
 	for i := 0; i < joins; i++ {
 		d.join()
 	}
-	d.kill(scenario.Poisson(d.churnRNG, c.LeavesPerRound))
+	d.kill(scenario.Poisson(d.churnRNG.Rand, c.LeavesPerRound))
 }
 
 // apply dispatches one explicit timeline event.
@@ -216,7 +230,7 @@ func (d *scenarioDriver) join() {
 	class := ident.Public
 	upnp := false
 	if d.topoRNG.Float64() < d.natRatio {
-		class = drawClass(d.topoRNG, d.mix)
+		class = drawClass(d.topoRNG.Rand, d.mix)
 		upnp = d.topoRNG.Float64() < cfg.UPnPFraction
 	}
 	if cfg.Protocol == ProtoStaticRVP {
@@ -230,7 +244,7 @@ func (d *scenarioDriver) join() {
 		}
 	}
 
-	st.addPeer(id, class, xrand.Mix(cfg.Seed, uint64(idx)), upnp, st.resolver)
+	st.addPeer(id, class, upnp)
 	p := st.peers[idx]
 	// Joins happen at barriers, so growing the shared selection counters
 	// (and the per-sender link streams) is race-free.
@@ -243,7 +257,7 @@ func (d *scenarioDriver) join() {
 	if d.partSince >= 0 && d.topoRNG.Float64() < d.partFraction {
 		p.Side = 1
 	}
-	st.seedPeer(p, d.topoRNG)
+	st.seedPeer(p, d.topoRNG.Rand)
 	st.armTick(p, st.now()+d.topoRNG.Int63n(cfg.PeriodMs))
 	d.stats.Joins++
 }
@@ -356,6 +370,7 @@ func (d *scenarioDriver) partition(ev scenario.Event) {
 	d.partSince = ev.Round
 	d.partFraction = ev.Fraction
 	d.partGen++
+	d.healRound = 0
 	if ev.DurationRounds > 0 {
 		healRound := ev.Round + ev.DurationRounds
 		// A duration reaching past the run horizon behaves exactly like
@@ -363,16 +378,24 @@ func (d *scenarioDriver) partition(ev scenario.Event) {
 		// measurement (a heal at the end boundary would fire just before
 		// measure() and misreport a healed overlay).
 		if healRound < d.st.cfg.Rounds {
-			gen := d.partGen
-			d.st.kern.Global().At(int64(healRound)*d.st.cfg.PeriodMs, func() {
-				// Only heal the partition that scheduled this; a later
-				// cut owns its own lifetime.
-				if d.partGen == gen {
-					d.heal(healRound)
-				}
-			})
+			d.armHeal(healRound)
 		}
 	}
+}
+
+// armHeal schedules the active partition's auto-heal and records the round so
+// a checkpoint can capture it (the scheduled closure itself cannot be
+// serialized; a resumed run re-arms from healRound).
+func (d *scenarioDriver) armHeal(round int) {
+	d.healRound = round
+	gen := d.partGen
+	d.st.kern.Global().At(int64(round)*d.st.cfg.PeriodMs, func() {
+		// Only heal the partition that scheduled this; a later cut owns
+		// its own lifetime.
+		if d.partGen == gen {
+			d.heal(round)
+		}
+	})
 }
 
 // heal ends the active partition (idempotent).
@@ -382,6 +405,7 @@ func (d *scenarioDriver) heal(round int) {
 	}
 	d.stats.PartitionRounds += round - d.partSince
 	d.partSince = -1
+	d.healRound = 0
 	d.st.net.SetPartitionActive(false)
 	for _, p := range d.st.peers {
 		p.Side = 0

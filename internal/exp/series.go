@@ -197,15 +197,22 @@ func (st *runState) overlaySnapshot(now int64) (aliveIDs []ident.NodeID, edges [
 }
 
 // scheduleSeries arms periodic snapshots every SampleEveryRounds rounds (as
-// global barrier events: a snapshot walks every shard's peers) and returns
-// the slice the run will fill.
-func (st *runState) scheduleSeries() *[]SamplePoint {
-	series := &[]SamplePoint{}
+// global barrier events: a snapshot walks every shard's peers) into
+// st.series. Only rounds strictly after the given time are armed: resumed
+// runs restore the earlier points from the snapshot and pass its time here.
+func (st *runState) scheduleSeries(after int64) {
+	if st.series == nil {
+		st.series = &[]SamplePoint{}
+	}
+	series := st.series
 	if st.cfg.SampleEveryRounds <= 0 {
-		return series
+		return
 	}
 	for r := st.cfg.SampleEveryRounds; r <= st.cfg.Rounds; r += st.cfg.SampleEveryRounds {
 		r := r
+		if int64(r)*st.cfg.PeriodMs <= after {
+			continue
+		}
 		st.kern.Global().At(int64(r)*st.cfg.PeriodMs, func() {
 			now := st.now()
 			aliveIDs, edges, stale := st.sampleOverlay(now)
@@ -233,5 +240,4 @@ func (st *runState) scheduleSeries() *[]SamplePoint {
 			st.observeFlight(pt, *series)
 		})
 	}
-	return series
 }

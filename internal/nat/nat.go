@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/ident"
+	"repro/internal/snapshot"
 )
 
 // Device models one NAT box with a single public IP. One or more private
@@ -565,6 +566,95 @@ func (d *Device) Sessions(now int64) []ident.Endpoint {
 		return eps[i].Port < eps[j].Port
 	})
 	return eps
+}
+
+// SnapshotTo serializes the device's complete translation state — the port
+// allocator, every session in slice order, and every session's filter rules
+// — so a restored device is behaviourally identical to the original from the
+// snapshot time onward. Rules are emitted sorted by packed key: the filter
+// table is a hash whose slot order depends on insertion history, and the
+// snapshot encoding must not leak it (same state, same bytes). Expired
+// sessions and rules are included verbatim; they admit nothing either way,
+// but keeping them makes the capture exact rather than "equivalent".
+func (d *Device) SnapshotTo(enc *snapshot.Encoder) {
+	enc.U8(uint8(d.class))
+	enc.U32(uint32(d.publicIP))
+	enc.I64(d.ruleTTL)
+	enc.U16(d.nextPort)
+	enc.U32(uint32(len(d.sessions)))
+	for i := range d.sessions {
+		s := &d.sessions[i]
+		enc.Endpoint(s.key.private)
+		enc.Endpoint(s.key.dst)
+		enc.Endpoint(s.public)
+		enc.I64(s.lastUse)
+		enc.Bool(s.pinned)
+		rules := make([]filterSlot, 0, s.filters.used)
+		for _, sl := range s.filters.slots {
+			if sl.expire != 0 {
+				rules = append(rules, sl)
+			}
+		}
+		sort.Slice(rules, func(a, b int) bool { return rules[a].key < rules[b].key })
+		enc.U32(uint32(len(rules)))
+		for _, r := range rules {
+			enc.U64(r.key)
+			enc.I64(r.expire)
+		}
+	}
+}
+
+// RestoreDevice decodes a device serialized by SnapshotTo, returning it by
+// value for slab embedding (see MakeDevice). Sessions are re-adopted in the
+// serialized order, so the port index maps every public port to the same
+// session as the original; filter tables are rebuilt by inserting the rules,
+// which may land them in a different slot permutation or growth stage than
+// the original's insertion history produced — unobservable, since lookups
+// are key-addressed and rehash timing is housekeeping. On corrupt input the
+// decoder's sticky error is set and the zero Device returned; callers check
+// Decoder.Err before using the result.
+func RestoreDevice(dec *snapshot.Decoder) Device {
+	class := ident.NATClass(dec.U8())
+	publicIP := ident.IP(dec.U32())
+	ruleTTL := dec.I64()
+	nextPort := dec.U16()
+	if dec.Err() != nil {
+		return Device{}
+	}
+	if !class.Natted() || !class.Valid() || ruleTTL <= 0 {
+		dec.Fail("nat device with class %d, ruleTTL %d", class, ruleTTL)
+		return Device{}
+	}
+	d := MakeDevice(class, publicIP, ruleTTL)
+	nSess := dec.Count(6*3 + 8 + 1 + 4)
+	for i := 0; i < nSess; i++ {
+		s := session{
+			key:     sessionKey{private: dec.Endpoint(), dst: dec.Endpoint()},
+			public:  dec.Endpoint(),
+			lastUse: dec.I64(),
+			pinned:  dec.Bool(),
+			filters: filterTable{floor: d.filterFloor()},
+		}
+		nRules := dec.Count(8 + 8)
+		if dec.Err() != nil {
+			return Device{}
+		}
+		if s.public.IP != publicIP || s.public.Port < portBase {
+			dec.Fail("nat session with public endpoint %v outside device %v", s.public, publicIP)
+			return Device{}
+		}
+		for j := 0; j < nRules; j++ {
+			key, expire := dec.U64(), dec.I64()
+			if expire == 0 {
+				dec.Fail("nat filter rule with zero expiry")
+				return Device{}
+			}
+			s.filters.set(key, expire, 0)
+		}
+		d.adopt(s)
+	}
+	d.nextPort = nextPort
+	return d
 }
 
 // DebugSizes reports internal table sizes for memory diagnostics: total

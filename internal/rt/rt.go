@@ -465,6 +465,42 @@ func (t *Table) Purge(now int64) {
 // Len returns the number of entries, including any not yet purged.
 func (t *Table) Len() int { return t.nrows }
 
+// EachRow visits every row in storage order, resolving the RVP handle to its
+// descriptor. Checkpoint capture uses it: storage order is part of the
+// table's exact state (deletion swaps depend on it), so replaying rows in
+// this order through LoadRow rebuilds an identical table. Expired rows are
+// visited too — they are still live state (RefreshVia can resurrect them
+// until a purge runs).
+func (t *Table) EachRow(fn func(dest ident.NodeID, rvp view.Descriptor, expireAt int64)) {
+	for i := 0; i < t.nrows; i++ {
+		r := t.rowAt(i)
+		fn(r.dest, t.in.At(r.rvph), r.expire)
+	}
+}
+
+// LoadRow appends a row verbatim during checkpoint restore: no freshness
+// arbitration (Set's job, already done by the original run), no self or nil
+// filtering, expired rows accepted. Rows must be loaded in EachRow order
+// into a fresh table; the RVP descriptor is re-interned through the table's
+// own intern table, since handles do not survive serialization.
+func (t *Table) LoadRow(dest ident.NodeID, rvp view.Descriptor, expireAt int64) {
+	t.insert(dest, t.nrows)
+	t.appendRow(dest, t.in.Intern(rvp), expireAt)
+	t.noteExpiry(expireAt)
+}
+
+// MinExpireBound returns the table's conservative earliest-expiry bound, and
+// RestoreMinExpire restores it. The bound is pure scan-avoidance state — a
+// lower bound never claims a live row expired — but capturing it keeps a
+// restored table byte-identical to the original rather than merely
+// equivalent.
+func (t *Table) MinExpireBound() int64 { return t.minExpire }
+
+// RestoreMinExpire sets the earliest-expiry bound to a captured value. Call
+// after the LoadRow replay; v must be a valid lower bound for the loaded
+// rows (any value MinExpireBound returned for the same rows is).
+func (t *Table) RestoreMinExpire(v int64) { t.minExpire = v }
+
 // Destinations returns the destinations with live routes at the given time,
 // sorted for determinism.
 func (t *Table) Destinations(now int64) []ident.NodeID {

@@ -51,6 +51,13 @@ type ShardedScheduler struct {
 	// Timing). A nil probe costs nothing; a set one reads the wall clock
 	// around phases but never feeds anything back into the simulation.
 	probe *Timing
+	// checkpointFn, when set, runs single-threaded at every barrier after
+	// barrierFn, when all shard events up to the barrier time have executed
+	// and the host's staging mailboxes are drained — the one point where
+	// the whole world is quiescent and serializable. Returning true aborts
+	// the RunUntil loop (checkpoint-then-exit on a signal); the clock stays
+	// at the barrier. A nil hook costs one pointer check per barrier.
+	checkpointFn func(now int64) (stop bool)
 
 	workers   int
 	deadline  int64 // phase parameters, published before waking workers
@@ -107,6 +114,20 @@ func (k *ShardedScheduler) Global() *Scheduler { return &k.global }
 // global events.
 func (k *ShardedScheduler) SetBarrierFn(fn func()) { k.barrierFn = fn }
 
+// SetCheckpointFn installs (or, with nil, removes) the barrier checkpoint
+// hook. It runs single-threaded at every barrier, after the global events
+// and the host's mailbox drain, so everything scheduled at or before the
+// barrier time has fully executed when it fires; returning true stops the
+// RunUntil loop at the barrier. Install before RunUntil.
+func (k *ShardedScheduler) SetCheckpointFn(fn func(now int64) (stop bool)) { k.checkpointFn = fn }
+
+// RestoreNow sets the kernel's barrier clock to a time captured by a
+// checkpoint. Call before RunUntil, after restoring the shard and global
+// schedulers (see Scheduler.RestoreClock): the first barrier of the resumed
+// run then replays at exactly the captured time, and the window cadence
+// continues as the original run's would have.
+func (k *ShardedScheduler) RestoreNow(t int64) { k.now = t }
+
 // SetProbe installs (or, with nil, removes) the phase-timing probe. The
 // probe must be sized for this kernel's shard count. Install before RunUntil.
 func (k *ShardedScheduler) SetProbe(t *Timing) {
@@ -162,6 +183,9 @@ func (k *ShardedScheduler) RunUntil(end int64) {
 		}
 		if k.probe != nil {
 			k.probe.recordBarrier(time.Since(t0).Nanoseconds(), k.now, int64(k.Pending()), k.Processed())
+		}
+		if k.checkpointFn != nil && k.checkpointFn(k.now) {
+			return
 		}
 		if k.now >= end {
 			k.phase(end, true, parallel)

@@ -113,6 +113,11 @@ type Ring[T any] struct {
 // Len returns the number of queued elements.
 func (q *Ring[T]) Len() int { return q.n }
 
+// At returns a pointer to the i-th queued element (0 is the head) without
+// removing it. Checkpoint capture iterates the ring with it; the pointer is
+// valid until the next Push.
+func (q *Ring[T]) At(i int) *T { return &q.buf[(q.head+i)%len(q.buf)] }
+
 // Push appends e at the tail.
 func (q *Ring[T]) Push(e T) {
 	if q.n == len(q.buf) {
@@ -459,6 +464,38 @@ func (s *Scheduler) RunBefore(deadline int64) {
 	if s.now < deadline {
 		s.now = deadline
 	}
+}
+
+// EachTick visits every pending tick event (scheduled through TickAtKey) in
+// heap-array order, which is not sorted: checkpoint writers sort the
+// collected keys themselves. Events carrying their own closure are skipped —
+// a closure cannot be serialized, so hosts re-arm those structurally on
+// restore (the network's jitter events from its jitter heap, the experiment
+// harness's global timeline from the config).
+func (s *Scheduler) EachTick(fn func(at int64, actor, seq uint64)) {
+	for i := range s.pending {
+		if s.pending[i].fn == nil {
+			fn(s.pending[i].at, s.pending[i].actor, s.pending[i].seq)
+		}
+	}
+}
+
+// EachLane visits every pending lane event in FIFO (and hence key) order.
+// Checkpoint writers pair the keys with the host's own in-flight payload
+// queue, which LaneAt-style scheduling keeps in lockstep with the lane.
+func (s *Scheduler) EachLane(fn func(at int64, actor, seq uint64)) {
+	for i := 0; i < s.lane.n; i++ {
+		e := &s.lane.buf[(s.lane.head+i)%len(s.lane.buf)]
+		fn(e.at, e.actor, e.seq)
+	}
+}
+
+// RestoreClock sets the scheduler's virtual clock and processed-event count
+// to values captured at a barrier. Restore paths call it after re-arming the
+// pending events (arming first keeps At's past-clamping inert: a fresh
+// scheduler's clock is zero, so no restored time can be clamped).
+func (s *Scheduler) RestoreClock(now int64, processed uint64) {
+	s.now, s.processed = now, processed
 }
 
 // Step executes exactly one event, if any, and reports whether it did.

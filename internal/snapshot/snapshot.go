@@ -1,0 +1,358 @@
+// Package snapshot defines the nylon-snap/v1 checkpoint container and the
+// deterministic binary encoding simulation state serializes through.
+//
+// A snapshot file is a fixed envelope around one opaque payload:
+//
+//	magic   "nylon-snap/v1\n"        (14 bytes, carries the format version)
+//	length  uint64 big-endian        (payload length in bytes)
+//	payload length bytes             (the world state, schema owned by exp)
+//	sum     SHA-256 of the payload   (32 bytes)
+//
+// The envelope makes corruption detection exact and cheap: a truncated file
+// fails the length check (ErrTruncated), a bit flip anywhere in the payload
+// fails the checksum (ErrChecksum), and a future format bump fails the magic
+// (ErrVersion). Readers verify the whole envelope before decoding a single
+// payload byte, so a rejected snapshot can never half-mutate a world.
+//
+// The payload itself is written through Encoder and read back through
+// Decoder: fixed-width big-endian integers, length-prefixed byte strings,
+// and explicit section tags. Nothing in the encoding depends on map
+// iteration order or pointer identity — callers must sort any map-derived
+// data before encoding — so the same world state always serializes to the
+// same bytes, whatever the worker or shard count of the writing run.
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ident"
+	"repro/internal/view"
+)
+
+// Magic identifies the container format and its version.
+const Magic = "nylon-snap/v1\n"
+
+// Typed envelope errors. Restore paths surface them unwrapped through
+// errors.Is so callers (the sweep's prefix cache, the CLIs) can distinguish
+// "re-run from scratch" conditions from real I/O failures.
+var (
+	// ErrTruncated reports a file shorter than its envelope declares —
+	// the classic kill-mid-write artifact.
+	ErrTruncated = errors.New("snapshot: truncated file")
+	// ErrChecksum reports a payload whose SHA-256 does not match the
+	// envelope's trailer.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrVersion reports an unknown magic string (a different format or a
+	// version this binary does not speak).
+	ErrVersion = errors.New("snapshot: unknown format version")
+	// ErrCorrupt reports a payload that passed the checksum but does not
+	// decode: a schema mismatch between writer and reader.
+	ErrCorrupt = errors.New("snapshot: corrupt payload")
+)
+
+// Encode wraps a payload in the envelope.
+func Encode(payload []byte) []byte {
+	out := make([]byte, 0, len(Magic)+8+len(payload)+sha256.Size)
+	out = append(out, Magic...)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	sum := sha256.Sum256(payload)
+	return append(out, sum[:]...)
+}
+
+// Decode verifies the envelope and returns the payload.
+func Decode(data []byte) ([]byte, error) {
+	if len(data) < len(Magic) {
+		return nil, ErrTruncated
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, ErrVersion
+	}
+	rest := data[len(Magic):]
+	if len(rest) < 8 {
+		return nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint64(rest)
+	rest = rest[8:]
+	if uint64(len(rest)) < n+sha256.Size {
+		return nil, ErrTruncated
+	}
+	if uint64(len(rest)) > n+sha256.Size {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, uint64(len(rest))-n-sha256.Size)
+	}
+	payload := rest[:n]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(rest[n:]) {
+		return nil, ErrChecksum
+	}
+	return payload, nil
+}
+
+// WriteFile writes an enveloped payload atomically: temp file plus rename,
+// so a kill mid-write leaves no partial snapshot under the final name.
+func WriteFile(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if _, err := tmp.Write(Encode(payload)); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads and verifies a snapshot file, returning its payload.
+func ReadFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// Encoder serializes payload state as fixed-width big-endian fields. The
+// zero Encoder is ready to use; Bytes returns the accumulated payload.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Section writes a 4-byte tag delimiting a payload section. Tags cost
+// nothing at scale and turn a writer/reader schema drift into an immediate
+// ErrCorrupt naming the section, instead of garbage decoded fields.
+func (e *Encoder) Section(tag string) {
+	if len(tag) != 4 {
+		panic("snapshot: section tags are exactly 4 bytes")
+	}
+	e.buf = append(e.buf, tag...)
+}
+
+// U8 writes one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool writes a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U16 writes a big-endian uint16.
+func (e *Encoder) U16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+
+// U32 writes a big-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+
+// U64 writes a big-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+
+// I64 writes a big-endian int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 writes a float64 as its IEEE-754 bits.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bytes32 writes a length-prefixed byte string (uint32 length).
+func (e *Encoder) Bytes32(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Endpoint writes an ident.Endpoint.
+func (e *Encoder) Endpoint(ep ident.Endpoint) {
+	e.U32(uint32(ep.IP))
+	e.U16(ep.Port)
+}
+
+// Desc writes a view.Descriptor.
+func (e *Encoder) Desc(d view.Descriptor) {
+	e.U64(uint64(d.ID))
+	e.Endpoint(d.Addr)
+	e.U8(uint8(d.Class))
+	e.U32(d.Age)
+}
+
+// Decoder reads fields written by Encoder. Errors are sticky: after the
+// first failure every read returns the zero value and Err reports the
+// failure, so decode paths can run straight-line and check once per
+// section. A fresh Decoder over a verified payload never panics on hostile
+// input — every read bounds-checks.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over a payload.
+func NewDecoder(payload []byte) *Decoder { return &Decoder{buf: payload} }
+
+// Err returns the sticky decode error, nil if none.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread payload bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish reports success only if no decode error occurred and the payload
+// was consumed exactly.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d undecoded trailing bytes", ErrCorrupt, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// Fail records a semantic decode failure (a value that parsed but cannot
+// describe a valid world, e.g. an out-of-range enum). Like every decoder
+// error it is sticky and wraps ErrCorrupt.
+func (d *Decoder) Fail(format string, args ...any) { d.fail(format, args...) }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.buf)-d.off < n {
+		d.fail("need %d bytes at offset %d, have %d", n, d.off, len(d.buf)-d.off)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Section consumes and verifies a section tag written by Encoder.Section.
+func (d *Decoder) Section(tag string) {
+	b := d.take(4)
+	if b != nil && string(b) != tag {
+		d.fail("section %q, want %q at offset %d", b, tag, d.off-4)
+	}
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool.
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("invalid bool byte at offset %d", d.off-1)
+		return false
+	}
+}
+
+// U16 reads a big-endian uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bytes32 reads a length-prefixed byte string. The returned slice aliases
+// the payload; copy it if it must outlive the decoder's buffer.
+func (d *Decoder) Bytes32() []byte {
+	n := int(d.U32())
+	return d.take(n)
+}
+
+// Count reads a uint32 element count and validates it against what the
+// remaining payload could possibly hold (elemSize is a lower bound on the
+// encoded size of one element), so hostile counts fail fast instead of
+// driving huge allocations.
+func (d *Decoder) Count(elemSize int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n < 0 || n*elemSize > d.Remaining() {
+		d.fail("count %d exceeds remaining payload (%d bytes)", n, d.Remaining())
+		return 0
+	}
+	return n
+}
+
+// Endpoint reads an ident.Endpoint.
+func (d *Decoder) Endpoint() ident.Endpoint {
+	ip := ident.IP(d.U32())
+	port := d.U16()
+	return ident.Endpoint{IP: ip, Port: port}
+}
+
+// Desc reads a view.Descriptor.
+func (d *Decoder) Desc() view.Descriptor {
+	id := ident.NodeID(d.U64())
+	addr := d.Endpoint()
+	class := ident.NATClass(d.U8())
+	age := d.U32()
+	return view.Descriptor{ID: id, Addr: addr, Class: class, Age: age}
+}

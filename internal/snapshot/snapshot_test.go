@@ -1,0 +1,275 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/view"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		{},
+		{0x00},
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xab}, 1<<16),
+	} {
+		data := Encode(payload)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("payload %d bytes: %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload %d bytes: round trip mutated content", len(payload))
+		}
+	}
+}
+
+// TestEnvelopeTruncation cuts an encoded snapshot at every length from zero
+// to one byte short and requires ErrTruncated for each — the exact artifact
+// of a process killed mid-write without the atomic rename.
+func TestEnvelopeTruncation(t *testing.T) {
+	data := Encode([]byte("the quick brown fox"))
+	for n := 0; n < len(data); n++ {
+		_, err := Decode(data[:n])
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncated to %d/%d bytes: err = %v, want ErrTruncated", n, len(data), err)
+		}
+	}
+}
+
+// TestEnvelopeBitFlips flips one bit in every payload byte position and a
+// sample of checksum positions; each flip must yield ErrChecksum.
+func TestEnvelopeBitFlips(t *testing.T) {
+	payload := []byte("some state worth protecting")
+	data := Encode(payload)
+	start := len(Magic) + 8 // first payload byte
+	for i := start; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		if _, err := Decode(mut); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("bit flip at %d: err = %v, want ErrChecksum", i, err)
+		}
+	}
+}
+
+func TestEnvelopeVersionAndFraming(t *testing.T) {
+	payload := []byte("payload")
+	data := Encode(payload)
+
+	// Unknown version string.
+	v9 := append([]byte(nil), data...)
+	copy(v9, "nylon-snap/v9\n")
+	if _, err := Decode(v9); !errors.Is(err, ErrVersion) {
+		t.Errorf("wrong version: err = %v, want ErrVersion", err)
+	}
+	// A different format entirely.
+	if _, err := Decode([]byte("GIF89a-definitely-not-a-snapshot")); !errors.Is(err, ErrVersion) {
+		t.Errorf("foreign format: err = %v, want ErrVersion", err)
+	}
+	// Trailing garbage after the checksum: framing violation, not a flip.
+	if _, err := Decode(append(append([]byte(nil), data...), "junk"...)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing bytes: err = %v, want ErrCorrupt", err)
+	}
+	// A length field pointing past the file.
+	huge := append([]byte(nil), data...)
+	huge[len(Magic)] = 0xff
+	if _, err := Decode(huge); !errors.Is(err, ErrTruncated) {
+		t.Errorf("oversized length: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestWriteFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "world.snap")
+	if err := WriteFile(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite: the reader must only ever see a complete old or new file.
+	if err := WriteFile(path, []byte("v2 with more bytes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2 with more bytes" {
+		t.Fatalf("read %q after overwrite", got)
+	}
+	// No temp-file litter once writes complete.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "world.snap" {
+		t.Errorf("directory holds %d entries after atomic writes", len(entries))
+	}
+	// Reading a nonexistent path surfaces the I/O error, not a typed
+	// envelope error — callers must be able to tell "no snapshot" from
+	// "bad snapshot".
+	if _, err := ReadFile(filepath.Join(dir, "absent.snap")); err == nil || errors.Is(err, ErrTruncated) {
+		t.Errorf("absent file: err = %v", err)
+	}
+}
+
+// TestCodecRoundTrip drives every primitive through an encode/decode cycle
+// and requires exact consumption (Finish) at the end.
+func TestCodecRoundTrip(t *testing.T) {
+	ep := ident.Endpoint{IP: 0x0a000001, Port: 4242}
+	desc := view.Descriptor{ID: 7, Addr: ep, Class: ident.NATClass(1), Age: 3}
+
+	enc := &Encoder{}
+	enc.Section("test")
+	enc.U8(0xfe)
+	enc.Bool(true)
+	enc.Bool(false)
+	enc.U16(0xbeef)
+	enc.U32(0xdeadbeef)
+	enc.U64(1 << 60)
+	enc.I64(-12345)
+	enc.F64(3.14159)
+	enc.Bytes32([]byte("blob"))
+	enc.Bytes32(nil)
+	enc.Endpoint(ep)
+	enc.Desc(desc)
+
+	dec := NewDecoder(enc.Bytes())
+	dec.Section("test")
+	if v := dec.U8(); v != 0xfe {
+		t.Errorf("U8 = %#x", v)
+	}
+	if !dec.Bool() || dec.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if v := dec.U16(); v != 0xbeef {
+		t.Errorf("U16 = %#x", v)
+	}
+	if v := dec.U32(); v != 0xdeadbeef {
+		t.Errorf("U32 = %#x", v)
+	}
+	if v := dec.U64(); v != 1<<60 {
+		t.Errorf("U64 = %#x", v)
+	}
+	if v := dec.I64(); v != -12345 {
+		t.Errorf("I64 = %d", v)
+	}
+	if v := dec.F64(); v != 3.14159 {
+		t.Errorf("F64 = %v", v)
+	}
+	if v := dec.Bytes32(); string(v) != "blob" {
+		t.Errorf("Bytes32 = %q", v)
+	}
+	if v := dec.Bytes32(); len(v) != 0 {
+		t.Errorf("empty Bytes32 = %q", v)
+	}
+	if v := dec.Endpoint(); v != ep {
+		t.Errorf("Endpoint = %+v", v)
+	}
+	if v := dec.Desc(); v != desc {
+		t.Errorf("Desc = %+v", v)
+	}
+	if err := dec.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestDecoderStickyErrors(t *testing.T) {
+	// Reading past the end fails once and stays failed; subsequent reads
+	// return zero values without advancing or panicking.
+	dec := NewDecoder([]byte{0x01})
+	if v := dec.U64(); v != 0 {
+		t.Errorf("short U64 = %d", v)
+	}
+	if dec.Err() == nil || !errors.Is(dec.Err(), ErrCorrupt) {
+		t.Fatalf("short read error = %v", dec.Err())
+	}
+	first := dec.Err()
+	dec.U32()
+	dec.Desc()
+	dec.Fail("later failure")
+	if dec.Err() != first {
+		t.Error("sticky error was overwritten")
+	}
+
+	// A wrong section tag names both tags.
+	enc := &Encoder{}
+	enc.Section("aaaa")
+	dec = NewDecoder(enc.Bytes())
+	dec.Section("bbbb")
+	if err := dec.Err(); err == nil || !strings.Contains(err.Error(), "aaaa") || !strings.Contains(err.Error(), "bbbb") {
+		t.Errorf("section mismatch error = %v", err)
+	}
+
+	// Bool bytes other than 0/1 are corruption, not truthiness.
+	dec = NewDecoder([]byte{0x02})
+	if dec.Bool() || !errors.Is(dec.Err(), ErrCorrupt) {
+		t.Errorf("Bool(2): %v, err %v", false, dec.Err())
+	}
+
+	// Finish rejects unconsumed bytes.
+	dec = NewDecoder([]byte{0x00, 0x00})
+	dec.U8()
+	if err := dec.Finish(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Finish with leftovers: %v", err)
+	}
+}
+
+// TestDecoderCountBound pins the allocation guard: a hostile element count
+// larger than the remaining payload could hold fails immediately instead of
+// sizing a huge allocation.
+func TestDecoderCountBound(t *testing.T) {
+	enc := &Encoder{}
+	enc.U32(1 << 30) // one billion elements...
+	enc.U64(0)       // ...backed by eight bytes
+	dec := NewDecoder(enc.Bytes())
+	if n := dec.Count(8); n != 0 || !errors.Is(dec.Err(), ErrCorrupt) {
+		t.Errorf("hostile count: n = %d, err = %v", n, dec.Err())
+	}
+
+	// An honest count within bounds passes.
+	enc = &Encoder{}
+	enc.U32(2)
+	enc.U64(1)
+	enc.U64(2)
+	dec = NewDecoder(enc.Bytes())
+	if n := dec.Count(8); n != 2 || dec.Err() != nil {
+		t.Errorf("honest count: n = %d, err = %v", n, dec.Err())
+	}
+
+	// elemSize below one is clamped, so a zero lower bound cannot bypass
+	// the check via n*0 == 0.
+	enc = &Encoder{}
+	enc.U32(1 << 20)
+	dec = NewDecoder(enc.Bytes())
+	if n := dec.Count(0); n != 0 || !errors.Is(dec.Err(), ErrCorrupt) {
+		t.Errorf("zero elemSize: n = %d, err = %v", n, dec.Err())
+	}
+}
+
+// TestDeterministicEncoding pins that the same sequence of writes yields the
+// same bytes — the property the shard-count-invariant snapshot format builds
+// on — and that the envelope is a pure function of the payload.
+func TestDeterministicEncoding(t *testing.T) {
+	build := func() []byte {
+		enc := &Encoder{}
+		enc.Section("sect")
+		for i := 0; i < 100; i++ {
+			enc.U64(uint64(i * 7))
+			enc.F64(float64(i) / 3)
+		}
+		return enc.Bytes()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical writes produced different payload bytes")
+	}
+	if !bytes.Equal(Encode(a), Encode(b)) {
+		t.Fatal("identical payloads produced different envelopes")
+	}
+}

@@ -3,8 +3,10 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/exp"
 )
@@ -58,6 +60,26 @@ type JobResult struct {
 	HonestCluster      float64 `json:"honest_cluster,omitempty"`
 	RelayDenied        uint64  `json:"relay_denied,omitempty"`
 	AdversaryDrops     uint64  `json:"adversary_drops,omitempty"`
+
+	// Sum is the hex SHA-256 of the result's compact JSON with Sum itself
+	// empty. The content address in the file name authenticates which job a
+	// file answers for; Sum authenticates the answer — a bit flipped at rest
+	// (or a result written by a buggy build that then crashed) turns into a
+	// recomputed miss instead of silently skewing the aggregate.
+	Sum string `json:"sum,omitempty"`
+}
+
+// checksum computes the Sum value of jr: the hex SHA-256 of its compact JSON
+// form with the Sum field empty, so the stored value never hashes itself.
+func (jr *JobResult) checksum() string {
+	saved := jr.Sum
+	jr.Sum = ""
+	data, err := json.Marshal(jr)
+	jr.Sum = saved
+	if err != nil {
+		panic(fmt.Sprintf("sweep: marshal result: %v", err)) // plain struct, cannot fail
+	}
+	return hashHex(data)
 }
 
 // SeriesPoint is one sampled round in the cached series. The adversary pair
@@ -118,6 +140,15 @@ func resultOf(job Job, res exp.Result) *JobResult {
 // Cache is the content-addressed result store of one run directory.
 type Cache struct {
 	dir string
+	// Log, when non-nil, receives one line per integrity anomaly (a cached
+	// file failing its checksum, a stale snapshot discarded).
+	Log io.Writer
+}
+
+func (c *Cache) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
 }
 
 // OpenCache opens (creating if needed) the result store under dir.
@@ -132,8 +163,10 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, "results", key+".json")
 }
 
-// Load returns the cached result for key, or (nil, false) when absent or
-// unreadable — a truncated file from a killed run is treated as a miss and
+// Load returns the cached result for key, or (nil, false) when absent,
+// unreadable or failing verification — a truncated file from a killed run, a
+// file missing its checksum (pre-checksum cache format) and a file whose
+// checksum disagrees with its content are all treated as misses and
 // recomputed, never trusted.
 func (c *Cache) Load(key string) (*JobResult, bool) {
 	data, err := os.ReadFile(c.path(key))
@@ -144,12 +177,22 @@ func (c *Cache) Load(key string) (*JobResult, bool) {
 	if err := json.Unmarshal(data, &jr); err != nil || jr.Key != key {
 		return nil, false
 	}
+	if jr.Sum == "" {
+		c.logf("sweep: cached result %s has no checksum (old format?), recomputing", key)
+		return nil, false
+	}
+	if sum := jr.checksum(); sum != jr.Sum {
+		c.logf("sweep: cached result %s fails its checksum (stored %.12s…, computed %.12s…), recomputing", key, jr.Sum, sum)
+		return nil, false
+	}
 	return &jr, true
 }
 
 // Store persists one result atomically (write-temp + rename), so a kill
-// mid-write leaves a miss, not a corrupt hit.
+// mid-write leaves a miss, not a corrupt hit. The result's Sum is (re)stamped
+// here: what hits the disk always verifies.
 func (c *Cache) Store(jr *JobResult) error {
+	jr.Sum = jr.checksum()
 	data, err := json.MarshalIndent(jr, "", "  ")
 	if err != nil {
 		return fmt.Errorf("sweep: marshal result: %w", err)
@@ -172,4 +215,40 @@ func (c *Cache) Store(jr *JobResult) error {
 		return fmt.Errorf("sweep: %w", err)
 	}
 	return nil
+}
+
+// SnapshotDir returns the job's checkpoint directory: mid-job world snapshots
+// of key live under <run dir>/snapshots/<key>/, content-addressed exactly like
+// the results, so a restarted sweep resumes each partially-run job from its
+// latest barrier instead of from round zero.
+func (c *Cache) SnapshotDir(key string) string {
+	return filepath.Join(c.dir, "snapshots", key)
+}
+
+// Snapshots lists the job's snapshot files newest-first (the fixed-width
+// names of exp.SnapshotFileName make lexicographic order round order). A
+// missing directory is simply no snapshots.
+func (c *Cache) Snapshots(key string) []string {
+	dir := c.SnapshotDir(key)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".snap" {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	return paths
+}
+
+// DropSnapshots removes the job's snapshot directory. Called once the final
+// result is persisted: the mid-job state has nothing left to protect, and a
+// completed grid leaves no snapshot litter behind.
+func (c *Cache) DropSnapshots(key string) {
+	if err := os.RemoveAll(c.SnapshotDir(key)); err != nil {
+		c.logf("sweep: dropping snapshots of %s: %v", key, err)
+	}
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -24,6 +25,21 @@ type Options struct {
 	// ErrStopped with the completed jobs persisted — the test hook that
 	// simulates a killed sweep deterministically.
 	StopAfter int
+	// Ctx, when non-nil, winds the sweep down when cancelled: no new jobs
+	// are dequeued, and — with CheckpointEveryRounds armed — every job in
+	// flight checkpoints at its next round barrier and exits. This is the
+	// one shutdown path; a CLI's signal handler and StopAfter both end up
+	// here, so graceful shutdown means the same thing for both. The run
+	// returns ErrStopped.
+	Ctx context.Context
+	// CheckpointEveryRounds, when positive, checkpoints every running job's
+	// world state every N rounds into <run dir>/snapshots/<job key>/. A
+	// restarted sweep then resumes each unfinished job from its latest valid
+	// snapshot instead of from round zero — a killed grid loses at most N
+	// rounds per in-flight job. Snapshots are dropped as soon as the job's
+	// final result is persisted. Results are bit-identical with or without
+	// checkpointing, resumed or straight through.
+	CheckpointEveryRounds int
 	// Log, when non-nil, receives one line per executed job, with running
 	// progress (done/total, jobs/s, ETA) over the jobs the cache did not
 	// already cover.
@@ -40,12 +56,18 @@ type Stats struct {
 	// Total is the grid size; Ran were executed this invocation; Cached
 	// were reused from the run directory.
 	Total, Ran, Cached int
+	// Resumed counts the Ran jobs that continued from a mid-job snapshot
+	// rather than starting at round zero.
+	Resumed int
 	// Workers is the resolved outer parallelism the execution actually
 	// used (Options.Workers with 0 resolved to one per core).
 	Workers int
 }
 
 func (s Stats) String() string {
+	if s.Resumed > 0 {
+		return fmt.Sprintf("jobs: %d total, %d ran (%d resumed mid-job), %d cached", s.Total, s.Ran, s.Resumed, s.Cached)
+	}
 	return fmt.Sprintf("jobs: %d total, %d ran, %d cached", s.Total, s.Ran, s.Cached)
 }
 
@@ -61,6 +83,11 @@ func Execute(g *Grid, dir string, opts Options) ([]*JobResult, Stats, error) {
 	cache, err := OpenCache(dir)
 	if err != nil {
 		return nil, Stats{}, err
+	}
+	cache.Log = opts.Log
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	stats := Stats{Total: len(g.Jobs)}
 	results := make([]*JobResult, len(g.Jobs))
@@ -112,7 +139,21 @@ func Execute(g *Grid, dir string, opts Options) ([]*JobResult, Stats, error) {
 			for i := range jobs {
 				job := g.Jobs[i]
 				t0 := time.Now()
-				res, err := ex.Run(job.Cfg)
+				res, resumed, err := runJob(ctx, ex, cache, job, opts)
+				var ie *exp.InterruptedError
+				if errors.As(err, &ie) {
+					// The shutdown context fired mid-job: the job checkpointed
+					// at its barrier and its snapshot stays for the next
+					// invocation to resume.
+					mu.Lock()
+					stopped = true
+					mu.Unlock()
+					if opts.Log != nil {
+						fmt.Fprintf(opts.Log, "interrupted (%s, %s, seed %d) at round %d, snapshot kept\n",
+							job.Scenario, job.Variant, job.Seed, ie.Round)
+					}
+					continue
+				}
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -130,9 +171,13 @@ func Execute(g *Grid, dir string, opts Options) ([]*JobResult, Stats, error) {
 					mu.Unlock()
 					continue
 				}
+				cache.DropSnapshots(job.Key)
 				mu.Lock()
 				results[i] = jr
 				stats.Ran++
+				if resumed {
+					stats.Resumed++
+				}
 				mu.Unlock()
 				if hJob != nil {
 					hJob.Observe(0, time.Since(t0).Seconds())
@@ -147,8 +192,12 @@ func Execute(g *Grid, dir string, opts Options) ([]*JobResult, Stats, error) {
 					gRan.Set(float64(done))
 				}
 				if opts.Log != nil {
-					fmt.Fprintf(opts.Log, "ran (%s, %s, seed %d) → cluster %.1f%% [%d/%d, %.2f jobs/s, eta %s]\n",
-						job.Scenario, job.Variant, job.Seed, jr.BiggestCluster*100,
+					verb := "ran"
+					if resumed {
+						verb = "resumed"
+					}
+					fmt.Fprintf(opts.Log, "%s (%s, %s, seed %d) → cluster %.1f%% [%d/%d, %.2f jobs/s, eta %s]\n",
+						verb, job.Scenario, job.Variant, job.Seed, jr.BiggestCluster*100,
 						done, tracker.Total(), rate, eta)
 				}
 			}
@@ -156,7 +205,14 @@ func Execute(g *Grid, dir string, opts Options) ([]*JobResult, Stats, error) {
 	}
 	for _, i := range missing {
 		mu.Lock()
-		abort := firstErr != nil
+		abort := firstErr != nil || stopped
+		if ctx.Err() != nil {
+			// The shared shutdown path: a cancelled context stops dequeuing
+			// exactly like StopAfter, while jobs in flight checkpoint through
+			// their CheckpointSpec.Stop watching the same context.
+			stopped = true
+			abort = true
+		}
 		if opts.StopAfter > 0 && started >= opts.StopAfter {
 			stopped = true
 			abort = true
@@ -178,4 +234,33 @@ func Execute(g *Grid, dir string, opts Options) ([]*JobResult, Stats, error) {
 		return nil, stats, ErrStopped
 	}
 	return results, stats, nil
+}
+
+// runJob executes one job through the pool. With checkpointing armed it first
+// tries to resume the job's newest persisted snapshot, falling back through
+// older ones — and finally to a fresh round-zero run — when a snapshot is
+// rejected (corrupt, truncated, or of a different experiment point after a
+// spec edit; every rejection is typed and logged, never trusted). The bool
+// reports whether the returned result came from a resumed run.
+func runJob(ctx context.Context, ex *exp.Executor, cache *Cache, job Job, opts Options) (exp.Result, bool, error) {
+	cfg := job.Cfg
+	var spec *exp.CheckpointSpec
+	if opts.CheckpointEveryRounds > 0 {
+		spec = &exp.CheckpointSpec{
+			Dir:         cache.SnapshotDir(job.Key),
+			EveryRounds: opts.CheckpointEveryRounds,
+			Stop:        func() bool { return ctx.Err() != nil },
+		}
+		for _, path := range cache.Snapshots(job.Key) {
+			res, err := ex.ResumeFile(path, exp.ResumeOptions{Checkpoint: spec, Config: &cfg})
+			var ie *exp.InterruptedError
+			if err == nil || errors.As(err, &ie) {
+				return res, true, err
+			}
+			cache.logf("sweep: snapshot %s unusable (%v), falling back", path, err)
+		}
+	}
+	cfg.Checkpoint = spec
+	res, err := ex.Run(cfg)
+	return res, false, err
 }

@@ -2,12 +2,16 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/exp"
 	"repro/internal/scenario"
 )
 
@@ -445,5 +449,283 @@ func TestAdversaryAxis(t *testing.T) {
 	}
 	if strings.Contains(string(data), "eclipse") {
 		t.Error("honest artifact JSON gained adversary fields")
+	}
+}
+
+// assertNoGoroutineLeak fails the test if goroutines created during it are
+// still alive at cleanup — the executor and sweep workers must all terminate
+// on every path, including interrupted ones. Run with -race to catch the
+// leaked goroutine's unsynchronized writes too.
+func assertNoGoroutineLeak(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > base {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d at start, %d at cleanup\n%s",
+					base, runtime.NumGoroutine(), buf[:n])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// TestCacheChecksum pins the result files' integrity layer: stored files
+// carry a checksum over their own content, and any file that fails it — or
+// predates it — is a logged miss, never a trusted hit.
+func TestCacheChecksum(t *testing.T) {
+	run := t.TempDir()
+	cache, err := OpenCache(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	cache.Log = &log
+
+	jr := &JobResult{Key: "k1", Scenario: "s", Variant: "v", Seed: 1, BiggestCluster: 0.5}
+	if err := cache.Store(jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Sum == "" {
+		t.Fatal("Store left the checksum unstamped")
+	}
+	if _, ok := cache.Load("k1"); !ok {
+		t.Fatal("freshly stored result fails its own checksum")
+	}
+
+	// Valid JSON, correct key, silently altered payload: the classic
+	// bit-rot/wrong-build case the key alone cannot catch.
+	path := filepath.Join(run, "results", "k1.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte(`"biggest_cluster": 0.5`), []byte(`"biggest_cluster": 0.9`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper target not found in stored JSON")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Load("k1"); ok {
+		t.Error("tampered result reported as hit")
+	}
+	if !strings.Contains(log.String(), "fails its checksum") {
+		t.Errorf("tampered miss not logged: %q", log.String())
+	}
+
+	// A pre-checksum file (no sum at all) is a miss too.
+	log.Reset()
+	if err := os.WriteFile(filepath.Join(run, "results", "k2.json"),
+		[]byte(`{"key":"k2","scenario":"s","variant":"v","seed":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Load("k2"); ok {
+		t.Error("checksum-less result reported as hit")
+	}
+	if !strings.Contains(log.String(), "no checksum") {
+		t.Errorf("checksum-less miss not logged: %q", log.String())
+	}
+}
+
+// seedJobSnapshots runs job's world directly (outside the sweep) with
+// checkpointing into the job's snapshot directory, leaving mid-job snapshots
+// behind without a cached result — the disk state of a sweep killed mid-job.
+func seedJobSnapshots(t *testing.T, cache *Cache, job Job, everyRounds int) {
+	t.Helper()
+	cfg := job.Cfg
+	cfg.Workers = 1
+	cfg.Checkpoint = &exp.CheckpointSpec{Dir: cache.SnapshotDir(job.Key), EveryRounds: everyRounds}
+	if _, err := exp.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(cache.Snapshots(job.Key)) == 0 {
+		t.Fatal("seeding left no snapshots")
+	}
+}
+
+// TestSweepMidJobResume pins the per-prefix snapshot cache: a job whose
+// snapshot directory holds a checkpoint resumes from it (including from the
+// final barrier — the kill window between the last snapshot and the result
+// store), produces a byte-identical artifact, and drops its snapshots once
+// the result is persisted.
+func TestSweepMidJobResume(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	corpus := testCorpus(t)
+	run := t.TempDir()
+	g, err := Expand(testSpec(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := OpenCache(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Job 0: snapshots at rounds 3, 6, 9 and 12 — the newest sits exactly at
+	// the 12-round horizon. Job 1: newest strictly inside the run.
+	seedJobSnapshots(t, cache, g.Jobs[0], 3)
+	seedJobSnapshots(t, cache, g.Jobs[1], 5)
+
+	var log bytes.Buffer
+	results, st, err := Execute(g, run, Options{Workers: 1, CheckpointEveryRounds: 3, Log: &log})
+	if err != nil {
+		t.Fatalf("execute: %v\n%s", err, log.String())
+	}
+	if st.Ran != 8 || st.Resumed != 2 || st.Cached != 0 {
+		t.Errorf("stats %+v, want 8 ran / 2 resumed / 0 cached", st)
+	}
+	for _, job := range g.Jobs[:2] {
+		if left := cache.Snapshots(job.Key); len(left) != 0 {
+			t.Errorf("job %s finished but kept %d snapshots", job.Key[:12], len(left))
+		}
+	}
+
+	// The artifact must not betray which jobs resumed and which ran fresh.
+	art, err := Aggregate(g, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := art.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := sweepOnce(t, corpus, t.TempDir(), Options{Workers: 4})
+	if !bytes.Equal(got, fresh) {
+		t.Error("resumed-mid-job artifact differs from an uninterrupted sweep")
+	}
+}
+
+// TestSweepSnapshotFallback pins the hostile-snapshot path: a corrupt
+// snapshot and one captured from a different experiment point are both
+// rejected with a logged warning, falling back to older snapshots and
+// finally to a fresh run — never an error, never a wrong result.
+func TestSweepSnapshotFallback(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	corpus := testCorpus(t)
+	run := t.TempDir()
+	g, err := Expand(testSpec(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := OpenCache(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Job 0's snapshot directory: a truncated file as the newest snapshot,
+	// and below it a perfectly valid snapshot of job 1 — a different seed,
+	// which the config guard must reject rather than resume.
+	seedJobSnapshots(t, cache, g.Jobs[1], 5)
+	wrong := cache.Snapshots(g.Jobs[1].Key)[0]
+	data, err := os.ReadFile(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := cache.SnapshotDir(g.Jobs[0].Key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, exp.SnapshotFileName(7)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, exp.SnapshotFileName(9)), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	results, st, err := Execute(g, run, Options{Workers: 1, CheckpointEveryRounds: 3, Log: &log})
+	if err != nil {
+		t.Fatalf("execute: %v\n%s", err, log.String())
+	}
+	// Job 1 resumes from its own (valid) snapshot; job 0 falls back to a
+	// fresh run after rejecting both planted files.
+	if st.Ran != 8 || st.Resumed != 1 {
+		t.Errorf("stats %+v, want 8 ran / 1 resumed", st)
+	}
+	if n := strings.Count(log.String(), "unusable"); n != 2 {
+		t.Errorf("want 2 rejected-snapshot warnings, got %d:\n%s", n, log.String())
+	}
+	art, err := Aggregate(g, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := art.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := sweepOnce(t, corpus, t.TempDir(), Options{Workers: 4})
+	if !bytes.Equal(got, fresh) {
+		t.Error("fallback artifact differs from an uninterrupted sweep")
+	}
+}
+
+// TestSweepShutdownContext pins the one-cancellation-path contract: a
+// cancelled Options.Ctx stops the sweep like StopAfter does (ErrStopped,
+// partial results persisted), in-flight jobs checkpoint at their next
+// barrier, and a rerun completes the grid byte-identically. All worker
+// goroutines terminate on the interrupted path.
+func TestSweepShutdownContext(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	corpus := testCorpus(t)
+	run := t.TempDir()
+	g, err := Expand(testSpec(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancelled before the first dequeue: nothing runs, ErrStopped reports
+	// the shutdown.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, st, err := Execute(g, run, Options{Workers: 2, Ctx: ctx})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("pre-cancelled ctx: err = %v, want ErrStopped", err)
+	}
+	if st.Ran != 0 {
+		t.Errorf("pre-cancelled ctx ran %d jobs", st.Ran)
+	}
+
+	// Cancelled mid-run: a watcher cancels as soon as the first mid-job
+	// snapshot lands on disk, so some job is very likely interrupted at a
+	// barrier. Whatever the interleaving, the rerun must complete the grid
+	// and aggregate to the uninterrupted bytes.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	cache, err := OpenCache(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		for ctx.Err() == nil {
+			for _, job := range g.Jobs {
+				if len(cache.Snapshots(job.Key)) > 0 {
+					cancel()
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	_, _, err = Execute(g, run, Options{Workers: 2, Ctx: ctx, CheckpointEveryRounds: 1})
+	cancel()
+	<-watcherDone
+	if err != nil && !errors.Is(err, ErrStopped) {
+		t.Fatalf("interrupted run: err = %v", err)
+	}
+
+	resumed, st := sweepOnce(t, corpus, run, Options{Workers: 2, CheckpointEveryRounds: 1})
+	if st.Ran+st.Cached != 8 {
+		t.Errorf("rerun stats %+v, want 8 jobs accounted for", st)
+	}
+	fresh, _ := sweepOnce(t, corpus, t.TempDir(), Options{Workers: 4})
+	if !bytes.Equal(resumed, fresh) {
+		t.Error("artifact after interrupt+resume differs from an uninterrupted sweep")
 	}
 }

@@ -31,6 +31,31 @@ func New(seed int64) *rand.Rand {
 // Seed implements rand.Source.
 func (s *SplitMix64) Seed(seed int64) { s.state = uint64(seed) }
 
+// State returns the source's 8 bytes of state. Together with SetState it
+// lets a checkpoint capture and replay a stream exactly: a source restored
+// to a captured state produces the same tail of draws as the original.
+func (s *SplitMix64) State() uint64 { return s.state }
+
+// SetState restores the source to a state previously returned by State.
+func (s *SplitMix64) SetState(v uint64) { s.state = v }
+
+// Stream couples a *rand.Rand with its underlying SplitMix64 source so
+// holders of long-lived RNG streams can capture and restore stream state
+// (see State/SetState). The embedded Rand is the draw surface; Src is the
+// checkpoint surface. rand.Rand buffers nothing relevant on top of its
+// source (only Read keeps spare bytes, which nothing here uses), so the
+// source state alone replays the stream.
+type Stream struct {
+	*rand.Rand
+	Src *SplitMix64
+}
+
+// NewStream returns a capturable RNG stream seeded with seed.
+func NewStream(seed int64) *Stream {
+	src := NewSource(seed)
+	return &Stream{Rand: rand.New(src), Src: src}
+}
+
 // Uint64 implements rand.Source64: the splitmix64 output function over a
 // Weyl sequence with the golden-ratio increment.
 func (s *SplitMix64) Uint64() uint64 {
